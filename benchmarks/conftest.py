@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark files regenerate the paper's tables from cached measured
+runs (``.bench_cache.json``; populated on first use) and use
+pytest-benchmark to time representative kernels of each pipeline
+stage.  Rendered tables land in ``results/*.md`` and are echoed to the
+terminal.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def circuit_row():
+    """Cached HDL-circuit benchmark results (Table 1 material)."""
+    from repro.reporting.runner import run_circuit_benchmark
+
+    return run_circuit_benchmark
+
+
+@pytest.fixture(scope="session")
+def processor_row():
+    """Cached garbled-processor benchmark results (Tables 2-5)."""
+    from repro.reporting.runner import run_processor_benchmark
+
+    return run_processor_benchmark

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Private biometric matching: Hamming-distance threshold check.
+
+A server (Alice) holds an enrolled 512-bit iris/fingerprint template;
+a client (Bob) holds a fresh scan.  They want one bit — "same person
+or not" (Hamming distance below a threshold) — with neither side
+revealing its template.  Genomic and biometric matching are the
+motivating applications of the paper's introduction [32].
+
+This is the paper's Hamming benchmark with a comparison bolted on; the
+SWAR popcount compiles to masked adds whose gaps are public zeros, so
+SkipGate garbles far fewer gates than one per input bit.
+
+Run:  python examples/biometric_match.py
+"""
+
+import random
+
+from repro.arm import GarbledMachine
+from repro.cc import compile_c
+
+WORDS = 16  # 512-bit templates
+THRESHOLD = 96  # bits of tolerated drift
+
+C_SOURCE = f"""
+void gc_main(const int *a, const int *b, int *c) {{
+    int total = 0;
+    for (int i = 0; i < {WORDS}; i++) {{
+        int v = a[i] ^ b[i];
+        v = (v & 0x55555555) + ((v >> 1) & 0x55555555);
+        v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+        v = (v & 0x0F0F0F0F) + ((v >> 4) & 0x0F0F0F0F);
+        v = (v & 0x00FF00FF) + ((v >> 8) & 0x00FF00FF);
+        v = (v & 0xFFFF) + (v >> 16);
+        total = total + v;
+    }}
+    c[0] = total < {THRESHOLD};
+    c[1] = total;  // (revealed here for demonstration only)
+}}
+"""
+
+
+def noisy_copy(template, flips, rng):
+    out = list(template)
+    positions = rng.sample(range(WORDS * 32), flips)
+    for p in positions:
+        out[p // 32] ^= 1 << (p % 32)
+    return out
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    enrolled = [rng.getrandbits(32) for _ in range(WORDS)]
+    same_person = noisy_copy(enrolled, 40, rng)  # sensor noise
+    impostor = [rng.getrandbits(32) for _ in range(WORDS)]
+
+    program = compile_c(C_SOURCE)
+    machine = GarbledMachine(
+        program.words,
+        alice_words=WORDS, bob_words=WORDS, output_words=2,
+        data_words=32, imem_words=256,
+    )
+
+    print("=== private biometric match (512-bit templates) ===")
+    for label, scan in [("same person", same_person), ("impostor", impostor)]:
+        result = machine.run(alice=enrolled, bob=scan)
+        match, distance = result.output_words[:2]
+        expected = sum(
+            bin(x ^ y).count("1") for x, y in zip(enrolled, scan)
+        )
+        assert distance == expected
+        assert match == int(expected < THRESHOLD)
+        print(f"{label:12s}: distance={distance:4d}  "
+              f"match={'yes' if match else 'no'}  "
+              f"garbled non-XOR={result.garbled_nonxor:,}")
+    print(f"(512 secret input bits per side; threshold {THRESHOLD}; "
+          f"flow independent: {result.input_independent_flow})")
+
+
+if __name__ == "__main__":
+    main()

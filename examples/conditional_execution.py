@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Figure 5: conditional execution keeps the program counter public.
+
+Compiles the same secret-condition C function twice — with the
+compiler's if-conversion (Figure 5b) and with plain branches
+(Figure 5a) — prints both assembly listings, and runs both on the
+garbled processor to show the cost cliff a secret program counter
+causes (Figure 6).
+
+Run:  python examples/conditional_execution.py
+"""
+
+from repro.arm import GarbledMachine
+from repro.cc import compile_c
+
+C_SOURCE = """
+void gc_main(const int *a, const int *b, int *c) {
+    int x = 0;
+    if (a[0] == b[0]) { x = 10; } else { x = 20; }
+    c[0] = x;
+}
+"""
+
+
+def garble(program, alice, bob, cycles=None):
+    machine = GarbledMachine(
+        program.words,
+        alice_words=1, bob_words=1, output_words=1, data_words=16,
+        imem_words=64,
+    )
+    if cycles is None:
+        cycles = max(
+            machine.required_cycles(alice, bob)[0],
+            machine.required_cycles([0], [0])[0],
+            machine.required_cycles([0], [1])[0],
+        )
+    return machine.run(alice=alice, bob=bob, cycles=cycles)
+
+
+def main() -> None:
+    predicated = compile_c(C_SOURCE, predication=True)
+    branchy = compile_c(C_SOURCE, predication=False)
+
+    print("=== with conditional execution (Figure 5b) ===")
+    print(predicated.asm)
+    print("=== without (Figure 5a) ===")
+    print(branchy.asm)
+
+    rp = garble(predicated, [123], [123])
+    rb = garble(branchy, [123], [123])
+
+    print("--- garbled cost on the processor ---")
+    print(f"predicated : {rp.garbled_nonxor:>6,} non-XOR, "
+          f"{rp.cycles} cycles, c[0] = {rp.output_words[0]}")
+    print(f"branchy    : {rb.garbled_nonxor:>6,} non-XOR, "
+          f"{rb.cycles} cycles, c[0] = {rb.output_words[0]}")
+    print(f"secret-PC penalty: "
+          f"{rb.garbled_nonxor / max(rp.garbled_nonxor, 1):,.1f}x")
+    print()
+    print("With branches, the comparison makes the program counter")
+    print("secret: every later fetch muxes instructions with secret")
+    print("selects, decode garbles, and register accesses become")
+    print("oblivious subset scans (Figure 6).  Conditional execution")
+    print("avoids all of it — the reason the paper picked ARM.")
+    assert rp.output_words[0] == rb.output_words[0] == 10
+    assert rb.garbled_nonxor > rp.garbled_nonxor
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""ARM2GC: Succinct Garbled Processor for Secure Computation.
+
+A complete reproduction of Songhori et al., DAC 2019: the SkipGate
+algorithm wrapped around Yao's Garbled Circuit protocol for sequential
+circuits, a garbled ARM-style processor, an assembler and mini-C
+compiler front end, GC-optimized benchmark circuits, and the baselines
+the paper compares against.
+
+Quick start::
+
+    from repro.arm.machine import GarbledMachine
+    from repro.cc import compile_c
+
+    program = compile_c('''
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] + b[0];
+        }
+    ''')
+    machine = GarbledMachine(program, alice_words=1, bob_words=1,
+                             output_words=1)
+    result = machine.run(alice=[5], bob=[7])
+    assert result.output_words[0] == 12
+    print(result.stats.garbled_nonxor)  # 31 garbled non-XOR gates
+"""
+
+__version__ = "1.0.0"

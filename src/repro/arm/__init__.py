@@ -1,0 +1,19 @@
+"""The garbled ARM-style processor: ISA, assembler, emulator, CPU, machine."""
+
+from .assembler import AssemblyError, assemble, disassemble_word
+from .cpu import build_cpu
+from .emulator import Emulator, EmulatorError, MachineConfig, run_program
+from .machine import GarbledMachine, MachineResult
+
+__all__ = [
+    "AssemblyError",
+    "Emulator",
+    "EmulatorError",
+    "GarbledMachine",
+    "MachineConfig",
+    "MachineResult",
+    "assemble",
+    "build_cpu",
+    "disassemble_word",
+    "run_program",
+]

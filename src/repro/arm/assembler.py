@@ -1,0 +1,351 @@
+"""Two-pass assembler for the garbled processor's ARM-style assembly.
+
+Syntax follows ARM conventions: condition suffixes on any mnemonic
+(``ADDEQ``), an ``S`` suffix to set flags (``SUBS``, ``ADDEQS`` or
+``ADDSEQ``), barrel-shifted register operands (``MOV r1, r2, LSL #3``),
+ARM-style rotated 8-bit immediates (``#0x1000``), labels, ``B``/``BL``
+branches and a ``HALT`` pseudo-instruction that parks the processor
+(after which every garbled cycle is free).
+
+Pseudo-instructions:
+
+* ``NOP``              -> ``MOV r0, r0``
+* ``LDR rX, =value``   -> ``MOV``/``MVN`` plus up to three ``ORR``s
+  building an arbitrary 32-bit constant from rotated immediates.
+
+Comments start with ``;`` or ``@``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import isa
+
+
+class AssemblyError(Exception):
+    """Raised for any syntax or encoding problem, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_REG_ALIASES = {"SP": isa.SP, "LR": isa.LR, "PC": isa.PC}
+
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<base>\w+)\s*(?:,\s*#(?P<off>-?\w+)\s*)?\]$"
+)
+
+
+def _parse_reg(tok: str, line_no: int) -> int:
+    t = tok.strip().upper()
+    if t in _REG_ALIASES:
+        return _REG_ALIASES[t]
+    if t.startswith("R") and t[1:].isdigit():
+        n = int(t[1:])
+        if 0 <= n < isa.NUM_REGS:
+            return n
+    raise AssemblyError(line_no, f"bad register {tok!r}")
+
+
+def _parse_int(tok: str, line_no: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(line_no, f"bad integer {tok!r}") from None
+
+
+def _split_mnemonic(mn: str, line_no: int) -> Tuple[str, int, int]:
+    """Split a mnemonic into (base, cond, set_flags)."""
+    m = mn.upper()
+    bases = (
+        ["HALT", "NOP", "LDR", "STR", "MUL"]
+        + isa.DP_OPS
+        + ["BL", "B"]
+    )
+    for base in bases:
+        if not m.startswith(base):
+            continue
+        rest = m[len(base):]
+        # Branches never take S.
+        if base in ("B", "BL"):
+            if rest == "":
+                return base, isa.COND_AL, 0
+            if rest in isa.COND_BY_NAME:
+                return base, isa.COND_BY_NAME[rest], 0
+            continue  # e.g. "BIC" matched "B" with rest "IC"
+        sflag = 0
+        if rest == "":
+            return base, isa.COND_AL, 0
+        if rest == "S":
+            return base, isa.COND_AL, 1
+        if rest in isa.COND_BY_NAME:
+            return base, isa.COND_BY_NAME[rest], 0
+        if rest.endswith("S") and rest[:-1] in isa.COND_BY_NAME:
+            return base, isa.COND_BY_NAME[rest[:-1]], 1
+        if rest.startswith("S") and rest[1:] in isa.COND_BY_NAME:
+            return base, isa.COND_BY_NAME[rest[1:]], 1
+    raise AssemblyError(line_no, f"unknown mnemonic {mn!r}")
+
+
+@dataclass
+class _Item:
+    """One instruction awaiting encoding (pass 2)."""
+
+    line_no: int
+    base: str
+    cond: int
+    set_flags: int
+    operands: List[str]
+    address: int  # word address
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split the operand string on top-level commas (not inside [])."""
+    out, depth, cur = [], 0, ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        out.append(cur.strip())
+    return out
+
+
+class Assembler:
+    """Two-pass assembler producing a list of 32-bit words."""
+
+    def __init__(self) -> None:
+        self.labels: Dict[str, int] = {}
+        self.items: List[_Item] = []
+
+    # -- pass 1 --------------------------------------------------------------
+
+    def _expand_pseudo(
+        self, base: str, cond: int, sflag: int, ops: List[str], line_no: int
+    ) -> List[Tuple[str, int, int, List[str]]]:
+        if base == "NOP":
+            return [("MOV", cond, 0, ["r0", "r0"])]
+        if base == "LDR" and len(ops) == 2 and ops[1].startswith("="):
+            value = _parse_int(ops[1][1:], line_no) & isa.MASK32
+            rd = ops[0]
+            if isa.encode_rotated_imm(value) is not None:
+                return [("MOV", cond, 0, [rd, f"#{value}"])]
+            if isa.encode_rotated_imm(~value & isa.MASK32) is not None:
+                return [("MVN", cond, 0, [rd, f"#{~value & isa.MASK32}"])]
+            # Build from up to four byte chunks.
+            chunks = [
+                value & (0xFF << shift) for shift in (0, 8, 16, 24)
+            ]
+            chunks = [c for c in chunks if c]
+            seq = [("MOV", cond, 0, [rd, f"#{chunks[0]}"])]
+            for c in chunks[1:]:
+                seq.append(("ORR", cond, 0, [rd, rd, f"#{c}"]))
+            return seq
+        return [(base, cond, sflag, ops)]
+
+    def feed(self, source: str) -> None:
+        """Pass 1: collect labels and instruction items."""
+        for raw_no, raw in enumerate(source.splitlines(), start=1):
+            line = re.split(r"[;@]", raw, 1)[0].strip()
+            if not line:
+                continue
+            while True:
+                m = re.match(r"^(\w+)\s*:\s*(.*)$", line)
+                if not m:
+                    break
+                label = m.group(1)
+                if label in self.labels:
+                    raise AssemblyError(raw_no, f"duplicate label {label!r}")
+                self.labels[label] = len(self.items)
+                line = m.group(2).strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            base, cond, sflag = _split_mnemonic(parts[0], raw_no)
+            ops = _split_operands(parts[1]) if len(parts) > 1 else []
+            for b, c, s, o in self._expand_pseudo(base, cond, sflag, ops, raw_no):
+                self.items.append(
+                    _Item(raw_no, b, c, s, o, address=len(self.items))
+                )
+
+    # -- pass 2 --------------------------------------------------------------
+
+    def _encode_operand2(self, ops: List[str], line_no: int) -> Tuple[int, int]:
+        """Encode the flexible second operand; returns (I, low12)."""
+        op = ops[0]
+        if op.startswith("#"):
+            value = _parse_int(op[1:], line_no) & isa.MASK32
+            enc = isa.encode_rotated_imm(value)
+            if enc is None:
+                raise AssemblyError(
+                    line_no,
+                    f"immediate {value:#x} is not a rotated 8-bit value "
+                    f"(use LDR rX, ={value:#x})",
+                )
+            return 1, enc
+        rm = _parse_reg(op, line_no)
+        if len(ops) == 1:
+            return 0, rm
+        # The shift spec arrives either as ["LSR", "#1"] or "LSR #1".
+        if len(ops) == 2:
+            parts = ops[1].split()
+            if len(parts) != 2:
+                raise AssemblyError(line_no, f"bad shifted operand {ops!r}")
+            stype_tok, amt_tok = parts
+        elif len(ops) == 3:
+            stype_tok, amt_tok = ops[1], ops[2]
+        else:
+            raise AssemblyError(line_no, f"bad shifted operand {ops!r}")
+        if not amt_tok.startswith("#"):
+            raise AssemblyError(line_no, f"bad shift amount {amt_tok!r}")
+        stype = stype_tok.upper()
+        if stype not in isa.SHIFT_BY_NAME:
+            raise AssemblyError(line_no, f"bad shift type {stype_tok!r}")
+        shamt = _parse_int(amt_tok[1:], line_no)
+        if not 0 <= shamt <= 31:
+            raise AssemblyError(line_no, f"shift amount {shamt} out of range")
+        return 0, (shamt << 7) | (isa.SHIFT_BY_NAME[stype] << 5) | rm
+
+    def _encode(self, it: _Item) -> int:
+        base, ops, n = it.base, it.operands, it.line_no
+        cond = it.cond << 28
+        if base == "HALT":
+            return cond | (isa.CLASS_SPECIAL << 26) | (isa.SPECIAL_HALT << 21)
+        if base == "MUL":
+            if len(ops) != 3:
+                raise AssemblyError(n, "MUL rd, rm, rs")
+            rd = _parse_reg(ops[0], n)
+            rm = _parse_reg(ops[1], n)
+            rs = _parse_reg(ops[2], n)
+            return (
+                cond
+                | (isa.CLASS_SPECIAL << 26)
+                | (isa.SPECIAL_MUL << 21)
+                | (rd << 16)
+                | (rs << 8)
+                | rm
+            )
+        if base in ("B", "BL"):
+            if len(ops) != 1:
+                raise AssemblyError(n, f"{base} label")
+            target = ops[0]
+            if target in self.labels:
+                dest = self.labels[target]
+            else:
+                dest = _parse_int(target, n)
+            offset = dest - (it.address + 1)
+            if not -(1 << 23) <= offset < (1 << 23):
+                raise AssemblyError(n, "branch out of range")
+            word = cond | (isa.CLASS_BRANCH << 26) | (offset & 0xFFFFFF)
+            if base == "BL":
+                word |= 1 << 24
+            return word
+        if base in ("LDR", "STR"):
+            if len(ops) != 2:
+                raise AssemblyError(n, f"{base} rd, [rn, #off]")
+            rd = _parse_reg(ops[0], n)
+            m = _MEM_RE.match(ops[1].strip())
+            if not m:
+                raise AssemblyError(n, f"bad address operand {ops[1]!r}")
+            rn = _parse_reg(m.group("base"), n)
+            off = _parse_int(m.group("off"), n) if m.group("off") else 0
+            up = 1
+            if off < 0:
+                up, off = 0, -off
+            if off > 0xFFF:
+                raise AssemblyError(n, f"offset {off} out of range")
+            word = (
+                cond
+                | (isa.CLASS_MEM << 26)
+                | (up << 23)
+                | (rn << 16)
+                | (rd << 12)
+                | off
+            )
+            if base == "LDR":
+                word |= 1 << 20
+            return word
+        # data processing
+        opcode = isa.DP_BY_NAME[base]
+        sflag = it.set_flags
+        if opcode in isa.DP_NO_RD:
+            sflag = 1  # compares always set flags
+            if len(ops) < 2:
+                raise AssemblyError(n, f"{base} rn, op2")
+            rn = _parse_reg(ops[0], n)
+            rd = 0
+            op2 = ops[1:]
+        elif opcode in isa.DP_NO_RN:
+            if len(ops) < 2:
+                raise AssemblyError(n, f"{base} rd, op2")
+            rd = _parse_reg(ops[0], n)
+            rn = 0
+            op2 = ops[1:]
+        else:
+            if len(ops) < 3:
+                raise AssemblyError(n, f"{base} rd, rn, op2")
+            rd = _parse_reg(ops[0], n)
+            rn = _parse_reg(ops[1], n)
+            op2 = ops[2:]
+        imm, low12 = self._encode_operand2(op2, n)
+        return (
+            cond
+            | (isa.CLASS_DP << 26)
+            | (imm << 25)
+            | (opcode << 21)
+            | (sflag << 20)
+            | (rn << 16)
+            | (rd << 12)
+            | low12
+        )
+
+    def assemble(self) -> List[int]:
+        """Pass 2: encode all items."""
+        return [self._encode(it) for it in self.items]
+
+
+def assemble(source: str) -> List[int]:
+    """Assemble ARM-style source text into a list of 32-bit words."""
+    a = Assembler()
+    a.feed(source)
+    return a.assemble()
+
+
+def disassemble_word(word: int) -> str:
+    """One-line disassembly (used in traces and error messages)."""
+    f = isa.decode(word)
+    cond = "" if f.cond == isa.COND_AL else isa.COND_NAMES[f.cond]
+    if f.klass == isa.CLASS_SPECIAL:
+        if f.special_op == isa.SPECIAL_HALT:
+            return f"HALT{cond}"
+        return f"MUL{cond} r{f.rd}, r{f.rm}, r{f.rs}"
+    if f.klass == isa.CLASS_BRANCH:
+        op = "BL" if f.link else "B"
+        return f"{op}{cond} {f.offset24:+d}"
+    if f.klass == isa.CLASS_MEM:
+        op = "LDR" if f.load else "STR"
+        sign = "" if f.up else "-"
+        return f"{op}{cond} r{f.rd}, [r{f.rn}, #{sign}{f.imm12}]"
+    name = isa.DP_OPS[f.opcode]
+    s = "S" if f.set_flags and f.opcode not in isa.DP_NO_RD else ""
+    if f.imm_op2:
+        op2 = f"#{isa.decode_rotated_imm(f.rot_imm)}"
+    elif f.shamt or f.shift_type:
+        op2 = f"r{f.rm}, {isa.SHIFT_NAMES[f.shift_type]} #{f.shamt}"
+    else:
+        op2 = f"r{f.rm}"
+    if f.opcode in isa.DP_NO_RD:
+        return f"{name}{cond} r{f.rn}, {op2}"
+    if f.opcode in isa.DP_NO_RN:
+        return f"{name}{cond}{s} r{f.rd}, {op2}"
+    return f"{name}{cond}{s} r{f.rd}, r{f.rn}, {op2}"

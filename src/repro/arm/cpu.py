@@ -1,0 +1,467 @@
+"""The garbled processor: a single-cycle ARM-style CPU as a netlist.
+
+This is the circuit that gets garbled (Section 4.2).  Following the
+paper, the core is stripped of caches, pipeline and interrupts ("these
+components do not bring any performance advantages in the GC protocol")
+— what remains is a single-cycle datapath:
+
+* instruction ROM (public contents: the compiled binary ``p``),
+* a 16 x 32-bit register file of MUXes and flip-flops (Section 4.4),
+* NZCV flags and full ARM-style condition evaluation on every
+  instruction,
+* a barrel shifter for the flexible second operand,
+* a shared adder for the eight arithmetic opcodes, logic units for the
+  rest, and a 32x32 truncated multiplier,
+* byte-addressed load/store into four memory banks (Alice, Bob,
+  output, data/stack).
+
+Two circuit idioms make SkipGate effective here, both patterned after
+what synthesis does:
+
+* **Kill-style unit selection**: every result selection uses AND-OR
+  MUXes (:meth:`CircuitBuilder.mux_kill`), so a public select
+  recursively frees the non-selected unit's gates.  (The 1-table XOR
+  MUX would keep the deselected unit's labels alive — see
+  ``tests/core/test_skipgate_categories.py``.)
+* **Operand isolation**: each functional unit's inputs are ANDed with
+  its (normally public) decode enable, so an idle unit computes public
+  zeros instead of garbling tables that would only be filtered later.
+
+With a public program counter, the only garbled gates in a cycle are
+the ones touching private data: an ``ADD r1, r2, r3`` costs exactly
+the 31 ANDs of a 32-bit adder (Table 4's Sum 32 row).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..circuit import modules as M
+from ..circuit.builder import CircuitBuilder
+from ..circuit.bits import bits_to_int, int_to_bits
+from ..circuit.lazy import LazySelector, LazyShifter, LazyUnit
+from ..circuit.macros import Ram, Rom, const_words, input_words, zero_words
+from ..circuit.netlist import InitSpec, Netlist
+from . import isa
+from .emulator import MachineConfig
+
+ADDR_BITS = 16  #: byte addresses
+
+
+def _slice(bus: Sequence[int], lo: int, hi: int) -> List[int]:
+    """Bits [lo, hi) of a bus (LSB first)."""
+    return list(bus[lo:hi])
+
+
+def mux_kill_tree(
+    b: CircuitBuilder, sels: Sequence[int], entries: Sequence[Sequence[int]]
+) -> List[int]:
+    """Binary selection tree built from kill-style MUXes.
+
+    With public selects, the gates feeding every non-selected entry are
+    recursively freed — the processor's unit-selection idiom.
+    """
+    level = [list(e) for e in entries]
+    for sel in sels:
+        level = [
+            b.mux_bus_kill(sel, level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def build_cpu(config: MachineConfig) -> Tuple[Netlist, dict]:
+    """Build the processor netlist for a memory configuration.
+
+    Returns ``(netlist, info)`` where ``info`` carries the memory
+    macros and layout the machine wrapper needs.  The instruction ROM
+    is initialized from the *public* init vector (the program binary
+    ``p``); Alice's and Bob's memories from their private init
+    vectors.
+    """
+    cfg = config
+    b = CircuitBuilder("garbled_arm")
+    pcw = max(1, math.ceil(math.log2(cfg.imem_words)))
+
+    # -- state ---------------------------------------------------------------
+    pc = b.dff_bus(pcw, 0)
+    # Lazy flags: instead of materializing N and Z eagerly (which would
+    # charge a 31-AND zero-test to every flag-setting instruction, e.g.
+    # each ADCS of a bignum chain), the processor stores the last
+    # flag-setting *result* and derives N (sign bit, free) and Z (a
+    # zero-test garbled only when a condition actually consumes it —
+    # SkipGate filters it otherwise).  C and V are single flip-flops.
+    flag_res = b.dff_bus(32, 0)
+    flag_c = b.dff()
+    flag_v = b.dff()
+
+    imem = b.net.add_macro(
+        Rom("imem", 32, input_words("public", cfg.imem_words, 32))
+    )
+    regfile = b.net.add_macro(
+        Ram(
+            "regfile",
+            32,
+            const_words(
+                [0] * isa.SP + [cfg.stack_top] + [0] * (15 - isa.SP), 32
+            ),
+        )
+    )
+    alice_mem = b.net.add_macro(
+        Ram("alice", 32, input_words("alice", cfg.alice_words, 32))
+    )
+    bob_mem = b.net.add_macro(
+        Ram("bob", 32, input_words("bob", cfg.bob_words, 32))
+    )
+    out_mem = b.net.add_macro(Ram("output", 32, zero_words(cfg.output_words, 32)))
+    out_mem.keep_final_writes = True
+    data_mem = b.net.add_macro(Ram("data", 32, zero_words(cfg.data_words, 32)))
+
+    # -- fetch and field decode ----------------------------------------------
+    instr = imem.read(b, pc)
+    cond = _slice(instr, 28, 32)
+    k26, k27 = instr[26], instr[27]
+    is_dp = b.nor(k26, k27)
+    is_mem = b.andn(k26, k27)
+    is_branch = b.andn(k27, k26)
+    is_special = b.and_(k26, k27)
+
+    imm_op2 = instr[25]
+    opcode = _slice(instr, 21, 25)
+    s_bit = instr[20]
+    rn_f = _slice(instr, 16, 20)
+    rd_f = _slice(instr, 12, 16)
+    rs_f = _slice(instr, 8, 12)
+    rm_f = _slice(instr, 0, 4)
+    shamt = _slice(instr, 7, 12)
+    shift_type = _slice(instr, 5, 7)
+    imm12 = _slice(instr, 0, 12)
+    up_bit = instr[23]
+    load_bit = instr[20]
+    link_bit = instr[24]
+    offset24 = _slice(instr, 0, 24)
+
+    special_op = _slice(instr, 21, 25)
+    is_mul = b.and_(is_special, M.is_zero(b, special_op))
+    is_halt = b.and_(is_special, M.equals(b, special_op, b.const_bus(15, 4)))
+
+    # opcode class predicates (free when the instruction is public)
+    def op_in(names) -> int:
+        bits = [
+            M.equals(b, opcode, b.const_bus(isa.DP_BY_NAME[nm], 4))
+            for nm in names
+        ]
+        return M.or_tree(b, bits)
+
+    op_no_rd = op_in(["TST", "TEQ", "CMP", "CMN"])
+    op_arith = op_in(["SUB", "RSB", "ADD", "ADC", "SBC", "RSC", "CMP", "CMN"])
+    op_swap = op_in(["RSB", "RSC"])
+    op_invert_y = op_in(["SUB", "SBC", "CMP", "RSB", "RSC"])
+    op_cin_one = op_in(["SUB", "RSB", "CMP"])
+    op_cin_c = op_in(["ADC", "SBC", "RSC"])
+    op_and_like = op_in(["AND", "TST", "BIC"])
+    op_orr = op_in(["ORR"])
+
+    # -- register file reads ---------------------------------------------------
+    pc_plus_1 = M.increment(b, pc)
+    pc_bytes_plus8 = (
+        [b.const(0), b.const(0)]
+        + list(pc)
+        + [b.const(0)] * (32 - 2 - pcw)
+    )
+    pc_read_val = M.ripple_add(
+        b, pc_bytes_plus8, b.const_bus(8, 32)
+    )
+
+    def read_reg(addr4: List[int]) -> List[int]:
+        raw = regfile.read(b, addr4)
+        is_pc = M.equals(b, addr4, b.const_bus(isa.PC, 4))
+        sel = b.net.add_macro(LazySelector("regread_pc", 32, 1))
+        return sel.attach(b, [is_pc], [raw, pc_read_val])
+
+    rn_val = read_reg(rn_f)
+    rm_val = read_reg(rm_f)
+    port3_addr = b.mux_bus(is_mem, rs_f, rd_f)
+    port3_val = read_reg(port3_addr)  # STR data, or MUL's Rs
+
+    # -- operand 2 --------------------------------------------------------------
+    # Immediate: imm8 rotated right by 2*rot (all fields public when
+    # the instruction is public).
+    imm8 = _slice(instr, 0, 8) + [b.const(0)] * 24
+    rot_amt = [b.const(0)] + _slice(instr, 8, 12)  # 2*rot: 5 bits
+    rot_unit = b.net.add_macro(LazyShifter("imm_ror", 32, 5, "ror"))
+    imm_rotated = rot_unit.attach(b, imm8, rot_amt)
+    # Register: rm shifted by the immediate amount (one lazy barrel
+    # shifter per type; a public type selects one and skips the rest).
+    shifter_units = [
+        b.net.add_macro(LazyShifter("sh_lsl", 32, 5, "left")),
+        b.net.add_macro(LazyShifter("sh_lsr", 32, 5, "right")),
+        b.net.add_macro(LazyShifter("sh_asr", 32, 5, "right", arith=True)),
+        b.net.add_macro(LazyShifter("sh_ror", 32, 5, "ror")),
+    ]
+    shift_results = [u.attach(b, rm_val, shamt) for u in shifter_units]
+    shift_sel = b.net.add_macro(LazySelector("shift_type", 32, 2))
+    shifted = shift_sel.attach(b, shift_type, shift_results)
+    op2_sel = b.net.add_macro(LazySelector("op2", 32, 1))
+    op2 = op2_sel.attach(b, [imm_op2], [shifted, imm_rotated])
+
+    # -- ALU ---------------------------------------------------------------------
+    # Shared adder with operand isolation.
+    x_in = b.mux_bus_kill(op_swap, rn_val, op2)
+    y_base = b.mux_bus_kill(op_swap, op2, rn_val)
+    y_in = [b.xor_(w, op_invert_y) for w in y_base]
+    arith_gate = b.and_(is_dp, op_arith)
+    x_gated = b.and_bit(arith_gate, x_in)
+    y_gated = b.and_bit(arith_gate, y_in)
+    cin = b.or_(op_cin_one, b.and_(op_cin_c, flag_c))
+    cin = b.and_(cin, arith_gate)
+
+    def _build_adder(bb, ins):
+        xs, ys, c_in = ins[0:32], ins[32:64], ins[64]
+        bits = []
+        carry = c_in
+        prev = None
+        for i in range(32):
+            sbit, cnext = M.full_adder(bb, xs[i], ys[i], carry)
+            bits.append(sbit)
+            prev = carry
+            carry = cnext
+        return bits + [carry, bb.xor_(carry, prev)]
+
+    def _plain_adder(bits):
+        x = bits_to_int(bits[0:32])
+        y = bits_to_int(bits[32:64])
+        total = x + y + bits[64]
+        res = total & 0xFFFFFFFF
+        cout = (total >> 32) & 1
+        ovf = (((x ^ res) & (y ^ res)) >> 31) & 1
+        return int_to_bits(res, 32) + [cout, ovf]
+
+    adder_unit = b.net.add_macro(
+        LazyUnit("alu_adder", 65, _build_adder, _plain_adder)
+    )
+    adder_out = adder_unit.attach(b, x_gated + y_gated + [cin])
+    sum_bits = adder_out[0:32]
+    alu_carry = adder_out[32]
+    alu_overflow = adder_out[33]
+
+    # Logic units (operand isolated).
+    and_gate_en = b.and_(is_dp, op_and_like)
+    orr_gate_en = b.and_(is_dp, op_orr)
+    is_bic = op_in(["BIC"])
+    is_mvn = op_in(["MVN"])
+    logic_y = [b.xor_(w, b.or_(is_bic, is_mvn)) for w in op2]
+    and_res = b.and_bus(b.and_bit(and_gate_en, rn_val), b.and_bit(and_gate_en, logic_y))
+    orr_res = b.or_bus(b.and_bit(orr_gate_en, rn_val), b.and_bit(orr_gate_en, op2))
+    eor_res = b.xor_bus(rn_val, op2)
+
+    alu_sel = b.net.add_macro(LazySelector("alu_result", 32, 4))
+    alu_res = alu_sel.attach(
+        b,
+        opcode,
+        [
+            and_res,   # AND
+            eor_res,   # EOR
+            sum_bits,  # SUB
+            sum_bits,  # RSB
+            sum_bits,  # ADD
+            sum_bits,  # ADC
+            sum_bits,  # SBC
+            sum_bits,  # RSC
+            and_res,   # TST
+            eor_res,   # TEQ
+            sum_bits,  # CMP
+            sum_bits,  # CMN
+            orr_res,   # ORR
+            op2,       # MOV
+            and_res,   # BIC (rn & ~op2 via logic_y inversion)
+            logic_y,   # MVN (~op2)
+        ],
+    )
+
+    # Multiplier (operand isolated; only garbled on MUL cycles).
+    mul_x = b.and_bit(is_mul, rm_val)
+    mul_y = b.and_bit(is_mul, port3_val)
+
+    def _build_mult(bb, ins):
+        return M.multiply(bb, ins[0:32], ins[32:64])
+
+    def _plain_mult(bits):
+        x = bits_to_int(bits[0:32])
+        y = bits_to_int(bits[32:64])
+        return int_to_bits((x * y) & 0xFFFFFFFF, 32)
+
+    mult_unit = b.net.add_macro(LazyUnit("mult", 64, _build_mult, _plain_mult))
+    mul_res = mult_unit.attach(b, mul_x + mul_y)
+
+    dp_sel = b.net.add_macro(LazySelector("dp_result", 32, 1))
+    dp_result = dp_sel.attach(b, [is_mul], [alu_res, mul_res])
+
+    # -- condition evaluation -----------------------------------------------------
+    def _build_zero_test(bb, ins):
+        return [M.is_zero(bb, ins)]
+
+    def _plain_zero_test(bits):
+        return [int(not any(bits))]
+
+    z_unit = b.net.add_macro(
+        LazyUnit("flag_z", 32, _build_zero_test, _plain_zero_test)
+    )
+    flag_z = z_unit.attach(b, list(flag_res))[0]
+    flag_n = flag_res[31]
+    sig_hi = b.andn(flag_c, flag_z)
+    sig_ge = b.xnor(flag_n, flag_v)
+    sig_gt = b.and_(b.not_(flag_z), sig_ge)
+    cond_sel = b.net.add_macro(LazySelector("cond", 1, 4))
+    cond_ok = cond_sel.attach(
+        b,
+        cond,
+        [
+            [flag_z], [b.not_(flag_z)],
+            [flag_c], [b.not_(flag_c)],
+            [flag_n], [b.not_(flag_n)],
+            [flag_v], [b.not_(flag_v)],
+            [sig_hi], [b.not_(sig_hi)],
+            [sig_ge], [b.xor_(flag_n, flag_v)],
+            [sig_gt], [b.not_(sig_gt)],
+            [b.const(1)], [b.const(0)],
+        ],
+    )[0]
+
+    # -- flags -----------------------------------------------------------------
+    flags_en = b.and_(b.and_(is_dp, b.or_(s_bit, op_no_rd)), cond_ok)
+    new_c = b.mux_kill(op_arith, flag_c, alu_carry)
+    new_v = b.mux_kill(op_arith, flag_v, alu_overflow)
+    flagres_sel = b.net.add_macro(LazySelector("flag_res", 32, 1))
+    b.drive_dff_bus(
+        flag_res, flagres_sel.attach(b, [flags_en], [flag_res, dp_result])
+    )
+    b.drive_dff(flag_c, b.mux_kill(flags_en, flag_c, new_c))
+    b.drive_dff(flag_v, b.mux_kill(flags_en, flag_v, new_v))
+
+    # -- memory access -----------------------------------------------------------
+    mem_gate = b.and_(is_mem, cond_ok)
+    imm16 = imm12 + [b.const(0)] * (ADDR_BITS - 12)
+    off_cond = [b.xor_(w, b.not_(up_bit)) for w in imm16]
+    # Operand isolation on the address path: on non-memory cycles the
+    # base register may hold a secret value, and an ungated address
+    # would turn every memory read into an oblivious scan whose muxes
+    # SkipGate then has to kill.  Gating by the (public) is_mem keeps
+    # idle cycles entirely public.  The condition bit is *not* folded
+    # in: a predicated LDR still addresses the same word.
+    rn_gated = b.and_bit(is_mem, _slice(rn_val, 0, ADDR_BITS))
+    addr = M.ripple_add(
+        b,
+        rn_gated,
+        b.and_bit(is_mem, off_cond),
+        cin=b.and_(is_mem, b.not_(up_bit)),
+    )
+    bank = _slice(addr, isa.BANK_SHIFT, ADDR_BITS)
+
+    def bank_read(mem, bank_id: int) -> Tuple[List[int], int]:
+        en = M.equals(b, bank, b.const_bus(bank_id, 4))
+        idx = _slice(addr, 2, 2 + mem.addr_bits)
+        return mem.read(b, idx), en
+
+    alice_val, alice_en = bank_read(alice_mem, isa.BANK_ALICE)
+    bob_val, bob_en = bank_read(bob_mem, isa.BANK_BOB)
+    out_val, out_en = bank_read(out_mem, isa.BANK_OUTPUT)
+    data_val, data_en = bank_read(data_mem, isa.BANK_DATA)
+
+    zero32 = b.const_bus(0, 32)
+    bank_sel = b.net.add_macro(LazySelector("ldr_bank", 32, 3))
+    ldr_data = bank_sel.attach(
+        b,
+        bank[0:3],
+        [
+            zero32,      # 0: unmapped
+            alice_val,   # 1
+            bob_val,     # 2
+            out_val,     # 3
+            data_val,    # 4
+            zero32, zero32, zero32,
+        ],
+    )
+
+    store_gate = b.and_(mem_gate, b.not_(load_bit))
+    out_mem.write(
+        b,
+        _slice(addr, 2, 2 + out_mem.addr_bits),
+        port3_val,
+        b.and_(store_gate, out_en),
+    )
+    data_mem.write(
+        b,
+        _slice(addr, 2, 2 + data_mem.addr_bits),
+        port3_val,
+        b.and_(store_gate, data_en),
+    )
+
+    # -- register write-back --------------------------------------------------
+    link_val = (
+        [b.const(0), b.const(0)]
+        + list(pc_plus_1)
+        + [b.const(0)] * (32 - 2 - pcw)
+    )
+    dp_writes = b.and_(is_dp, b.not_(op_no_rd))
+    wen = b.and_(
+        cond_ok,
+        M.or_tree(
+            b,
+            [
+                dp_writes,
+                is_mul,
+                b.and_(is_mem, load_bit),
+                b.and_(is_branch, link_bit),
+            ],
+        ),
+    )
+    waddr = b.mux_bus(is_mul, rd_f, rn_f)  # MUL's Rd lives at [19:16]
+    waddr = b.mux_bus(is_branch, waddr, b.const_bus(isa.LR, 4))
+    wdata_sel = b.net.add_macro(LazySelector("wdata", 32, 2))
+    wdata = wdata_sel.attach(
+        b,
+        [b.and_(is_mem, load_bit), is_branch],
+        [dp_result, ldr_data, link_val, link_val],
+    )
+    regfile.write(b, waddr, wdata, wen)
+
+    # -- next PC -----------------------------------------------------------------
+    target = M.ripple_add(b, pc_plus_1, _slice(offset24, 0, pcw))
+    take_branch = b.and_(is_branch, cond_ok)
+    next_pc = b.mux_bus_kill(take_branch, pc_plus_1, target)
+    dp_to_pc = b.and_(
+        b.and_(dp_writes, M.equals(b, rd_f, b.const_bus(isa.PC, 4))), cond_ok
+    )
+    next_pc = b.mux_bus_kill(dp_to_pc, next_pc, _slice(dp_result, 2, 2 + pcw))
+    halt_now = b.and_(is_halt, cond_ok)
+    next_pc = b.mux_bus_kill(halt_now, next_pc, pc)
+    b.drive_dff_bus(pc, next_pc)
+
+    # -- outputs: the output memory, via free constant-address ports ------------
+    from ..circuit.macros import MemReadPort
+
+    outputs: List[int] = []
+    for word in range(cfg.output_words):
+        port = MemReadPort(
+            out_mem,
+            b.const_bus(word, out_mem.addr_bits),
+            b.net.new_wires(32),
+            final_only=True,
+        )
+        out_mem.read_ports.append(port)
+        b.net.schedule_port(port)
+        outputs.extend(port.out)
+    b.set_outputs(outputs)
+
+    info = {
+        "pc_width": pcw,
+        "imem": imem,
+        "regfile": regfile,
+        "alice_mem": alice_mem,
+        "bob_mem": bob_mem,
+        "out_mem": out_mem,
+        "data_mem": data_mem,
+    }
+    return b.build(), info

@@ -1,0 +1,285 @@
+"""Reference instruction-set simulator (ISS) for the garbled processor.
+
+Executes programs on cleartext values.  The garbled machine uses it to
+
+* determine the number of clock cycles to garble (the pre-specified
+  ``cc`` of Algorithms 1-2): the ISS runs the program to ``HALT`` and
+  reports the cycle count — which, for predicated (if-converted) code,
+  is independent of the private inputs (the machine asserts this by
+  also running on zeroed inputs);
+* cross-check the plain-simulated CPU netlist, instruction by
+  instruction, and the final output memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import isa
+
+MASK32 = isa.MASK32
+
+
+class EmulatorError(Exception):
+    """Raised on invalid memory accesses or missing HALT."""
+
+
+@dataclass
+class MachineConfig:
+    """Memory geometry of the processor (word counts per bank)."""
+
+    alice_words: int = 16
+    bob_words: int = 16
+    output_words: int = 16
+    data_words: int = 64
+    imem_words: int = 256
+
+    @property
+    def stack_top(self) -> int:
+        """Initial SP: one past the last data word (byte address)."""
+        return isa.DATA_BASE + 4 * self.data_words
+
+
+@dataclass
+class Trace:
+    """Execution record of one instruction (for cross-checking)."""
+
+    cycle: int
+    pc: int
+    word: int
+    executed: bool
+
+
+class Emulator:
+    """Cycle-accurate ISS matching the CPU netlist's semantics."""
+
+    def __init__(
+        self,
+        program: List[int],
+        config: MachineConfig,
+        alice: Optional[List[int]] = None,
+        bob: Optional[List[int]] = None,
+    ) -> None:
+        if len(program) > config.imem_words:
+            raise EmulatorError(
+                f"program has {len(program)} words; imem holds "
+                f"{config.imem_words}"
+            )
+        self.config = config
+        self.imem = list(program) + [0] * (config.imem_words - len(program))
+        self.regs = [0] * isa.NUM_REGS
+        self.regs[isa.SP] = config.stack_top
+        self.pc = 0  # word index into imem
+        # Reset flags correspond to a zero flag-result (the processor
+        # stores the last flag-setting result and derives N/Z from it,
+        # so out of reset Z=1 and N=C=V=0).
+        self.n = self.c = self.v = 0
+        self.z = 1
+        self.halted = False
+        self.cycle = 0
+        self.alice = _pad(alice, config.alice_words)
+        self.bob = _pad(bob, config.bob_words)
+        self.output = [0] * config.output_words
+        self.data = [0] * config.data_words
+
+    # -- memory --------------------------------------------------------------
+
+    def _resolve(self, addr: int, write: bool) -> Tuple[List[int], int]:
+        if addr & 3:
+            raise EmulatorError(f"unaligned access at {addr:#06x}")
+        bank = (addr >> isa.BANK_SHIFT) & 0xF
+        index = (addr & ((1 << isa.BANK_SHIFT) - 1)) >> 2
+        banks = {
+            isa.BANK_ALICE: (self.alice, False),
+            isa.BANK_BOB: (self.bob, False),
+            isa.BANK_OUTPUT: (self.output, True),
+            isa.BANK_DATA: (self.data, True),
+        }
+        if bank not in banks:
+            raise EmulatorError(f"access to unmapped address {addr:#06x}")
+        mem, writable = banks[bank]
+        if write and not writable:
+            raise EmulatorError(f"write to read-only address {addr:#06x}")
+        if index >= len(mem):
+            raise EmulatorError(f"access past end of bank at {addr:#06x}")
+        return mem, index
+
+    def load(self, addr: int) -> int:
+        mem, index = self._resolve(addr, write=False)
+        return mem[index]
+
+    def store(self, addr: int, value: int) -> None:
+        mem, index = self._resolve(addr, write=True)
+        mem[index] = value & MASK32
+
+    # -- register access ------------------------------------------------------
+
+    def read_reg(self, r: int) -> int:
+        if r == isa.PC:
+            # ARM convention: reading PC yields the current instruction
+            # address + 8 bytes.
+            return (self.pc * 4 + 8) & MASK32
+        return self.regs[r]
+
+    # -- execution -------------------------------------------------------------
+
+    def _shift(self, value: int, stype: int, amount: int) -> int:
+        """Barrel shift.
+
+        ISA note: unlike full ARM, the shifter has no carry-out — logic
+        operations with S update N and Z only and preserve C and V.
+        This keeps the flag datapath of the garbled CPU lean; the
+        compiler never relies on shifter carries.
+        """
+        value &= MASK32
+        if amount == 0:
+            return value
+        if stype == 0:  # LSL
+            return (value << amount) & MASK32 if amount < 32 else 0
+        if stype == 1:  # LSR
+            return value >> amount if amount < 32 else 0
+        if stype == 2:  # ASR
+            amount = min(amount, 31)
+            signed = value - (1 << 32) if value >> 31 else value
+            return (signed >> amount) & MASK32
+        amount %= 32
+        return ((value >> amount) | (value << (32 - amount))) & MASK32
+
+    def _operand2(self, f: isa.Fields) -> int:
+        if f.imm_op2:
+            return isa.decode_rotated_imm(f.rot_imm)
+        return self._shift(self.read_reg(f.rm), f.shift_type, f.shamt)
+
+    def step(self) -> Trace:
+        """Execute one instruction; HALTed processors do nothing."""
+        if self.halted:
+            self.cycle += 1
+            return Trace(self.cycle - 1, self.pc, 0, False)
+        word = self.imem[self.pc]
+        f = isa.decode(word)
+        executed = bool(
+            isa.condition_holds(f.cond, self.n, self.z, self.c, self.v)
+        )
+        next_pc = self.pc + 1
+        trace = Trace(self.cycle, self.pc, word, executed)
+
+        if executed:
+            if f.klass == isa.CLASS_SPECIAL:
+                if f.special_op == isa.SPECIAL_HALT:
+                    self.halted = True
+                    next_pc = self.pc
+                elif f.special_op == isa.SPECIAL_MUL:
+                    result = (
+                        self.read_reg(f.rm) * self.read_reg(f.rs)
+                    ) & MASK32
+                    self.regs[f.rd] = result
+                else:
+                    raise EmulatorError(f"bad special op {f.special_op}")
+            elif f.klass == isa.CLASS_BRANCH:
+                if f.link:
+                    self.regs[isa.LR] = (next_pc * 4) & MASK32
+                next_pc = self.pc + 1 + f.offset24
+            elif f.klass == isa.CLASS_MEM:
+                base = self.read_reg(f.rn)
+                addr = (base + f.imm12) if f.up else (base - f.imm12)
+                addr &= MASK32
+                if f.load:
+                    self.regs[f.rd] = self.load(addr)
+                else:
+                    self.store(addr, self.read_reg(f.rd))
+            else:
+                self._data_processing(f)
+                if (
+                    f.opcode not in isa.DP_NO_RD
+                    and f.rd == isa.PC
+                ):
+                    next_pc = (self.regs[isa.PC] >> 2) & (
+                        self.config.imem_words - 1
+                    )
+
+        self.pc = next_pc % self.config.imem_words
+        self.cycle += 1
+        return trace
+
+    def _data_processing(self, f: isa.Fields) -> None:
+        op = f.opcode
+        rn = self.read_reg(f.rn)
+        op2 = self._operand2(f)
+        carry_in = self.c
+        # Logic operations preserve C and V (see _shift's ISA note).
+        result, carry, overflow = None, self.c, self.v
+
+        def add(x, y, cin):
+            total = x + y + cin
+            res = total & MASK32
+            cout = (total >> 32) & 1
+            ovf = ((x ^ res) & (y ^ res)) >> 31 & 1
+            return res, cout, ovf
+
+        name = isa.DP_OPS[op]
+        if name in ("AND", "TST"):
+            result = rn & op2
+        elif name in ("EOR", "TEQ"):
+            result = rn ^ op2
+        elif name in ("SUB", "CMP"):
+            result, carry, overflow = add(rn, op2 ^ MASK32, 1)
+        elif name == "RSB":
+            result, carry, overflow = add(op2, rn ^ MASK32, 1)
+        elif name in ("ADD", "CMN"):
+            result, carry, overflow = add(rn, op2, 0)
+        elif name == "ADC":
+            result, carry, overflow = add(rn, op2, carry_in)
+        elif name == "SBC":
+            result, carry, overflow = add(rn, op2 ^ MASK32, carry_in)
+        elif name == "RSC":
+            result, carry, overflow = add(op2, rn ^ MASK32, carry_in)
+        elif name == "ORR":
+            result = rn | op2
+        elif name == "MOV":
+            result = op2
+        elif name == "BIC":
+            result = rn & (op2 ^ MASK32)
+        elif name == "MVN":
+            result = op2 ^ MASK32
+        else:  # pragma: no cover - exhaustive
+            raise EmulatorError(f"bad opcode {op}")
+
+        if f.set_flags or op in isa.DP_NO_RD:
+            self.n = (result >> 31) & 1
+            self.z = int(result == 0)
+            self.c = carry
+            self.v = overflow
+        if op not in isa.DP_NO_RD:
+            self.regs[f.rd] = result
+
+    def run(self, max_cycles: int = 100_000) -> int:
+        """Run until HALT; returns the cycle count (excludes parked
+        cycles).  Raises if the program never halts."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise EmulatorError(
+                    f"program did not HALT within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle
+
+
+def _pad(values: Optional[List[int]], count: int) -> List[int]:
+    vals = list(values or [])
+    if len(vals) > count:
+        raise EmulatorError(f"{len(vals)} input words exceed bank of {count}")
+    return [v & MASK32 for v in vals] + [0] * (count - len(vals))
+
+
+def run_program(
+    program: List[int],
+    config: MachineConfig,
+    alice: Optional[List[int]] = None,
+    bob: Optional[List[int]] = None,
+    max_cycles: int = 100_000,
+) -> Tuple[List[int], int]:
+    """Run to HALT; returns (output memory words, cycles used)."""
+    emu = Emulator(program, config, alice, bob)
+    cycles = emu.run(max_cycles)
+    return list(emu.output), cycles

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against.
+
+* :mod:`conventional` — sequential GC without SkipGate (the "w/o"
+  columns of Tables 4-5, computed analytically as the paper does).
+* :mod:`garbled_mips` — the instruction-level-pruning garbled
+  processor of Wang et al. [45], reproduced as a per-step cost model.
+"""
+
+from .conventional import ConventionalCost, conventional_cost
+from .garbled_mips import MipsBaselineCost, garbled_mips_cost
+
+__all__ = [
+    "ConventionalCost",
+    "MipsBaselineCost",
+    "conventional_cost",
+    "garbled_mips_cost",
+]

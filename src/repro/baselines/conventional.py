@@ -1,0 +1,40 @@
+"""The conventional sequential-GC baseline (no SkipGate).
+
+Without SkipGate, every gate of the sequential circuit is garbled in
+every clock cycle (free-XOR still applies, so the cost is the non-XOR
+count).  This is exactly how the paper computes its "w/o SkipGate"
+columns — Section 5.6: "garbling/evaluation of 1,909 x 126,755 =
+241,975,295 non-XORs is required" — so the baseline is analytic:
+``nonxor_per_cycle * cycles``, with memory macros contributing their
+gate-level MUX-array equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ConventionalCost:
+    """Cost of a conventional (SkipGate-less) sequential GC run."""
+
+    nonxor_per_cycle: int
+    cycles: int
+
+    @property
+    def total_nonxor(self) -> int:
+        return self.nonxor_per_cycle * self.cycles
+
+    @property
+    def bytes_on_wire(self) -> int:
+        """Half-gates: two 16-byte ciphertexts per non-XOR gate."""
+        return self.total_nonxor * 32
+
+
+def conventional_cost(net: Netlist, cycles: int) -> ConventionalCost:
+    """Conventional GC cost of running ``net`` for ``cycles``."""
+    return ConventionalCost(
+        nonxor_per_cycle=net.n_nonxor_equivalent(), cycles=cycles
+    )

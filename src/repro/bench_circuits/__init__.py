@@ -1,0 +1,35 @@
+"""GC-optimized benchmark circuits (the TinyGarble-style suite).
+
+One builder per benchmark function of the paper's evaluation; each
+returns ``(netlist, cycles)``.
+"""
+
+from .aes import aes128_sequential
+from .basic import (
+    compare_combinational,
+    compare_sequential,
+    hamming_sequential,
+    hamming_tree,
+    mult_combinational,
+    mult_sequential,
+    sum_combinational,
+    sum_sequential,
+)
+from .cordic import cordic_sequential
+from .matrix_mult import matrix_mult_sequential
+from .sha3 import sha3_256_sequential
+
+__all__ = [
+    "aes128_sequential",
+    "compare_combinational",
+    "compare_sequential",
+    "cordic_sequential",
+    "hamming_sequential",
+    "hamming_tree",
+    "matrix_mult_sequential",
+    "mult_combinational",
+    "mult_sequential",
+    "sha3_256_sequential",
+    "sum_combinational",
+    "sum_sequential",
+]

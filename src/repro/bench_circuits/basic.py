@@ -1,0 +1,168 @@
+"""Sequential TinyGarble-style circuits: Sum, Compare, Hamming, Mult.
+
+These are the "HDL synthesis" versions of the paper's benchmark
+functions (Tables 1 and 2, first columns): compact *sequential*
+circuits in the TinyGarble style [41], where a small per-cycle core is
+clocked many times and flip-flops are initialized with known (public)
+values.  SkipGate then exploits the public initial values — e.g. a
+bit-serial adder's carry flip-flop starts at public 0, so the first
+cycle's carry AND is skipped (Table 1 shows exactly that: Sum 32 costs
+31, not 32).
+
+Conventions: each builder returns ``(netlist, cycles)``; inputs stream
+in one slice per cycle (Alice's operand via the ``alice`` role, Bob's
+via ``bob``), least-significant bit first, and outputs are collected
+from flip-flops/shift registers after the last cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Netlist
+from ..circuit import modules as M
+
+
+def sum_sequential(width: int) -> Tuple[Netlist, int]:
+    """Bit-serial adder: 1 full adder, ``width`` cycles.
+
+    Per cycle: one AND for the carry.  Cycle 1's AND is skipped because
+    the carry flip-flop starts at public 0 (Table 1: Sum 32 garbles 31).
+    The sum bits shift into an output register.
+    """
+    b = CircuitBuilder(f"sum{width}_seq")
+    x = b.alice_input(1)
+    y = b.bob_input(1)
+    carry = b.dff()
+    s, cout = M.full_adder(b, x[0], y[0], carry)
+    b.drive_dff(carry, cout)
+    # Output shift register collecting the stream of sum bits.
+    out = [b.dff() for _ in range(width)]
+    for i in range(width - 1):
+        b.drive_dff(out[i], out[i + 1])
+    b.drive_dff(out[-1], s)
+    b.set_outputs(out)
+    return b.build(), width
+
+
+def sum_combinational(width: int) -> Tuple[Netlist, int]:
+    """Single-cycle ripple adder (``width - 1`` garbled ANDs)."""
+    b = CircuitBuilder(f"sum{width}")
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    b.set_outputs(M.ripple_add(b, x, y))
+    return b.build(), 1
+
+
+def compare_sequential(width: int) -> Tuple[Netlist, int]:
+    """Bit-serial unsigned comparator ``x < y``: 1 AND per cycle.
+
+    The borrow cell is the subtract-carry cell with the x input
+    inverted; because the carry flip-flop initializes to public **1**
+    (the +1 of two's complement), cycle 1 still garbles its AND —
+    matching Table 1's Compare rows, which show zero skipped gates.
+    """
+    from ..circuit.netlist import InitSpec
+
+    b = CircuitBuilder(f"compare{width}_seq")
+    x = b.alice_input(1)
+    y = b.bob_input(1)
+    carry = b.dff(init=InitSpec("const", 1))
+    ny = b.not_(y[0])
+    # carry of x + ~y + 1 (1 = no borrow = x >= y so far).
+    _, cout = M.full_adder(b, x[0], ny, carry)
+    b.drive_dff(carry, cout)
+    # x < y after the final cycle.
+    b.set_outputs([b.not_(cout)])
+    return b.build(), width
+
+
+def compare_combinational(width: int) -> Tuple[Netlist, int]:
+    """Single-cycle comparator (``width`` garbled ANDs)."""
+    b = CircuitBuilder(f"compare{width}")
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    b.set_outputs([M.less_than(b, x, y)])
+    return b.build(), 1
+
+
+def hamming_sequential(width: int) -> Tuple[Netlist, int]:
+    """Bit-serial Hamming distance: XOR + counter increment per cycle.
+
+    The counter is ``ceil(log2(width)) + 1`` bits; incrementing by the
+    secret difference bit costs one AND per counter bit above the
+    lowest.  Early cycles skip the upper-counter ANDs because those
+    flip-flops still hold public zeros — the mechanism behind Table 1's
+    modest Hamming improvements.
+    """
+    b = CircuitBuilder(f"hamming{width}_seq")
+    x = b.alice_input(1)
+    y = b.bob_input(1)
+    cw = max(1, math.ceil(math.log2(width + 1)))
+    counter = [b.dff() for _ in range(cw)]
+    d = b.xor_(x[0], y[0])
+    carry = d
+    for i, q in enumerate(counter):
+        b.drive_dff(q, b.xor_(q, carry))
+        if i < cw - 1:
+            carry = b.and_(q, carry)
+    b.set_outputs(counter)
+    return b.build(), width
+
+
+def hamming_tree(width: int) -> Tuple[Netlist, int]:
+    """Combinational tree-based Hamming distance (Huang et al. [11]).
+
+    XOR the operands then popcount with a carry-save adder tree; this
+    is the construction the paper uses for the C version, which beats
+    the sequential HDL circuit by up to 77.8% (Table 2).
+    """
+    b = CircuitBuilder(f"hamming{width}_tree")
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    diff = b.xor_bus(x, y)
+    b.set_outputs(M.popcount(b, diff))
+    return b.build(), 1
+
+
+def mult_sequential(width: int) -> Tuple[Netlist, int]:
+    """Shift-and-add multiplier: ``width`` cycles, truncated result.
+
+    Per cycle: ``width`` partial-product ANDs plus a ``width``-bit
+    accumulate (31 carry ANDs at width 32).  The first cycle's adder is
+    skipped entirely — the accumulator starts at public zero.
+    """
+    b = CircuitBuilder(f"mult{width}_seq")
+    x = b.alice_input(width)  # multiplicand, re-presented every cycle
+    y = b.bob_input(1)  # multiplier bit i at cycle i
+    acc = [b.dff() for _ in range(width)]
+    # Shifted partial product: y_i & x, aligned by shifting the
+    # accumulator right as we go (classic LSB-first shift-add).
+    pp = b.and_bit(y[0], x)
+    total = M.ripple_add(b, acc, pp, with_carry=True)
+    # Accumulator shifts right each cycle; the shifted-out low bit
+    # streams into the result register.
+    for i in range(width - 1):
+        b.drive_dff(acc[i], total[i + 1])
+    b.drive_dff(acc[width - 1], total[width])
+    result = [b.dff() for _ in range(width)]
+    for i in range(width - 1):
+        b.drive_dff(result[i], result[i + 1])
+    b.drive_dff(result[width - 1], total[0])
+    # Full 2*width-bit product: low half from the result shift
+    # register, high half from the accumulator.  Keeping the
+    # accumulator live means only the first cycle's adder is skipped
+    # (Table 1: Mult 32 = 2,048 -> 2,016, 32 skipped).
+    b.set_outputs(result + acc)
+    return b.build(), width
+
+
+def mult_combinational(width: int) -> Tuple[Netlist, int]:
+    """Single-cycle truncated multiplier (993 ANDs at width 32)."""
+    b = CircuitBuilder(f"mult{width}")
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    b.set_outputs(M.multiply(b, x, y))
+    return b.build(), 1

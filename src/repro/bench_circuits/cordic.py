@@ -1,0 +1,170 @@
+"""Universal CORDIC [43] as a sequential garbled circuit (Table 5).
+
+One CORDIC iteration per clock cycle over 32-bit fixed point numbers
+(2 integer bits, 30 fraction bits — the paper's Q2.30 format), 32
+iterations.  Registers x, y, z update as::
+
+    x' = x - m * d * (y >> i)
+    y' = y + d * (x >> i)
+    z' = z - d * alpha[i]
+
+with coordinate system m in {circular, linear, hyperbolic} and
+direction d in {+1, -1} decided by the sign of z (rotation mode) or y
+(vectoring mode).
+
+Cost anatomy under SkipGate: the iteration index is a public counter,
+so the shifts are free rewiring and the lookup of ``alpha[i]`` is a
+free ROM access; the sign bit of z (or y) is secret, so each of the
+three updates is one conditional add/subtract — an n-bit adder with
+the subtrahend XOR-conditioned on the sign (about 32 ANDs each).
+That is ~96 garbled gates per iteration, in line with the paper's
+4,601 total for CORDIC 32 (Table 5).
+
+Inputs are XOR-shared between the parties (Section 5.7 convention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..circuit import modules as M
+from ..circuit.builder import CircuitBuilder
+from ..circuit.macros import Rom, const_words
+from ..circuit.netlist import InitSpec, Netlist
+
+WIDTH = 32
+FRAC_BITS = 30
+ITERATIONS = 32
+
+
+def to_fixed(value: float) -> int:
+    """Encode a float as Q2.30 two's complement."""
+    scaled = int(round(value * (1 << FRAC_BITS)))
+    return scaled & ((1 << WIDTH) - 1)
+
+
+def from_fixed(word: int) -> float:
+    """Decode a Q2.30 two's complement word."""
+    if word >> (WIDTH - 1):
+        word -= 1 << WIDTH
+    return word / (1 << FRAC_BITS)
+
+
+def circular_gain(iterations: int = ITERATIONS) -> float:
+    """The CORDIC gain K = prod sqrt(1 + 2^-2i)."""
+    k = 1.0
+    for i in range(iterations):
+        k *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+    return k
+
+
+def _alpha_table(system: str) -> List[int]:
+    out = []
+    for i in range(ITERATIONS):
+        t = 2.0 ** -i
+        if system == "circular":
+            out.append(to_fixed(math.atan(t)))
+        elif system == "linear":
+            out.append(to_fixed(t))
+        elif system == "hyperbolic":
+            out.append(to_fixed(math.atanh(t) if 0 < t < 1 else 0.0))
+        else:
+            raise ValueError(f"unknown coordinate system {system!r}")
+    return out
+
+
+def _add_sub(b: CircuitBuilder, acc, operand, neg):
+    """``acc + operand`` if neg == 0 else ``acc - operand``.
+
+    One n-bit adder: the operand is XOR-conditioned on the (possibly
+    secret) ``neg`` bit and ``neg`` feeds the carry-in.
+    """
+    conditioned = [b.xor_(w, neg) for w in operand]
+    return M.ripple_add(b, acc, conditioned, cin=neg)
+
+
+def cordic_sequential(
+    mode: str = "rotation", system: str = "circular"
+) -> Tuple[Netlist, int]:
+    """Build the universal CORDIC circuit; returns ``(net, 32)``.
+
+    The init vectors hold, XOR-shared, the packed ``x || y || z``
+    words (3 x 32 bits).  Outputs are the final ``x || y || z``.
+    ``mode`` is ``"rotation"`` or ``"vectoring"``; ``system`` selects
+    the coordinate system; both are public (they define the function
+    being computed, like the paper's CORDIC benchmark).
+    """
+    if mode not in ("rotation", "vectoring"):
+        raise ValueError(f"unknown mode {mode!r}")
+    b = CircuitBuilder(f"cordic_{mode}_{system}")
+
+    x = [b.dff(init=InitSpec("shared", i)) for i in range(WIDTH)]
+    y = [b.dff(init=InitSpec("shared", WIDTH + i)) for i in range(WIDTH)]
+    z = [b.dff(init=InitSpec("shared", 2 * WIDTH + i)) for i in range(WIDTH)]
+
+    counter = b.dff_bus(5, 0)
+    b.drive_dff_bus(counter, M.increment(b, counter))
+
+    alpha_rom = b.net.add_macro(
+        Rom("alpha", WIDTH, const_words(_alpha_table(system), WIDTH))
+    )
+    alpha = alpha_rom.read(b, counter)
+
+    # Shifts by the public iteration index: a barrel shifter whose
+    # select bits are public is free at runtime.
+    y_shift = M.barrel_shifter(b, y, counter, "right", arith=True)
+    x_shift = M.barrel_shifter(b, x, counter, "right", arith=True)
+
+    # Direction bit: d = -1 (subtract from x) iff dneg == 1.
+    if mode == "rotation":
+        dneg = z[WIDTH - 1]  # z < 0 -> rotate negative
+    else:
+        dneg = b.not_(y[WIDTH - 1])  # vectoring: drive y toward 0
+
+    # x' = x - m*d*(y >> i)
+    if system == "circular":
+        x_next = _add_sub(b, x, y_shift, b.not_(dneg))
+    elif system == "linear":
+        x_next = list(x)
+    else:  # hyperbolic: x' = x + d*(y >> i)
+        x_next = _add_sub(b, x, y_shift, dneg)
+    y_next = _add_sub(b, y, x_shift, dneg)
+    z_next = _add_sub(b, z, alpha, b.not_(dneg))
+
+    b.drive_dff_bus(x, x_next)
+    b.drive_dff_bus(y, y_next)
+    b.drive_dff_bus(z, z_next)
+    b.set_outputs(x + y + z)
+    return b.build(), ITERATIONS
+
+
+def cordic_reference(
+    x: float, y: float, z: float, mode: str = "rotation", system: str = "circular"
+) -> Tuple[float, float, float]:
+    """Fixed-point reference model (bit-exact with the circuit)."""
+    xi, yi, zi = to_fixed(x), to_fixed(y), to_fixed(z)
+    alphas = _alpha_table(system)
+    mask = (1 << WIDTH) - 1
+
+    def sra(v, n):
+        if v >> (WIDTH - 1):
+            v -= 1 << WIDTH
+        return (v >> n) & mask
+
+    for i in range(ITERATIONS):
+        z_neg = (zi >> (WIDTH - 1)) & 1
+        y_neg = (yi >> (WIDTH - 1)) & 1
+        dneg = z_neg if mode == "rotation" else 1 - y_neg
+        ys = sra(yi, i)
+        xs = sra(xi, i)
+        if system == "circular":
+            x_next = (xi + ys if dneg else xi - ys) & mask
+        elif system == "linear":
+            x_next = xi
+        else:
+            x_next = (xi - ys if dneg else xi + ys) & mask
+        y_next = (yi - xs if dneg else yi + xs) & mask
+        z_next = (zi + alphas[i] if dneg else zi - alphas[i]) & mask
+        xi, yi, zi = x_next, y_next, z_next
+    return from_fixed(xi), from_fixed(yi), from_fixed(zi)

@@ -1,0 +1,213 @@
+"""SHA3-256 (Keccak-f[1600]) as a sequential garbled circuit.
+
+One Keccak round per clock cycle, 24 cycles.  The state lives in 1600
+flip-flops initialized from the (XOR-shared) rate block plus public
+zero capacity bits.  Per round:
+
+* theta, rho, pi — pure XOR / rewiring: free under free-XOR,
+* chi — 5 ANDs per row slice: 1600 garbled ANDs per round,
+* iota — XOR with a round constant selected by the (public) round
+  counter: SkipGate computes the selection locally, so the controller
+  contributes nothing (the mechanism behind Table 1's SHA3 row, where
+  the conventional cost 40,032 drops to 38,400 with SkipGate).
+
+The capacity bits start as public zeros, so part of the first round's
+chi collapses via Category ii — this is why the ARM2GC column of
+Table 2 reports 37,760 < 38,400 for SHA3.
+
+A reference Python Keccak implementation in this module validates the
+circuit (and is itself validated against known SHA3-256 digests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import InitSpec, Netlist
+
+ROUNDS = 24
+LANE = 64
+RATE_BITS = 1088  # SHA3-256
+STATE_BITS = 1600
+
+#: Keccak round constants.
+RC = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+]
+
+#: Rotation offsets r[x][y].
+ROT = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+]
+
+
+def keccak_f(lanes: List[List[int]]) -> List[List[int]]:
+    """Reference Keccak-f[1600] permutation on 5x5 uint64 lanes."""
+    mask = (1 << 64) - 1
+
+    def rol(v, n):
+        n %= 64
+        return ((v << n) | (v >> (64 - n))) & mask
+
+    a = [row[:] for row in lanes]
+    for rnd in range(ROUNDS):
+        # theta
+        c = [a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4] for x in range(5)]
+        d = [c[(x - 1) % 5] ^ rol(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                a[x][y] ^= d[x]
+        # rho + pi
+        b = [[0] * 5 for _ in range(5)]
+        for x in range(5):
+            for y in range(5):
+                b[y][(2 * x + 3 * y) % 5] = rol(a[x][y], ROT[x][y])
+        # chi
+        for x in range(5):
+            for y in range(5):
+                a[x][y] = b[x][y] ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y])
+        # iota
+        a[0][0] ^= RC[rnd]
+    return a
+
+
+def sha3_256_reference(message_bits: Sequence[int]) -> List[int]:
+    """Reference SHA3-256 of a message that fits one rate block.
+
+    ``message_bits`` must be at most ``RATE_BITS - 4`` bits; SHA3
+    padding (01 || 10*1) is applied.  Returns 256 output bits.
+    """
+    if len(message_bits) > RATE_BITS - 4:
+        raise ValueError("single-block implementation")
+    block = list(message_bits) + [0, 1, 1]  # SHA3 suffix 01 + pad10*1 start
+    block += [0] * (RATE_BITS - 1 - len(block)) + [1]
+    state_bits = block + [0] * (STATE_BITS - RATE_BITS)
+    lanes = [[0] * 5 for _ in range(5)]
+    for i, bit in enumerate(state_bits):
+        x, y, z = (i // 64) % 5, i // 320, i % 64
+        lanes[x][y] |= bit << z
+    lanes = keccak_f(lanes)
+    out = []
+    for i in range(256):
+        x, y, z = (i // 64) % 5, i // 320, i % 64
+        out.append((lanes[x][y] >> z) & 1)
+    return out
+
+
+def sha3_256_sequential(message_bits: int = 512) -> Tuple[Netlist, int]:
+    """Build the sequential SHA3-256 circuit.
+
+    The message is ``message_bits`` long and XOR-shared: Alice holds
+    share ``a``, Bob share ``b``, the hashed message is ``a ^ b``
+    (consistent with the XOR-shared-input convention of Section 5.7).
+    Padding bits and the 512 capacity bits initialize to public
+    constants.  Returns ``(netlist, 24)``; the outputs are the 256
+    digest bits.
+    """
+    if message_bits > RATE_BITS - 4:
+        raise ValueError("single-block implementation")
+    b = CircuitBuilder(f"sha3_256_m{message_bits}")
+
+    # State flip-flops: message bits are XOR-shared initializers (free
+    # under free-XOR); padding and capacity bits are public constants.
+    pad = [0, 1, 1]
+    pad += [0] * (RATE_BITS - 1 - message_bits - len(pad)) + [1]
+    regs: List[int] = []
+    for i in range(STATE_BITS):
+        if i < message_bits:
+            regs.append(b.dff(init=InitSpec("shared", i)))
+        elif i < RATE_BITS:
+            regs.append(b.dff(init=InitSpec("const", pad[i - message_bits])))
+        else:
+            regs.append(b.dff())
+    cur = regs
+
+    # Round counter (public; 5 bits) driving the iota constant ROM.
+    from ..circuit import modules as M
+
+    counter = b.dff_bus(5, 0)
+    b.drive_dff_bus(counter, M.increment(b, counter))
+
+    def lane_bit(bits: List[int], x: int, y: int, z: int) -> int:
+        return bits[(5 * y + x) * 64 + z]
+
+    def set_lane_bit(bits: List[int], x: int, y: int, z: int, w: int) -> None:
+        bits[(5 * y + x) * 64 + z] = w
+
+    # theta
+    cbus = [[None] * 64 for _ in range(5)]
+    for x in range(5):
+        for z in range(64):
+            w = lane_bit(cur, x, 0, z)
+            for y in range(1, 5):
+                w = b.xor_(w, lane_bit(cur, x, y, z))
+            cbus[x][z] = w
+    after_theta = [0] * STATE_BITS
+    for x in range(5):
+        for y in range(5):
+            for z in range(64):
+                d = b.xor_(cbus[(x - 1) % 5][z], cbus[(x + 1) % 5][(z - 1) % 64])
+                set_lane_bit(
+                    after_theta, x, y, z, b.xor_(lane_bit(cur, x, y, z), d)
+                )
+
+    # rho + pi (pure rewiring)
+    after_pi = [0] * STATE_BITS
+    for x in range(5):
+        for y in range(5):
+            for z in range(64):
+                set_lane_bit(
+                    after_pi,
+                    y,
+                    (2 * x + 3 * y) % 5,
+                    (z + ROT[x][y]) % 64,
+                    lane_bit(after_theta, x, y, z),
+                )
+
+    # chi: 1600 ANDs per round
+    after_chi = [0] * STATE_BITS
+    for x in range(5):
+        for y in range(5):
+            for z in range(64):
+                t = b.andn(
+                    lane_bit(after_pi, (x + 2) % 5, y, z),
+                    lane_bit(after_pi, (x + 1) % 5, y, z),
+                )
+                set_lane_bit(
+                    after_chi, x, y, z, b.xor_(lane_bit(after_pi, x, y, z), t)
+                )
+
+    # iota: XOR lane (0,0) with RC[round] selected by the public
+    # counter through a constant ROM (free for public addresses).
+    # Keccak round constants only have bits at positions 2^j - 1, so a
+    # 7-bit-wide ROM suffices (this keeps the conventional-GC size of
+    # the controller honest).
+    from ..circuit.macros import Rom, const_words
+
+    rc_positions = [0, 1, 3, 7, 15, 31, 63]
+    packed = [
+        sum(((rc >> p) & 1) << j for j, p in enumerate(rc_positions))
+        for rc in RC
+    ]
+    rc_rom = b.net.add_macro(Rom("rc", 7, const_words(packed, 7)))
+    rc_bits = rc_rom.read(b, counter)
+    for j, z in enumerate(rc_positions):
+        set_lane_bit(
+            after_chi, 0, 0, z, b.xor_(lane_bit(after_chi, 0, 0, z), rc_bits[j])
+        )
+
+    b.drive_dff_bus(regs, after_chi)
+    b.set_outputs(regs[:256])
+    return b.build(), ROUNDS

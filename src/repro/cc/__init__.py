@@ -1,0 +1,54 @@
+"""The high-level front end: a mini-C compiler for the garbled processor.
+
+This package replaces the off-the-shelf ``gcc-arm`` of the paper's
+toolchain.  It compiles a C subset (ints, pointers, arrays, functions,
+full expression syntax, ``if``/``while``/``for``) to the processor's
+ARM-style assembly, performing the **if-conversion** the paper's
+argument relies on: branches with simple bodies become predicated
+instructions so the program counter stays public (Section 4.2).
+
+Usage::
+
+    from repro.cc import compile_c
+    program = compile_c('''
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] + b[0];
+        }
+    ''')
+    # program.words -> instruction words for GarbledMachine
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..arm.assembler import assemble
+from .codegen import compile_to_asm
+from .lexer import CompileError
+from .parser import parse
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled C program: assembly text plus instruction words."""
+
+    source: str
+    asm: str
+    words: List[int]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def compile_c(source: str, predication: bool = True) -> CompiledProgram:
+    """Compile C source to a :class:`CompiledProgram`.
+
+    ``predication=False`` disables if-conversion (every ``if`` becomes
+    real branches) — used by the predication ablation.
+    """
+    asm = compile_to_asm(source, predication=predication)
+    return CompiledProgram(source=source, asm=asm, words=assemble(asm))
+
+
+__all__ = ["CompileError", "CompiledProgram", "compile_c", "compile_to_asm", "parse"]

@@ -1,0 +1,138 @@
+"""AST node definitions for the C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class Num(Node):
+    value: int = 0
+
+
+@dataclass
+class Var(Node):
+    name: str = ""
+
+
+@dataclass
+class Index(Node):
+    base: "Expr" = None
+    index: "Expr" = None
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: "Expr" = None
+    then: "Expr" = None
+    other: "Expr" = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Node
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    is_pointer: bool = False
+
+
+@dataclass
+class Assign(Node):
+    target: Expr = None  # Var or Index
+    expr: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then: List[Node] = field(default_factory=list)
+    other: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None
+    cond: Optional[Expr] = None
+    step: Optional[Node] = None
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    is_pointer: bool = False
+
+
+@dataclass
+class Func(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+    returns_value: bool = True
+
+
+@dataclass
+class Program(Node):
+    funcs: List[Func] = field(default_factory=list)

@@ -1,0 +1,772 @@
+"""Code generation: C subset -> ARM-style assembly with if-conversion.
+
+The generator mimics the property of arm-gcc the paper depends on
+(Section 4.2): **branches on (potentially secret) conditions are
+replaced with predicated instructions** whenever the branch bodies are
+simple, so the program counter — and with it the whole control path —
+stays public, and SkipGate only pays for the data computation.
+
+Cost-model-aware choices (all documented in DESIGN.md):
+
+* every local lives in the data/stack memory: loads and stores with
+  public addresses are *free* in the GC cost model, so spilling costs
+  nothing on the wire (only extra public cycles);
+* an if-converted assignment costs one conditional store (32 garbled
+  ANDs — exactly the conditional-write MUX row of the register file /
+  memory);
+* branch bodies containing comparisons are still convertible: the
+  condition is first materialized into a register, the bodies execute
+  unconditionally into scratch, and a flag re-test (``TST cond, #1``,
+  nearly free under SkipGate) guards each store;
+* loops compile to real branches, so loop bounds must be public —
+  the fundamental constraint discussed at the end of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arm import isa
+from . import ast_nodes as A
+from .lexer import CompileError
+from .parser import parse
+
+#: Expression scratch registers (an expression deeper than this is
+#: rejected; every named value lives in memory anyway).
+SCRATCH = [f"r{i}" for i in range(10)]
+ADDR_TEMP = "r10"
+COND_TEMP = "r11"
+
+#: Maximum emitted statements in an if-convertible branch body.
+PREDICATION_LIMIT = 24
+
+_CMP_COND = {
+    "==": "EQ", "!=": "NE", "<": "LT", "<=": "LE", ">": "GT", ">=": "GE",
+}
+_INVERT = {
+    "EQ": "NE", "NE": "EQ", "LT": "GE", "GE": "LT", "GT": "LE", "LE": "GT",
+    "CS": "CC", "CC": "CS", "HI": "LS", "LS": "HI", "MI": "PL", "PL": "MI",
+}
+
+
+@dataclass
+class Symbol:
+    kind: str  # 'stack' | 'array' | 'const'
+    offset: int = 0  # stack byte offset or constant value
+    is_pointer: bool = False
+
+
+class FunctionContext:
+    def __init__(self, func: A.Func, compiler: "Compiler") -> None:
+        self.func = func
+        self.compiler = compiler
+        self.symbols: Dict[str, Symbol] = {}
+        self.frame_bytes = 0
+        self.makes_calls = False
+        self.lr_slot: Optional[int] = None
+        self.loop_stack: List[Tuple[str, str]] = []  # (continue, break)
+
+    def alloc_slot(self, words: int = 1) -> int:
+        off = self.frame_bytes
+        self.frame_bytes += 4 * words
+        return off
+
+
+def _alpha_rename(func: A.Func) -> None:
+    """Give every declaration a unique name (lexical scoping).
+
+    The code generator uses one flat symbol table per function; this
+    pre-pass implements C block scoping by renaming shadowing or
+    sibling-scope declarations (``for (int i = ...)`` in two loops)
+    to fresh names.
+    """
+    counter = [0]
+
+    def fresh(name: str) -> str:
+        counter[0] += 1
+        return f"{name}${counter[0]}"
+
+    def rename_expr(expr, scopes) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, A.Var):
+            for scope in reversed(scopes):
+                if expr.name in scope:
+                    expr.name = scope[expr.name]
+                    return
+            return
+        for attr in vars(expr).values():
+            if isinstance(attr, A.Node):
+                rename_expr(attr, scopes)
+            elif isinstance(attr, list):
+                for item in attr:
+                    if isinstance(item, A.Node):
+                        rename_expr(item, scopes)
+
+    def rename_stmts(stmts, scopes) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, A.Decl):
+                if stmt.init is not None:
+                    rename_expr(stmt.init, scopes)
+                seen_anywhere = any(stmt.name in s for s in scopes)
+                new = fresh(stmt.name) if seen_anywhere or len(scopes) > 1 else stmt.name
+                scopes[-1][stmt.name] = new
+                stmt.name = new
+            elif isinstance(stmt, A.If):
+                rename_expr(stmt.cond, scopes)
+                rename_stmts(stmt.then, scopes + [{}])
+                rename_stmts(stmt.other, scopes + [{}])
+            elif isinstance(stmt, A.While):
+                rename_expr(stmt.cond, scopes)
+                rename_stmts(stmt.body, scopes + [{}])
+            elif isinstance(stmt, A.For):
+                inner = scopes + [{}]
+                if stmt.init is not None:
+                    rename_stmts([stmt.init], inner)
+                rename_expr(stmt.cond, inner)
+                if stmt.step is not None:
+                    rename_stmts([stmt.step], inner)
+                rename_stmts(stmt.body, inner + [{}])
+            elif isinstance(stmt, (A.Assign, A.ExprStmt, A.Return)):
+                rename_expr(stmt, scopes)
+
+    top = {p.name: p.name for p in func.params}
+    rename_stmts(func.body, [top])
+
+
+class Compiler:
+    """Compiles a parsed program to assembly text.
+
+    ``predication`` enables if-conversion (the default, matching the
+    paper's reliance on ARM conditional execution); with it disabled
+    every ``if`` compiles to real branches, which makes the program
+    counter secret whenever the condition is — the ablation of
+    ``benchmarks/bench_ablation_predication.py``.
+    """
+
+    def __init__(self, program: A.Program, predication: bool = True) -> None:
+        self.program = program
+        self.predication = predication
+        self.lines: List[str] = []
+        self._label = 0
+        self.func_names = {f.name for f in program.funcs}
+        if "gc_main" not in self.func_names:
+            raise CompileError(0, "program must define gc_main(a, b, c)")
+        for func in program.funcs:
+            _alpha_rename(func)
+
+    # -- emission helpers ------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def new_label(self, hint: str) -> str:
+        self._label += 1
+        return f"L{hint}_{self._label}"
+
+    def _load_const(self, reg: str, value: int, pred: str = "") -> None:
+        value &= isa.MASK32
+        if isa.encode_rotated_imm(value) is not None:
+            self.emit(f"MOV{pred} {reg}, #{value}")
+        elif isa.encode_rotated_imm(~value & isa.MASK32) is not None:
+            self.emit(f"MVN{pred} {reg}, #{~value & isa.MASK32}")
+        else:
+            if pred:
+                raise CompileError(0, "internal: predicated wide constant")
+            self.emit(f"LDR {reg}, ={value}")
+
+    def _sp_adjust(self, down: bool, nbytes: int) -> None:
+        if nbytes == 0:
+            return
+        op = "SUB" if down else "ADD"
+        if isa.encode_rotated_imm(nbytes) is not None:
+            self.emit(f"{op} sp, sp, #{nbytes}")
+        else:
+            self._load_const(ADDR_TEMP, nbytes)
+            self.emit(f"{op} sp, sp, {ADDR_TEMP}")
+
+    # -- top level ----------------------------------------------------------------
+
+    def compile(self) -> str:
+        funcs = sorted(self.program.funcs, key=lambda f: f.name != "gc_main")
+        for func in funcs:
+            self._compile_func(func)
+        return "\n".join(self.lines) + "\n"
+
+    def _collect_decls(self, ctx: FunctionContext, stmts: List[A.Node]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, A.Decl):
+                if stmt.name in ctx.symbols:
+                    raise CompileError(stmt.line, f"duplicate variable {stmt.name!r}")
+                if stmt.array_size is not None:
+                    off = ctx.alloc_slot(stmt.array_size)
+                    ctx.symbols[stmt.name] = Symbol("array", off, is_pointer=True)
+                else:
+                    off = ctx.alloc_slot()
+                    ctx.symbols[stmt.name] = Symbol(
+                        "stack", off, is_pointer=stmt.is_pointer
+                    )
+            elif isinstance(stmt, A.If):
+                self._collect_decls(ctx, stmt.then)
+                self._collect_decls(ctx, stmt.other)
+            elif isinstance(stmt, (A.While,)):
+                self._collect_decls(ctx, stmt.body)
+            elif isinstance(stmt, A.For):
+                if stmt.init is not None:
+                    self._collect_decls(ctx, [stmt.init])
+                self._collect_decls(ctx, stmt.body)
+
+    def _compile_func(self, func: A.Func) -> None:
+        ctx = FunctionContext(func, self)
+        is_main = func.name == "gc_main"
+        if is_main:
+            bases = [isa.ALICE_BASE, isa.BOB_BASE, isa.OUTPUT_BASE]
+            if len(func.params) > 3:
+                raise CompileError(func.line, "gc_main takes (a, b, c)")
+            for i, p in enumerate(func.params):
+                ctx.symbols[p.name] = Symbol("const", bases[i], is_pointer=True)
+        else:
+            if len(func.params) > 4:
+                raise CompileError(func.line, "at most 4 parameters")
+            for p in func.params:
+                off = ctx.alloc_slot()
+                ctx.symbols[p.name] = Symbol("stack", off, is_pointer=p.is_pointer)
+        self._collect_decls(ctx, func.body)
+        ctx.makes_calls = _contains_call(func.body)
+        if ctx.makes_calls and not is_main:
+            # gc_main never returns through LR, so only callees that
+            # themselves call must preserve it.
+            ctx.lr_slot = ctx.alloc_slot()
+
+        self.label(func.name)
+        self._sp_adjust(True, ctx.frame_bytes)
+        if ctx.lr_slot is not None:
+            self.emit(f"STR lr, [sp, #{ctx.lr_slot}]")
+        if not is_main:
+            for i, p in enumerate(func.params):
+                self.emit(f"STR r{i}, [sp, #{ctx.symbols[p.name].offset}]")
+
+        epilogue = self.new_label("ret")
+        ctx.epilogue = epilogue  # type: ignore[attr-defined]
+        self._gen_stmts(ctx, func.body)
+        self.label(epilogue)
+        if ctx.lr_slot is not None:
+            self.emit(f"LDR lr, [sp, #{ctx.lr_slot}]")
+        self._sp_adjust(False, ctx.frame_bytes)
+        if is_main:
+            self.emit("HALT")
+        else:
+            self.emit("MOV pc, lr")
+
+    # -- statements -------------------------------------------------------------------
+
+    def _gen_stmts(self, ctx: FunctionContext, stmts: List[A.Node]) -> None:
+        for stmt in stmts:
+            self._gen_stmt(ctx, stmt)
+
+    def _gen_stmt(self, ctx: FunctionContext, stmt: A.Node) -> None:
+        if isinstance(stmt, A.Decl):
+            if stmt.init is not None:
+                sym = ctx.symbols[stmt.name]
+                if sym.kind == "array":
+                    raise CompileError(stmt.line, "array initializers not supported")
+                self._gen_expr(ctx, stmt.init, 0)
+                self.emit(f"STR {SCRATCH[0]}, [sp, #{sym.offset}]")
+        elif isinstance(stmt, A.Assign):
+            self._gen_assign(ctx, stmt, pred="")
+        elif isinstance(stmt, A.ExprStmt):
+            self._gen_expr(ctx, stmt.expr, 0)
+        elif isinstance(stmt, A.If):
+            self._gen_if(ctx, stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(ctx, stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(ctx, stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.expr is not None:
+                self._gen_expr(ctx, stmt.expr, 0)
+            self.emit(f"B {ctx.epilogue}")  # type: ignore[attr-defined]
+        elif isinstance(stmt, A.Break):
+            if not ctx.loop_stack:
+                raise CompileError(stmt.line, "break outside a loop")
+            self.emit(f"B {ctx.loop_stack[-1][1]}")
+        elif isinstance(stmt, A.Continue):
+            if not ctx.loop_stack:
+                raise CompileError(stmt.line, "continue outside a loop")
+            self.emit(f"B {ctx.loop_stack[-1][0]}")
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(stmt.line, f"cannot generate {type(stmt).__name__}")
+
+    # -- if statements: predication first, branches as fallback ------------------------
+
+    def _gen_if(self, ctx: FunctionContext, stmt: A.If) -> None:
+        if isinstance(stmt.cond, A.Num):
+            self._gen_stmts(ctx, stmt.then if stmt.cond.value else stmt.other)
+            return
+        if self._predicable(stmt):
+            if _flag_safe_stmts(stmt.then) and _flag_safe_stmts(stmt.other):
+                cond = self._gen_cond(ctx, stmt.cond, 0)
+                for s in stmt.then:
+                    self._gen_assign(ctx, s, pred=cond)
+                for s in stmt.other:
+                    self._gen_assign(ctx, s, pred=_INVERT[cond])
+            else:
+                # Materialize the condition, run bodies unconditionally
+                # into scratch, re-test with TST before each store.
+                self._gen_cond_value(ctx, stmt.cond, COND_TEMP)
+                for s in stmt.then:
+                    self._gen_assign(ctx, s, pred="NE", retest=COND_TEMP)
+                for s in stmt.other:
+                    self._gen_assign(ctx, s, pred="EQ", retest=COND_TEMP)
+            return
+        # Branchy fallback (public conditions expected here).
+        cond = self._gen_cond(ctx, stmt.cond, 0)
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.emit(f"B{_INVERT[cond]} {else_label}")
+        self._gen_stmts(ctx, stmt.then)
+        if stmt.other:
+            self.emit(f"B {end_label}")
+        self.label(else_label)
+        self._gen_stmts(ctx, stmt.other)
+        if stmt.other:
+            self.label(end_label)
+
+    def _predicable(self, stmt: A.If) -> bool:
+        if not self.predication:
+            return False
+        bodies = stmt.then + stmt.other
+        if len(bodies) > PREDICATION_LIMIT:
+            return False
+        for s in bodies:
+            if not isinstance(s, A.Assign):
+                return False
+            if _contains_call([s]):
+                return False
+            target = s.target
+            if isinstance(target, A.Index) and _contains_call([target.index]):
+                return False
+        return True
+
+    # -- loops -----------------------------------------------------------------------
+
+    def _gen_while(self, ctx: FunctionContext, stmt: A.While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("wend")
+        self.label(head)
+        cond = self._gen_cond(ctx, stmt.cond, 0)
+        self.emit(f"B{_INVERT[cond]} {end}")
+        ctx.loop_stack.append((head, end))
+        self._gen_stmts(ctx, stmt.body)
+        ctx.loop_stack.pop()
+        self.emit(f"B {head}")
+        self.label(end)
+
+    def _gen_for(self, ctx: FunctionContext, stmt: A.For) -> None:
+        if stmt.init is not None:
+            self._gen_stmt(ctx, stmt.init)
+        head = self.new_label("for")
+        step_label = self.new_label("fstep")
+        end = self.new_label("fend")
+        self.label(head)
+        if stmt.cond is not None:
+            cond = self._gen_cond(ctx, stmt.cond, 0)
+            self.emit(f"B{_INVERT[cond]} {end}")
+        ctx.loop_stack.append((step_label, end))
+        self._gen_stmts(ctx, stmt.body)
+        ctx.loop_stack.pop()
+        self.label(step_label)
+        if stmt.step is not None:
+            self._gen_stmt(ctx, stmt.step)
+        self.emit(f"B {head}")
+        self.label(end)
+
+    # -- assignments ---------------------------------------------------------------------
+
+    def _gen_assign(
+        self,
+        ctx: FunctionContext,
+        stmt: A.Node,
+        pred: str,
+        retest: Optional[str] = None,
+    ) -> None:
+        if not isinstance(stmt, A.Assign):
+            raise CompileError(stmt.line, "only assignments can be predicated")
+        value_reg = SCRATCH[0]
+        self._gen_expr(ctx, stmt.expr, 0)
+        suffix = pred if pred not in ("", "AL") else ""
+        target = stmt.target
+        if isinstance(target, A.Var):
+            sym = self._symbol(ctx, target)
+            if sym.kind == "const":
+                raise CompileError(target.line, f"cannot assign to {target.name!r}")
+            if sym.kind == "array":
+                raise CompileError(target.line, "cannot assign to an array name")
+            if retest:
+                self.emit(f"TST {retest}, #1")
+            self.emit(f"STR{suffix} {value_reg}, [sp, #{sym.offset}]")
+            return
+        if isinstance(target, A.Index):
+            self._gen_address(ctx, target, ADDR_TEMP, depth=1)
+            if retest:
+                self.emit(f"TST {retest}, #1")
+            self.emit(f"STR{suffix} {value_reg}, [{ADDR_TEMP}, #0]")
+            return
+        raise CompileError(stmt.line, "bad assignment target")
+
+    def _gen_address(
+        self, ctx: FunctionContext, target: A.Index, dest: str, depth: int
+    ) -> None:
+        """Compute the byte address of ``base[index]`` into ``dest``."""
+        base = target.base
+        idx = target.index
+        if isinstance(idx, A.Num):
+            self._gen_base_address(ctx, base, dest, depth)
+            off = 4 * idx.value
+            if off:
+                if isa.encode_rotated_imm(off) is None:
+                    raise CompileError(idx.line, f"index offset {off} too large")
+                self.emit(f"ADD {dest}, {dest}, #{off}")
+            return
+        self._gen_base_address(ctx, base, dest, depth)
+        self._gen_expr(ctx, idx, depth)
+        self.emit(f"ADD {dest}, {dest}, {SCRATCH[depth]}, LSL #2")
+
+    def _gen_base_address(
+        self, ctx: FunctionContext, base: A.Expr, dest: str, depth: int
+    ) -> None:
+        if isinstance(base, A.Var):
+            sym = self._symbol(ctx, base)
+            if sym.kind == "const":
+                self._load_const(dest, sym.offset)
+                return
+            if sym.kind == "array":
+                # Arrays live on the stack; SP already carries the full
+                # data-bank byte address.
+                self.emit(f"ADD {dest}, sp, #{sym.offset}")
+                return
+            # pointer variable
+            self.emit(f"LDR {dest}, [sp, #{sym.offset}]")
+            return
+        # computed pointer expression
+        self._gen_expr(ctx, base, depth)
+        self.emit(f"MOV {dest}, {SCRATCH[depth]}")
+
+    # -- conditions -------------------------------------------------------------------------
+
+    def _gen_cond(self, ctx: FunctionContext, expr: A.Expr, depth: int) -> str:
+        """Emit flag-setting code; returns the condition mnemonic."""
+        if isinstance(expr, A.Unary) and expr.op == "!":
+            return _INVERT[self._gen_cond(ctx, expr.operand, depth)]
+        if isinstance(expr, A.Binary) and expr.op in _CMP_COND:
+            self._gen_expr(ctx, expr.left, depth)
+            if isinstance(expr.right, A.Num) and isa.encode_rotated_imm(
+                expr.right.value & isa.MASK32
+            ) is not None:
+                self.emit(f"CMP {SCRATCH[depth]}, #{expr.right.value & isa.MASK32}")
+            else:
+                self._gen_expr(ctx, expr.right, depth + 1)
+                self.emit(f"CMP {SCRATCH[depth]}, {SCRATCH[depth + 1]}")
+            return _CMP_COND[expr.op]
+        self._gen_expr(ctx, expr, depth)
+        self.emit(f"CMP {SCRATCH[depth]}, #0")
+        return "NE"
+
+    def _gen_cond_value(self, ctx: FunctionContext, expr: A.Expr, dest: str) -> None:
+        """Materialize a condition as 0/1 in ``dest``."""
+        cond = self._gen_cond(ctx, expr, 0)
+        self.emit(f"MOV {dest}, #0")
+        self.emit(f"MOV{cond} {dest}, #1")
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def _symbol(self, ctx: FunctionContext, var: A.Var) -> Symbol:
+        sym = ctx.symbols.get(var.name)
+        if sym is None:
+            raise CompileError(var.line, f"undefined variable {var.name!r}")
+        return sym
+
+    def _is_pointer(self, ctx: FunctionContext, expr: A.Expr) -> bool:
+        if isinstance(expr, A.Var):
+            sym = ctx.symbols.get(expr.name)
+            return bool(sym and sym.is_pointer)
+        if isinstance(expr, A.Binary) and expr.op in ("+", "-"):
+            return self._is_pointer(ctx, expr.left) or self._is_pointer(
+                ctx, expr.right
+            )
+        return False
+
+    def _gen_expr(self, ctx: FunctionContext, expr: A.Expr, depth: int) -> None:
+        """Evaluate ``expr`` into ``SCRATCH[depth]``."""
+        if depth >= len(SCRATCH) - 1:
+            raise CompileError(expr.line, "expression too deep; split it up")
+        dest = SCRATCH[depth]
+
+        if isinstance(expr, A.Num):
+            self._load_const(dest, expr.value)
+            return
+
+        if isinstance(expr, A.Var):
+            sym = self._symbol(ctx, expr)
+            if sym.kind == "const":
+                self._load_const(dest, sym.offset)
+            elif sym.kind == "array":
+                self.emit(f"ADD {dest}, sp, #{sym.offset}")
+            else:
+                self.emit(f"LDR {dest}, [sp, #{sym.offset}]")
+            return
+
+        if isinstance(expr, A.Index):
+            base = expr.base
+            idx = expr.index
+            if isinstance(idx, A.Num):
+                self._gen_base_address(ctx, base, dest, depth)
+                off = 4 * idx.value
+                if isa.encode_rotated_imm(off) is None and off:
+                    raise CompileError(idx.line, f"index offset {off} too large")
+                self.emit(f"LDR {dest}, [{dest}, #{off}]")
+            else:
+                self._gen_base_address(ctx, base, dest, depth)
+                self._gen_expr(ctx, idx, depth + 1)
+                self.emit(f"ADD {dest}, {dest}, {SCRATCH[depth + 1]}, LSL #2")
+                self.emit(f"LDR {dest}, [{dest}, #0]")
+            return
+
+        if isinstance(expr, A.Unary):
+            if expr.op == "!":
+                self._gen_cond_value_at(ctx, expr, dest, depth)
+                return
+            self._gen_expr(ctx, expr.operand, depth)
+            if expr.op == "-":
+                self.emit(f"RSB {dest}, {dest}, #0")
+            elif expr.op == "~":
+                self.emit(f"MVN {dest}, {dest}")
+            return
+
+        if isinstance(expr, A.Binary):
+            self._gen_binary(ctx, expr, depth)
+            return
+
+        if isinstance(expr, A.Ternary):
+            # Evaluate both arms first (they may clobber flags), then
+            # the condition, then one predicated move.
+            self._gen_expr(ctx, expr.then, depth)
+            self._gen_expr(ctx, expr.other, depth + 1)
+            cond = self._gen_cond(ctx, expr.cond, depth + 2)
+            self.emit(f"MOV{_INVERT[cond]} {dest}, {SCRATCH[depth + 1]}")
+            return
+
+        if isinstance(expr, A.Call):
+            self._gen_call(ctx, expr, depth)
+            return
+
+        raise CompileError(expr.line, f"cannot evaluate {type(expr).__name__}")
+
+    def _gen_cond_value_at(
+        self, ctx: FunctionContext, expr: A.Expr, dest: str, depth: int
+    ) -> None:
+        cond = self._gen_cond(ctx, expr, depth)
+        self.emit(f"MOV {dest}, #0")
+        self.emit(f"MOV{cond} {dest}, #1")
+
+    def _gen_binary(self, ctx: FunctionContext, expr: A.Binary, depth: int) -> None:
+        dest = SCRATCH[depth]
+        op = expr.op
+
+        if op in _CMP_COND or op in ("&&", "||"):
+            if op in ("&&", "||"):
+                # Non-short-circuit (data-oblivious) evaluation.
+                self._gen_cond_value_at(ctx, expr.left, dest, depth)
+                self._gen_cond_value_at(
+                    ctx, expr.right, SCRATCH[depth + 1], depth + 1
+                )
+                mnem = "AND" if op == "&&" else "ORR"
+                self.emit(f"{mnem} {dest}, {dest}, {SCRATCH[depth + 1]}")
+            else:
+                self._gen_cond_value_at(ctx, expr, dest, depth)
+            return
+
+        if op in ("<<", ">>"):
+            self._gen_expr(ctx, expr.left, depth)
+            if not isinstance(expr.right, A.Num):
+                raise CompileError(
+                    expr.line,
+                    "shift amounts must be constants (the ISA has no "
+                    "register-specified shifts)",
+                )
+            amount = expr.right.value & 31
+            stype = "LSL" if op == "<<" else "LSR"
+            if amount:
+                self.emit(f"MOV {dest}, {dest}, {stype} #{amount}")
+            return
+
+        if op in ("/", "%"):
+            if not isinstance(expr.right, A.Num) or expr.right.value <= 0 or (
+                expr.right.value & (expr.right.value - 1)
+            ):
+                raise CompileError(
+                    expr.line, f"'{op}' only by positive powers of two"
+                )
+            self._gen_expr(ctx, expr.left, depth)
+            if op == "/":
+                sh = expr.right.value.bit_length() - 1
+                if sh:
+                    self.emit(f"MOV {dest}, {dest}, LSR #{sh}")
+            else:
+                mask = expr.right.value - 1
+                self._emit_imm_binop(ctx, "AND", dest, dest, mask, expr.line, depth)
+            return
+
+        mnemonic = {"+": "ADD", "-": "SUB", "&": "AND", "|": "ORR", "^": "EOR"}.get(op)
+        if op == "*":
+            # Strength reduction: multiplying by a power-of-two
+            # constant is a free shift.
+            for const_side, var_side in (
+                (expr.right, expr.left), (expr.left, expr.right)
+            ):
+                if (
+                    isinstance(const_side, A.Num)
+                    and const_side.value > 0
+                    and const_side.value & (const_side.value - 1) == 0
+                ):
+                    self._gen_expr(ctx, var_side, depth)
+                    sh = const_side.value.bit_length() - 1
+                    if sh:
+                        self.emit(f"MOV {dest}, {dest}, LSL #{sh}")
+                    return
+            self._gen_expr(ctx, expr.left, depth)
+            self._gen_expr(ctx, expr.right, depth + 1)
+            self.emit(f"MUL {dest}, {dest}, {SCRATCH[depth + 1]}")
+            return
+        if mnemonic is None:
+            raise CompileError(expr.line, f"unsupported operator {op!r}")
+
+        # Pointer arithmetic scales the integer side by 4.
+        lptr = self._is_pointer(ctx, expr.left)
+        rptr = self._is_pointer(ctx, expr.right)
+        self._gen_expr(ctx, expr.left, depth)
+        if isinstance(expr.right, A.Num) and not lptr and not rptr:
+            self._emit_imm_binop(
+                ctx, mnemonic, dest, dest, expr.right.value, expr.line, depth
+            )
+            return
+        self._gen_expr(ctx, expr.right, depth + 1)
+        rhs = SCRATCH[depth + 1]
+        if op in ("+", "-") and lptr and not rptr:
+            self.emit(f"{mnemonic} {dest}, {dest}, {rhs}, LSL #2")
+        elif op == "+" and rptr and not lptr:
+            self.emit(f"ADD {dest}, {rhs}, {dest}, LSL #2")
+        else:
+            self.emit(f"{mnemonic} {dest}, {dest}, {rhs}")
+
+    def _emit_imm_binop(
+        self,
+        ctx: FunctionContext,
+        mnemonic: str,
+        dest: str,
+        src: str,
+        value: int,
+        line: int,
+        depth: int,
+    ) -> None:
+        value &= isa.MASK32
+        if isa.encode_rotated_imm(value) is not None:
+            self.emit(f"{mnemonic} {dest}, {src}, #{value}")
+            return
+        if mnemonic == "ADD" and isa.encode_rotated_imm((-value) & isa.MASK32):
+            self.emit(f"SUB {dest}, {src}, #{(-value) & isa.MASK32}")
+            return
+        if mnemonic == "SUB" and isa.encode_rotated_imm((-value) & isa.MASK32):
+            self.emit(f"ADD {dest}, {src}, #{(-value) & isa.MASK32}")
+            return
+        if mnemonic == "AND" and isa.encode_rotated_imm(~value & isa.MASK32):
+            self.emit(f"BIC {dest}, {src}, #{~value & isa.MASK32}")
+            return
+        scratch = SCRATCH[depth + 1]
+        self._load_const(scratch, value)
+        self.emit(f"{mnemonic} {dest}, {src}, {scratch}")
+
+    # -- calls ----------------------------------------------------------------------------------
+
+    def _gen_call(self, ctx: FunctionContext, call: A.Call, depth: int) -> None:
+        if call.name not in self.func_names:
+            raise CompileError(call.line, f"undefined function {call.name!r}")
+        if depth != 0:
+            raise CompileError(
+                call.line,
+                "calls are only allowed as statements or simple right-hand "
+                "sides (no live temporaries across a call)",
+            )
+        if len(call.args) > 4:
+            raise CompileError(call.line, "at most 4 arguments")
+        for arg in call.args:
+            if _contains_call([A.ExprStmt(expr=arg)]):
+                raise CompileError(call.line, "nested calls in arguments")
+        for i, arg in enumerate(call.args):
+            self._gen_expr(ctx, arg, i)
+        self.emit(f"BL {call.name}")
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _contains_call(stmts: List[A.Node]) -> bool:
+    found = False
+
+    def walk(node) -> None:
+        nonlocal found
+        if node is None or found:
+            return
+        if isinstance(node, A.Call):
+            found = True
+            return
+        for attr in vars(node).values():
+            if isinstance(attr, A.Node):
+                walk(attr)
+            elif isinstance(attr, list):
+                for item in attr:
+                    if isinstance(item, A.Node):
+                        walk(item)
+
+    for s in stmts:
+        walk(s)
+    return found
+
+
+def _flag_safe_expr(expr: Optional[A.Expr]) -> bool:
+    """True when evaluating the expression never touches the flags."""
+    if expr is None:
+        return True
+    if isinstance(expr, (A.Num, A.Var)):
+        return True
+    if isinstance(expr, A.Index):
+        return _flag_safe_expr(expr.base) and _flag_safe_expr(expr.index)
+    if isinstance(expr, A.Unary):
+        return expr.op != "!" and _flag_safe_expr(expr.operand)
+    if isinstance(expr, A.Binary):
+        if expr.op in _CMP_COND or expr.op in ("&&", "||"):
+            return False
+        return _flag_safe_expr(expr.left) and _flag_safe_expr(expr.right)
+    if isinstance(expr, A.Ternary):
+        return False
+    return False
+
+
+def _flag_safe_stmts(stmts: List[A.Node]) -> bool:
+    for s in stmts:
+        if not isinstance(s, A.Assign):
+            return False
+        if not _flag_safe_expr(s.expr):
+            return False
+        if isinstance(s.target, A.Index) and not _flag_safe_expr(s.target.index):
+            return False
+    return True
+
+
+def compile_to_asm(source: str, predication: bool = True) -> str:
+    """Compile C source text to assembly text."""
+    return Compiler(parse(source), predication=predication).compile()

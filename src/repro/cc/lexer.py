@@ -1,0 +1,63 @@
+"""Lexer for the C subset accepted by the ARM2GC front end."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class CompileError(Exception):
+    """Any front-end error, carrying a source line number."""
+
+    def __init__(self, line: int, message: str) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = {
+    "int", "unsigned", "void", "const", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|&=|\|=|\^=|\+\+|--|
+      [-+*/%&|^~!<>=(){}\[\];,?:])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'name' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize C source; raises :class:`CompileError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise CompileError(line, f"unexpected character {source[pos]!r}")
+        text = m.group(0)
+        if m.lastgroup == "num":
+            tokens.append(Token("num", text, line))
+        elif m.lastgroup == "name":
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line))
+        elif m.lastgroup == "op":
+            tokens.append(Token("op", text, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

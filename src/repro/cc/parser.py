@@ -1,0 +1,346 @@
+"""Recursive-descent parser for the C subset.
+
+Grammar (simplified)::
+
+    program   := func*
+    func      := type name '(' params ')' block
+    params    := (type '*'? name (',' ...)*)?
+    block     := '{' stmt* '}'
+    stmt      := decl ';' | assign ';' | call ';' | if | while | for
+               | return ';' | break ';' | continue ';' | block
+    decl      := type name ('[' num ']')? ('=' expr)?
+    assign    := lvalue ('='|'+='|...) expr | lvalue '++' | lvalue '--'
+    expr      := ternary with the usual C precedence levels
+
+Supported operators: ``?:``, ``||``, ``&&``, ``|``, ``^``, ``&``,
+``== !=``, ``< <= > >=``, ``<< >>``, ``+ -``, ``* / %`` (``*`` only;
+``/``/``%`` by powers of two), unary ``- ~ !``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as A
+from .lexer import CompileError, Token, tokenize
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        t = self.tok
+        self.pos += 1
+        return t
+
+    def accept(self, text: str) -> bool:
+        if self.tok.text == text and self.tok.kind in ("op", "kw"):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if self.tok.text != text:
+            raise CompileError(
+                self.tok.line, f"expected {text!r}, found {self.tok.text!r}"
+            )
+        return self.advance()
+
+    def _type(self) -> None:
+        """Consume a type: [const] [unsigned] int | void."""
+        self.accept("const")
+        if self.accept("unsigned"):
+            self.accept("int")
+            return
+        if self.accept("int") or self.accept("void"):
+            self.accept("const")
+            return
+        raise CompileError(self.tok.line, f"expected a type, found {self.tok.text!r}")
+
+    def _at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.text in (
+            "int", "unsigned", "void", "const",
+        )
+
+    # -- top level -----------------------------------------------------------
+
+    def parse(self) -> A.Program:
+        funcs = []
+        while self.tok.kind != "eof":
+            funcs.append(self._func())
+        return A.Program(funcs=funcs)
+
+    def _func(self) -> A.Func:
+        line = self.tok.line
+        returns = self.tok.text != "void"
+        self._type()
+        name = self.advance()
+        if name.kind != "name":
+            raise CompileError(name.line, "expected function name")
+        self.expect("(")
+        params: List[A.Param] = []
+        if not self.accept(")"):
+            while True:
+                if self.tok.text == "void" and self.tokens[self.pos + 1].text == ")":
+                    self.advance()
+                    break
+                self._type()
+                is_ptr = self.accept("*")
+                self.accept("const")
+                p = self.advance()
+                if p.kind != "name":
+                    raise CompileError(p.line, "expected parameter name")
+                params.append(A.Param(line=p.line, name=p.text, is_pointer=is_ptr))
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self._block()
+        return A.Func(
+            line=line, name=name.text, params=params, body=body,
+            returns_value=returns,
+        )
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self) -> List[A.Node]:
+        self.expect("{")
+        stmts: List[A.Node] = []
+        while not self.accept("}"):
+            stmts.append(self._stmt())
+        return stmts
+
+    def _stmt(self) -> A.Node:
+        t = self.tok
+        if t.text == "{":
+            inner = self._block()
+            blk = A.If(line=t.line, cond=A.Num(line=t.line, value=1), then=inner)
+            return blk
+        if t.text == "if":
+            return self._if()
+        if t.text == "while":
+            return self._while()
+        if t.text == "for":
+            return self._for()
+        if t.text == "return":
+            self.advance()
+            expr = None if self.tok.text == ";" else self._expr()
+            self.expect(";")
+            return A.Return(line=t.line, expr=expr)
+        if t.text == "break":
+            self.advance()
+            self.expect(";")
+            return A.Break(line=t.line)
+        if t.text == "continue":
+            self.advance()
+            self.expect(";")
+            return A.Continue(line=t.line)
+        if self._at_type():
+            d = self._decl()
+            self.expect(";")
+            return d
+        stmt = self._simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def _decl(self) -> A.Decl:
+        line = self.tok.line
+        self._type()
+        is_ptr = self.accept("*")
+        name = self.advance()
+        if name.kind != "name":
+            raise CompileError(name.line, "expected variable name")
+        size = None
+        if self.accept("["):
+            n = self.advance()
+            if n.kind != "num":
+                raise CompileError(n.line, "array size must be a constant")
+            size = int(n.text, 0)
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self._expr()
+        return A.Decl(
+            line=line, name=name.text, array_size=size, init=init,
+            is_pointer=is_ptr,
+        )
+
+    def _simple_stmt(self) -> A.Node:
+        """Assignment, compound assignment, ++/--, or a call."""
+        line = self.tok.line
+        expr = self._expr()
+        t = self.tok.text
+        if t == "=" and self.tok.kind == "op":
+            self.advance()
+            rhs = self._expr()
+            self._check_lvalue(expr, line)
+            return A.Assign(line=line, target=expr, expr=rhs)
+        if t in ("+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="):
+            self.advance()
+            rhs = self._expr()
+            self._check_lvalue(expr, line)
+            op = t[:-1]
+            return A.Assign(
+                line=line,
+                target=expr,
+                expr=A.Binary(line=line, op=op, left=expr, right=rhs),
+            )
+        if t in ("++", "--"):
+            self.advance()
+            self._check_lvalue(expr, line)
+            op = "+" if t == "++" else "-"
+            return A.Assign(
+                line=line,
+                target=expr,
+                expr=A.Binary(
+                    line=line, op=op, left=expr, right=A.Num(line=line, value=1)
+                ),
+            )
+        if isinstance(expr, A.Call):
+            return A.ExprStmt(line=line, expr=expr)
+        raise CompileError(line, "expression used as a statement")
+
+    @staticmethod
+    def _check_lvalue(expr: A.Node, line: int) -> None:
+        if not isinstance(expr, (A.Var, A.Index)):
+            raise CompileError(line, "assignment target must be a variable or element")
+
+    def _if(self) -> A.If:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self._expr()
+        self.expect(")")
+        then = self._block() if self.tok.text == "{" else [self._stmt()]
+        other: List[A.Node] = []
+        if self.accept("else"):
+            if self.tok.text == "if":
+                other = [self._if()]
+            else:
+                other = self._block() if self.tok.text == "{" else [self._stmt()]
+        return A.If(line=line, cond=cond, then=then, other=other)
+
+    def _while(self) -> A.While:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self._expr()
+        self.expect(")")
+        body = self._block() if self.tok.text == "{" else [self._stmt()]
+        return A.While(line=line, cond=cond, body=body)
+
+    def _for(self) -> A.For:
+        line = self.expect("for").line
+        self.expect("(")
+        init = None
+        if self.tok.text != ";":
+            init = self._decl() if self._at_type() else self._simple_stmt()
+        self.expect(";")
+        cond = None if self.tok.text == ";" else self._expr()
+        self.expect(";")
+        step = None if self.tok.text == ")" else self._simple_stmt()
+        self.expect(")")
+        body = self._block() if self.tok.text == "{" else [self._stmt()]
+        return A.For(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _expr(self) -> A.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> A.Expr:
+        cond = self._binary(0)
+        if self.accept("?"):
+            then = self._expr()
+            self.expect(":")
+            other = self._ternary()
+            return A.Ternary(line=cond.line, cond=cond, then=then, other=other)
+        return cond
+
+    def _binary(self, level: int) -> A.Expr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        while self.tok.kind == "op" and self.tok.text in self._LEVELS[level]:
+            op = self.advance().text
+            right = self._binary(level + 1)
+            left = A.Binary(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _unary(self) -> A.Expr:
+        t = self.tok
+        if t.kind == "op" and t.text in ("-", "~", "!", "+"):
+            self.advance()
+            operand = self._unary()
+            if t.text == "+":
+                return operand
+            return A.Unary(line=t.line, op=t.text, operand=operand)
+        if t.kind == "op" and t.text == "*":
+            # *(p + i) sugar -> (p + i)[0]
+            self.advance()
+            operand = self._unary()
+            return A.Index(
+                line=t.line, base=operand, index=A.Num(line=t.line, value=0)
+            )
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            if self.accept("["):
+                idx = self._expr()
+                self.expect("]")
+                expr = A.Index(line=expr.line, base=expr, index=idx)
+            elif self.tok.text == "(" and isinstance(expr, A.Var):
+                self.advance()
+                args: List[A.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                expr = A.Call(line=expr.line, name=expr.name, args=args)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        t = self.advance()
+        if t.kind == "num":
+            return A.Num(line=t.line, value=int(t.text, 0))
+        if t.kind == "name":
+            return A.Var(line=t.line, name=t.text)
+        if t.text == "(":
+            # tolerate casts like (int) / (unsigned)
+            if self._at_type():
+                self._type()
+                self.accept("*")
+                self.expect(")")
+                return self._unary()
+            expr = self._expr()
+            self.expect(")")
+            return expr
+        raise CompileError(t.line, f"unexpected token {t.text!r}")
+
+
+def parse(source: str) -> A.Program:
+    """Parse C source into an AST."""
+    return Parser(source).parse()

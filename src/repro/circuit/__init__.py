@@ -1,0 +1,29 @@
+"""Boolean circuit substrate: gates, netlists, builders, memories.
+
+This package replaces the HDL/synthesis layer of the paper's toolchain
+(Verilog + Synopsys Design Compiler + the TinyGarble technology
+library) with programmatic, GC-optimized circuit generators.
+"""
+
+from .builder import CircuitBuilder
+from .io import dumps_netlist, load_netlist, loads_netlist
+from .netlist import ALICE, BOB, CONST0, CONST1, InitSpec, Netlist, PUBLIC
+from .optimize import optimize
+from .simulate import PlainSimulator, simulate
+
+__all__ = [
+    "ALICE",
+    "BOB",
+    "CONST0",
+    "CONST1",
+    "CircuitBuilder",
+    "InitSpec",
+    "Netlist",
+    "PUBLIC",
+    "PlainSimulator",
+    "dumps_netlist",
+    "load_netlist",
+    "loads_netlist",
+    "optimize",
+    "simulate",
+]

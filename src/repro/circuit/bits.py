@@ -1,0 +1,62 @@
+"""Bit-vector packing helpers shared across the library.
+
+All buses in the circuit layer are least-significant-bit-first lists,
+and all multi-bit values cross API boundaries as Python ints; these
+helpers convert between the two and handle two's-complement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit decomposition of ``value`` (two's complement)."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Recompose a little-endian bit list into an unsigned int."""
+    out = 0
+    for i, bit in enumerate(bits):
+        out |= (bit & 1) << i
+    return out
+
+
+def bits_to_signed(bits: Sequence[int]) -> int:
+    """Recompose a little-endian bit list into a signed int."""
+    value = bits_to_int(bits)
+    width = len(bits)
+    if width and (value >> (width - 1)) & 1:
+        value -= 1 << width
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Reduce ``value`` modulo ``2**width`` (two's-complement wrap)."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value = to_unsigned(value, width)
+    if (value >> (width - 1)) & 1:
+        value -= 1 << width
+    return value
+
+
+def pack_words(words: Sequence[int], width: int) -> List[int]:
+    """Concatenate words (each ``width`` bits) into one bit list."""
+    bits: List[int] = []
+    for w in words:
+        bits.extend(int_to_bits(w, width))
+    return bits
+
+
+def unpack_words(bits: Sequence[int], width: int) -> List[int]:
+    """Split a bit list into unsigned words of ``width`` bits each."""
+    if len(bits) % width:
+        raise ValueError("bit list length is not a multiple of width")
+    return [
+        bits_to_int(bits[i : i + width]) for i in range(0, len(bits), width)
+    ]

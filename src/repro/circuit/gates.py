@@ -1,0 +1,242 @@
+"""Two-input Boolean gate types and the algebra SkipGate needs over them.
+
+Every 2-input gate is encoded as its 4-bit truth table.  For a gate with
+inputs ``a`` (first) and ``b`` (second), the output for the input pair
+``(a, b)`` is stored at bit position ``a + 2*b``::
+
+    tt bit 0 -> output for (a=0, b=0)
+    tt bit 1 -> output for (a=1, b=0)
+    tt bit 2 -> output for (a=0, b=1)
+    tt bit 3 -> output for (a=1, b=1)
+
+This is the representation used throughout the netlist layer and the
+SkipGate engine.  The helpers in this module implement the *gate
+restrictions* that drive SkipGate's gate categories (Section 3.1 of the
+paper):
+
+* :func:`restrict` — fix one input to a public constant (Category ii),
+* :func:`restrict_equal` / :func:`restrict_inverted` — tie the two
+  inputs together (Category iii),
+* :func:`and_decomposition` — express any non-XOR-like gate as an AND
+  gate with optional input/output inversions, which is how the half-gate
+  garbler (``repro.gc.garble``) handles arbitrary gate types.
+
+The restriction result is a :class:`Restriction`, which says whether the
+gate collapses to a public constant, to a plain wire, or to an inverter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class GateType:
+    """Namespace of the 16 possible 2-input truth tables.
+
+    The values are plain ints so the hot loops in the SkipGate engine can
+    use them without attribute lookups or enum overhead.
+    """
+
+    ZERO = 0b0000   #: constant 0
+    AND = 0b1000    #: a & b
+    ANDNB = 0b0010  #: a & ~b
+    BUFA = 0b1010   #: a (second input ignored)
+    ANDNA = 0b0100  #: ~a & b
+    BUFB = 0b1100   #: b (first input ignored)
+    XOR = 0b0110    #: a ^ b
+    OR = 0b1110     #: a | b
+    NOR = 0b0001    #: ~(a | b)
+    XNOR = 0b1001   #: ~(a ^ b)
+    NOTB = 0b0011   #: ~b
+    ORNB = 0b1011   #: a | ~b
+    NOTA = 0b0101   #: ~a
+    ORNA = 0b1101   #: ~a | b
+    NAND = 0b0111   #: ~(a & b)
+    ONE = 0b1111    #: constant 1
+
+
+#: Human-readable names, used by the netlist printer and the text format.
+GATE_NAMES = {
+    GateType.ZERO: "ZERO",
+    GateType.AND: "AND",
+    GateType.ANDNB: "ANDNB",
+    GateType.BUFA: "BUFA",
+    GateType.ANDNA: "ANDNA",
+    GateType.BUFB: "BUFB",
+    GateType.XOR: "XOR",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOTB: "NOTB",
+    GateType.ORNB: "ORNB",
+    GateType.NOTA: "NOTA",
+    GateType.ORNA: "ORNA",
+    GateType.NAND: "NAND",
+    GateType.ONE: "ONE",
+}
+
+#: Reverse mapping for the netlist text format.
+GATE_BY_NAME = {name: tt for tt, name in GATE_NAMES.items()}
+
+#: XOR-like gates are free under the free-XOR optimization [15].
+XOR_TYPES = frozenset({GateType.XOR, GateType.XNOR})
+
+#: Gates that ignore one or both inputs; a well-formed synthesized
+#: netlist should not contain these (the builder folds them away), but
+#: the engine still handles them for robustness.
+DEGENERATE_TYPES = frozenset(
+    {
+        GateType.ZERO,
+        GateType.ONE,
+        GateType.BUFA,
+        GateType.BUFB,
+        GateType.NOTA,
+        GateType.NOTB,
+    }
+)
+
+#: The eight "AND-like" gates: truth tables with exactly one 0 or one 1.
+#: These are the non-free gates that cost one garbled table each.
+AND_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.ANDNA,
+        GateType.ANDNB,
+        GateType.ORNA,
+        GateType.ORNB,
+    }
+)
+
+
+def evaluate(tt: int, a: int, b: int) -> int:
+    """Evaluate truth table ``tt`` on Boolean inputs ``a`` and ``b``."""
+    return (tt >> (a + 2 * b)) & 1
+
+
+def is_free(tt: int) -> bool:
+    """Whether the gate is free under free-XOR (XOR or XNOR)."""
+    return tt in XOR_TYPES
+
+
+def is_nonxor(tt: int) -> bool:
+    """Whether the gate costs a garbled table (AND-like gate)."""
+    return tt in AND_TYPES
+
+
+# Restriction kinds --------------------------------------------------------
+
+CONST = 0    #: gate output collapses to a public constant
+PASS = 1     #: gate output equals the remaining/secret input
+INVERT = 2   #: gate output equals the complement of the remaining input
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """Result of specializing a gate when some input becomes known.
+
+    Attributes:
+        kind: one of :data:`CONST`, :data:`PASS`, :data:`INVERT`.
+        value: the constant output bit when ``kind == CONST`` else 0.
+    """
+
+    kind: int
+    value: int = 0
+
+
+_CONST0 = Restriction(CONST, 0)
+_CONST1 = Restriction(CONST, 1)
+_PASS = Restriction(PASS)
+_INVERT = Restriction(INVERT)
+
+
+def _classify(o0: int, o1: int) -> Restriction:
+    """Classify a 1-input truth table ``(o0, o1)`` over the free input."""
+    if o0 == o1:
+        return _CONST1 if o0 else _CONST0
+    if o0 == 0:
+        return _PASS
+    return _INVERT
+
+
+def restrict(tt: int, which: int, value: int) -> Restriction:
+    """Fix input ``which`` (0 for ``a``, 1 for ``b``) to public ``value``.
+
+    Returns how the gate behaves as a function of the *other* input.
+    This implements the Category-ii analysis of Figure 1: e.g. an AND
+    gate with a public 0 collapses to constant 0, and with a public 1
+    becomes a plain wire for the secret input.
+    """
+    if which == 0:
+        o0 = evaluate(tt, value, 0)
+        o1 = evaluate(tt, value, 1)
+    else:
+        o0 = evaluate(tt, 0, value)
+        o1 = evaluate(tt, 1, value)
+    return _classify(o0, o1)
+
+
+def restrict_equal(tt: int) -> Restriction:
+    """Specialize the gate for ``b == a`` (identical secret labels).
+
+    Category iii of Section 3.1: e.g. ``XOR(x, x)`` collapses to the
+    public constant 0 and ``AND(x, x)`` becomes a wire for ``x``.
+    """
+    return _classify(evaluate(tt, 0, 0), evaluate(tt, 1, 1))
+
+
+def restrict_inverted(tt: int) -> Restriction:
+    """Specialize the gate for ``b == ~a`` (inverted secret labels).
+
+    Category iii of Section 3.1: e.g. ``XOR(x, ~x)`` collapses to the
+    public constant 1 and ``AND(x, ~x)`` to the public constant 0.
+    """
+    return _classify(evaluate(tt, 0, 1), evaluate(tt, 1, 0))
+
+
+def apply_input_flips(tt: int, flip_a: int, flip_b: int) -> int:
+    """Rewrite ``tt`` so it computes ``tt(a ^ flip_a, b ^ flip_b)``.
+
+    The SkipGate engine tracks logical inversions of secret wires as a
+    flip bit next to the label (Section 3.3).  Before garbling a
+    Category-iv gate the engine folds the input flips into the truth
+    table so the garbler only ever sees raw labels.
+    """
+    new_tt = 0
+    for b in (0, 1):
+        for a in (0, 1):
+            out = evaluate(tt, a ^ flip_a, b ^ flip_b)
+            new_tt |= out << (a + 2 * b)
+    return new_tt
+
+
+def and_decomposition(tt: int) -> Optional[Tuple[int, int, int]]:
+    """Decompose an AND-like gate into ``out = oi ^ AND(a ^ ai, b ^ bi)``.
+
+    Returns ``(ai, bi, oi)`` or ``None`` when ``tt`` is not AND-like
+    (i.e. it is XOR-like, degenerate, or constant).  The half-gate
+    garbler uses this to garble every non-XOR gate as an AND gate, which
+    is what keeps the cost at two ciphertexts per gate [49].
+    """
+    ones = bin(tt & 0b1111).count("1")
+    if ones == 1:
+        oi = 0
+    elif ones == 3:
+        oi = 1
+    else:
+        return None
+    # Find the unique input pair mapped to 1 (or to 0 when inverted).
+    for b in (0, 1):
+        for a in (0, 1):
+            if evaluate(tt, a, b) != oi:
+                # AND(a ^ ai, b ^ bi) must be 1 exactly here.
+                return (a ^ 1, b ^ 1, oi)
+    raise AssertionError("unreachable: AND-like gate with no minterm")
+
+
+def gate_name(tt: int) -> str:
+    """Name of the gate type, e.g. ``"AND"``."""
+    return GATE_NAMES[tt]

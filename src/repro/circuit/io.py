@@ -1,0 +1,97 @@
+"""Netlist text format (an SCD-style interchange format).
+
+TinyGarble circulates circuits as SCD files; this module provides an
+equivalent plain-text format so netlists can be saved, diffed and
+reloaded.  Macros are not serialized (they are construction-time
+objects); the format covers gates, flip-flops, inputs and outputs —
+enough for every circuit the synthesis layer produces.
+
+Format (one declaration per line, ``#`` comments)::
+
+    netlist <name>
+    wires <n>
+    input <role> <wire...>
+    dff <d> <q> <src> <idx>
+    gate <TYPE> <a> <b> <out>
+    output <wire...>
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO
+
+from . import gates as G
+from .netlist import InitSpec, Netlist
+
+
+def dump_netlist(net: Netlist, fh: TextIO) -> None:
+    """Serialize ``net`` to a text stream."""
+    if net.macros:
+        raise ValueError("netlists with memory macros cannot be serialized")
+    fh.write(f"netlist {net.name}\n")
+    fh.write(f"wires {net.n_wires}\n")
+    for role, wires in net.inputs.items():
+        if wires:
+            fh.write(f"input {role} {' '.join(map(str, wires))}\n")
+    for ff in net.dffs:
+        fh.write(f"dff {ff.d} {ff.q} {ff.init.src} {ff.init.idx}\n")
+    for gi in net.schedule:
+        fh.write(
+            f"gate {G.gate_name(net.gate_tt[gi])} "
+            f"{net.gate_a[gi]} {net.gate_b[gi]} {net.gate_out[gi]}\n"
+        )
+    fh.write(f"output {' '.join(map(str, net.outputs))}\n")
+
+
+def dumps_netlist(net: Netlist) -> str:
+    """Serialize to a string."""
+    import io as _io
+
+    buf = _io.StringIO()
+    dump_netlist(net, buf)
+    return buf.getvalue()
+
+
+def load_netlist(fh: TextIO) -> Netlist:
+    """Parse a netlist from a text stream (inverse of dump)."""
+    net = Netlist()
+    declared_wires = None
+    for line_no, raw in enumerate(fh, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            if kind == "netlist":
+                net.name = parts[1] if len(parts) > 1 else "netlist"
+            elif kind == "wires":
+                declared_wires = int(parts[1])
+                net.n_wires = declared_wires
+            elif kind == "input":
+                role = parts[1]
+                wires = [int(x) for x in parts[2:]]
+                net.inputs[role].extend(wires)
+            elif kind == "dff":
+                d, q = int(parts[1]), int(parts[2])
+                net.add_dff(d=d, q=q, init=InitSpec(parts[3], int(parts[4])))
+            elif kind == "gate":
+                tt = G.GATE_BY_NAME[parts[1]]
+                net.add_gate(tt, int(parts[2]), int(parts[3]), out=int(parts[4]))
+            elif kind == "output":
+                net.set_outputs([int(x) for x in parts[1:]])
+            else:
+                raise ValueError(f"unknown declaration {kind!r}")
+        except (IndexError, KeyError, ValueError) as exc:
+            raise ValueError(f"line {line_no}: {exc}") from exc
+    if declared_wires is not None:
+        net.n_wires = max(net.n_wires, declared_wires)
+    net.validate()
+    return net
+
+
+def loads_netlist(text: str) -> Netlist:
+    """Parse a netlist from a string."""
+    import io as _io
+
+    return load_netlist(_io.StringIO(text))

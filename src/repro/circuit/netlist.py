@@ -1,0 +1,354 @@
+"""Sequential Boolean netlists.
+
+A :class:`Netlist` is the circuit object everything else in this library
+operates on: the plain simulator, the static optimizer, the conventional
+GC baseline, and the SkipGate engine.  It is a *sequential* circuit in
+the TinyGarble sense [41]: a cyclic graph of 2-input gates plus D
+flip-flops that is garbled/evaluated for a number of clock cycles, with
+flip-flop labels copied from input to output between cycles.
+
+Design notes
+------------
+* Wires are dense integer ids.  Wire ``0`` is the constant 0 and wire
+  ``1`` is the constant 1; every netlist has them.
+* Gates are stored as four parallel lists (``gate_tt``, ``gate_a``,
+  ``gate_b``, ``gate_out``) so the per-cycle hot loop of the SkipGate
+  engine touches flat ``list[int]`` data only.
+* The evaluation order is an explicit ``schedule``: non-negative entries
+  are gate indices; negative entries encode macro-port indices as
+  ``-(port_index + 1)``.  Builders emit nodes in creation order, which
+  is topological by construction (a gate can only be created after its
+  input wires exist; feedback goes through flip-flops or macro storage).
+* Memory *macros* (:mod:`repro.circuit.macros`) model the MUX/flip-flop
+  memory arrays of the paper (register file, instruction/data memories,
+  Section 4.4) with lazily expanded gate behaviour.  Each macro is a
+  storage object; its read/write *ports* are schedule nodes.
+
+Flip-flop initialization follows Section 4.1 of the paper: flip-flops
+(and macro storage words) may be initialized with constants, with public
+init bits, or with the label of one party's private input bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import gates as G
+
+# Wire roles for inputs.
+ALICE = "alice"
+BOB = "bob"
+PUBLIC = "public"
+CONST = "const"
+#: XOR-shared init source: the initial value is alice_init[i] XOR
+#: bob_init[i].  This is the input convention of Section 5.7 ("the
+#: input is XOR-shared between two parties") and is free under
+#: free-XOR.
+SHARED = "shared"
+
+#: Reserved wire ids.
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass(frozen=True)
+class InitSpec:
+    """Initial value of a flip-flop or memory bit.
+
+    Attributes:
+        src: one of ``"const"``, ``"alice"``, ``"bob"``, ``"public"``.
+        idx: for ``"const"`` the literal bit (0/1); otherwise the bit
+            index into the corresponding party's init vector.
+    """
+
+    src: str
+    idx: int
+
+    def __post_init__(self) -> None:
+        if self.src not in (CONST, ALICE, BOB, PUBLIC, SHARED):
+            raise ValueError(f"bad init source {self.src!r}")
+        if self.src == CONST and self.idx not in (0, 1):
+            raise ValueError("const init must be 0 or 1")
+
+
+ZERO_INIT = InitSpec(CONST, 0)
+ONE_INIT = InitSpec(CONST, 1)
+
+
+@dataclass
+class DFF:
+    """A D flip-flop: ``q`` takes the value of ``d`` at each clock edge."""
+
+    d: int
+    q: int
+    init: InitSpec = ZERO_INIT
+
+
+class Netlist:
+    """A sequential Boolean circuit over 2-input gates, DFFs and macros.
+
+    Attributes:
+        name: human-readable circuit name.
+        n_wires: total number of wire ids allocated (including the two
+            constant wires).
+        gate_tt / gate_a / gate_b / gate_out: parallel per-gate lists of
+            truth table, first input wire, second input wire and output
+            wire.
+        dffs: list of :class:`DFF`.
+        macros: list of macro storage objects.
+        macro_ports: list of macro port objects (see
+            :mod:`repro.circuit.macros`), referenced from ``schedule``.
+        schedule: topological evaluation order; entry ``>= 0`` is a gate
+            index, entry ``< 0`` is macro port ``-(entry + 1)``.
+        inputs: mapping role -> list of wire ids fed fresh every cycle.
+        outputs: list of output wire ids (read after the last cycle).
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self.n_wires = 2  # wires 0 and 1 are the constants
+        self.gate_tt: List[int] = []
+        self.gate_a: List[int] = []
+        self.gate_b: List[int] = []
+        self.gate_out: List[int] = []
+        self.dffs: List[DFF] = []
+        self.macros: List[object] = []
+        self.macro_ports: List[object] = []
+        self.schedule: List[int] = []
+        self.inputs: Dict[str, List[int]] = {ALICE: [], BOB: [], PUBLIC: []}
+        self.outputs: List[int] = []
+
+    # -- construction ------------------------------------------------------
+
+    def new_wire(self) -> int:
+        """Allocate and return a fresh wire id."""
+        w = self.n_wires
+        self.n_wires += 1
+        return w
+
+    def new_wires(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh wire ids."""
+        first = self.n_wires
+        self.n_wires += count
+        return list(range(first, first + count))
+
+    def add_gate(self, tt: int, a: int, b: int, out: Optional[int] = None) -> int:
+        """Append a gate to the schedule; returns its output wire id."""
+        if not 0 <= tt <= 15:
+            raise ValueError(f"bad truth table {tt}")
+        if out is None:
+            out = self.new_wire()
+        self.gate_tt.append(tt)
+        self.gate_a.append(a)
+        self.gate_b.append(b)
+        self.gate_out.append(out)
+        self.schedule.append(len(self.gate_tt) - 1)
+        return out
+
+    def add_input(self, role: str, count: int = 1) -> List[int]:
+        """Allocate ``count`` input wires for ``role`` (alice/bob/public)."""
+        if role not in self.inputs:
+            raise ValueError(f"bad input role {role!r}")
+        ws = self.new_wires(count)
+        self.inputs[role].extend(ws)
+        return ws
+
+    def add_dff(self, d: int, init: InitSpec = ZERO_INIT, q: Optional[int] = None) -> int:
+        """Add a flip-flop; returns the ``q`` (output) wire id.
+
+        ``d`` may be a placeholder that is rewired later via
+        :meth:`set_dff_d` to allow feedback loops.
+        """
+        if q is None:
+            q = self.new_wire()
+        self.dffs.append(DFF(d=d, q=q, init=init))
+        return q
+
+    def set_dff_d(self, q: int, d: int) -> None:
+        """Re-point the ``d`` input of the flip-flop whose output is ``q``."""
+        for ff in self.dffs:
+            if ff.q == q:
+                ff.d = d
+                return
+        raise KeyError(f"no flip-flop with q wire {q}")
+
+    def add_macro(self, macro: object) -> object:
+        """Register a macro storage object."""
+        self.macros.append(macro)
+        return macro
+
+    def schedule_port(self, port: object) -> None:
+        """Append a macro port to the evaluation schedule."""
+        self.macro_ports.append(port)
+        self.schedule.append(-len(self.macro_ports))
+
+    def set_outputs(self, wires: Sequence[int]) -> None:
+        """Declare the circuit output wires."""
+        self.outputs = list(wires)
+
+    # -- derived data ------------------------------------------------------
+
+    @property
+    def n_gates(self) -> int:
+        """Number of 2-input gates (excluding macro-equivalent gates)."""
+        return len(self.gate_tt)
+
+    def n_nonxor(self) -> int:
+        """Non-XOR gate count of the explicit gates only."""
+        return sum(1 for tt in self.gate_tt if G.is_nonxor(tt))
+
+    def n_nonxor_equivalent(self) -> int:
+        """Non-XOR count including the gate-level equivalent of macros.
+
+        This is the per-cycle garbling cost of the circuit under the
+        conventional GC protocol (every wire secret), and is what the
+        paper multiplies by the cycle count for the "w/o SkipGate"
+        columns of Tables 4 and 5.
+        """
+        total = self.n_nonxor()
+        for macro in self.macros:
+            total += macro.equivalent_nonxor()  # type: ignore[attr-defined]
+        return total
+
+    def n_gates_equivalent(self) -> int:
+        """Total gate count including macro gate-level equivalents."""
+        total = self.n_gates
+        for macro in self.macros:
+            total += macro.equivalent_gates()  # type: ignore[attr-defined]
+        return total
+
+    def wire_origin_gate(self) -> List[int]:
+        """Map wire id -> driving gate index, or -1 for non-gate wires."""
+        origin = [-1] * self.n_wires
+        for gi, out in enumerate(self.gate_out):
+            origin[out] = gi
+        return origin
+
+    def static_fanout(self) -> List[int]:
+        """Per-gate fanout as defined in Section 3.2 of the paper.
+
+        The fanout of a gate counts every consumer *pin* of its output
+        wire: inputs of other gates, macro port inputs, flip-flop ``d``
+        pins, and circuit outputs.  ``label_fanout`` is initialized from
+        this at the start of every sequential cycle (Algorithms 1-2,
+        "initialize labels' fanout").
+        """
+        consumers = [0] * self.n_wires
+        for a in self.gate_a:
+            consumers[a] += 1
+        for b in self.gate_b:
+            consumers[b] += 1
+        for ff in self.dffs:
+            consumers[ff.d] += 1
+        for w in self.outputs:
+            consumers[w] += 1
+        for port in self.macro_ports:
+            for w in port.input_wires():  # type: ignore[attr-defined]
+                consumers[w] += 1
+        fanout = [0] * self.n_gates
+        for gi, out in enumerate(self.gate_out):
+            fanout[gi] = consumers[out]
+        return fanout
+
+    def wire_consumers(self) -> List[int]:
+        """Per-wire consumer-pin counts (used by the optimizer)."""
+        consumers = [0] * self.n_wires
+        for a in self.gate_a:
+            consumers[a] += 1
+        for b in self.gate_b:
+            consumers[b] += 1
+        for ff in self.dffs:
+            consumers[ff.d] += 1
+        for w in self.outputs:
+            consumers[w] += 1
+        for port in self.macro_ports:
+            for w in port.input_wires():  # type: ignore[attr-defined]
+                consumers[w] += 1
+        return consumers
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises ``ValueError``.
+
+        Verifies that every wire has exactly one driver, that gate
+        inputs are driven before use in schedule order, and that
+        schedule entries are consistent.
+        """
+        driven = [False] * self.n_wires
+        driven[CONST0] = driven[CONST1] = True
+        for role_wires in self.inputs.values():
+            for w in role_wires:
+                if driven[w]:
+                    raise ValueError(f"wire {w} has multiple drivers")
+                driven[w] = True
+        for ff in self.dffs:
+            if driven[ff.q]:
+                raise ValueError(f"dff q wire {ff.q} has multiple drivers")
+            driven[ff.q] = True
+
+        seen_gates = set()
+        seen_ports = set()
+        for entry in self.schedule:
+            if entry >= 0:
+                gi = entry
+                if gi in seen_gates or gi >= self.n_gates:
+                    raise ValueError(f"bad/duplicate gate schedule entry {gi}")
+                seen_gates.add(gi)
+                for pin in (self.gate_a[gi], self.gate_b[gi]):
+                    if not 0 <= pin < self.n_wires or not driven[pin]:
+                        raise ValueError(
+                            f"gate {gi} input wire {pin} not driven before use"
+                        )
+                out = self.gate_out[gi]
+                if driven[out]:
+                    raise ValueError(f"wire {out} has multiple drivers")
+                driven[out] = True
+            else:
+                pi = -entry - 1
+                if pi in seen_ports or pi >= len(self.macro_ports):
+                    raise ValueError(f"bad/duplicate port schedule entry {pi}")
+                seen_ports.add(pi)
+                port = self.macro_ports[pi]
+                for pin in port.input_wires():  # type: ignore[attr-defined]
+                    if not 0 <= pin < self.n_wires or not driven[pin]:
+                        raise ValueError(
+                            f"macro port input wire {pin} not driven before use"
+                        )
+                for out in port.output_wires():  # type: ignore[attr-defined]
+                    if driven[out]:
+                        raise ValueError(f"wire {out} has multiple drivers")
+                    driven[out] = True
+        if len(seen_gates) != self.n_gates:
+            raise ValueError("schedule does not cover all gates")
+        if len(seen_ports) != len(self.macro_ports):
+            raise ValueError("schedule does not cover all macro ports")
+        for ff in self.dffs:
+            if not 0 <= ff.d < self.n_wires or not driven[ff.d]:
+                raise ValueError(f"dff d wire {ff.d} is not driven")
+        for w in self.outputs:
+            if not driven[w]:
+                raise ValueError(f"output wire {w} is not driven")
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics of the netlist."""
+        return {
+            "wires": self.n_wires,
+            "gates": self.n_gates,
+            "nonxor": self.n_nonxor(),
+            "nonxor_equivalent": self.n_nonxor_equivalent(),
+            "dffs": len(self.dffs),
+            "macros": len(self.macros),
+            "inputs_alice": len(self.inputs[ALICE]),
+            "inputs_bob": len(self.inputs[BOB]),
+            "inputs_public": len(self.inputs[PUBLIC]),
+            "outputs": len(self.outputs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"<Netlist {self.name!r} gates={s['gates']} nonxor={s['nonxor']} "
+            f"dffs={s['dffs']} macros={s['macros']}>"
+        )

@@ -1,0 +1,162 @@
+"""Static netlist optimization: the synthesis-time cleanup pass.
+
+The paper notes (Section 1) that static circuit simplification — the
+method of Pinkas et al. [29] that removes gates with constant inputs at
+compile time — is subsumed by the industrial synthesis tools producing
+the processor netlist.  Our :class:`CircuitBuilder` folds constants at
+construction time; this module provides the same cleanup for netlists
+from other sources (hand-written, file-loaded, or machine-generated),
+and doubles as the CP/DCE reference point for the Table 6 comparison:
+
+* **constant propagation** — gates with constant inputs collapse,
+* **duplicate-input simplification** — ``g(x, x)`` collapses,
+* **structural hashing** — identical gates are merged,
+* **dead gate elimination** — gates feeding nothing are dropped.
+
+The pass preserves sequential semantics (flip-flops and macro ports
+are barriers: their outputs are treated as opaque).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from . import gates as G
+from .netlist import CONST0, CONST1, Netlist
+
+
+def optimize(net: Netlist) -> Tuple[Netlist, Dict[str, int]]:
+    """Simplify a netlist; returns ``(new_netlist, statistics)``.
+
+    Statistics keys: ``const_folded``, ``deduplicated``, ``dead`` and
+    the before/after gate counts.
+    """
+    out = Netlist(net.name)
+    out.n_wires = net.n_wires  # keep the wire id space; extend as needed
+    out.inputs = {k: list(v) for k, v in net.inputs.items()}
+
+    # Wire substitution map: old wire -> (wire, inverted?) in `out`.
+    subst: Dict[int, Tuple[int, int]] = {CONST0: (CONST0, 0), CONST1: (CONST1, 0)}
+    for role_wires in net.inputs.values():
+        for w in role_wires:
+            subst[w] = (w, 0)
+    for ff in net.dffs:
+        subst[ff.q] = (ff.q, 0)
+    for port in net.macro_ports:
+        for w in port.output_wires():  # type: ignore[attr-defined]
+            subst[w] = (w, 0)
+
+    stats = {"const_folded": 0, "deduplicated": 0, "dead": 0}
+    seen: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+    emitted: List[Tuple[int, int, int, int]] = []  # (tt, a, b, out_wire)
+    out_wire_of_old: Dict[int, Tuple[int, int]] = {}
+
+    def resolve(w: int) -> Tuple[int, int]:
+        return subst.get(w, out_wire_of_old.get(w, (w, 0)))
+
+    if net.macro_ports:
+        raise ValueError(
+            "optimize() supports gate/DFF netlists; flatten or exclude "
+            "macro memories first"
+        )
+
+    for gi in net.schedule:
+        tt = net.gate_tt[gi]
+        a, ainv = resolve(net.gate_a[gi])
+        b, binv = resolve(net.gate_b[gi])
+        tt = G.apply_input_flips(tt, ainv, binv)
+        ow = net.gate_out[gi]
+
+        # constant folding
+        ca = 1 if a == CONST1 else (0 if a == CONST0 else None)
+        cb = 1 if b == CONST1 else (0 if b == CONST0 else None)
+        if ca is not None and cb is not None:
+            out_wire_of_old[ow] = (CONST1 if G.evaluate(tt, ca, cb) else CONST0, 0)
+            stats["const_folded"] += 1
+            continue
+        if ca is not None or cb is not None:
+            which, value = (0, ca) if ca is not None else (1, cb)
+            other = (b, 0) if ca is not None else (a, 0)
+            r = G.restrict(tt, which, value)
+            if r.kind == G.CONST:
+                out_wire_of_old[ow] = (CONST1 if r.value else CONST0, 0)
+            elif r.kind == G.PASS:
+                out_wire_of_old[ow] = other
+            else:
+                out_wire_of_old[ow] = (other[0], 1)
+            stats["const_folded"] += 1
+            continue
+        if a == b:
+            r = G.restrict_equal(tt)
+            if r.kind == G.CONST:
+                out_wire_of_old[ow] = (CONST1 if r.value else CONST0, 0)
+            elif r.kind == G.PASS:
+                out_wire_of_old[ow] = (a, 0)
+            else:
+                out_wire_of_old[ow] = (a, 1)
+            stats["const_folded"] += 1
+            continue
+
+        # canonical ordering for commutative gates aids deduplication
+        if G.evaluate(tt, 0, 1) == G.evaluate(tt, 1, 0) and b < a:
+            a, b = b, a
+        key = (tt, a, b)
+        if key in seen:
+            out_wire_of_old[ow] = seen[key]
+            stats["deduplicated"] += 1
+            continue
+        emitted.append((tt, a, b, ow))
+        seen[key] = (ow, 0)
+        out_wire_of_old[ow] = (ow, 0)
+
+    # Liveness: outputs and DFF d-wires are roots.
+    def resolve_final(w: int) -> Tuple[int, int]:
+        return out_wire_of_old.get(w, subst.get(w, (w, 0)))
+
+    producers = {ow: (tt, a, b) for tt, a, b, ow in emitted}
+    live = set()
+    stack = []
+    for w in net.outputs:
+        stack.append(resolve_final(w)[0])
+    for ff in net.dffs:
+        stack.append(resolve_final(ff.d)[0])
+    while stack:
+        w = stack.pop()
+        if w in live or w not in producers:
+            continue
+        live.add(w)
+        _, a, b = producers[w]
+        stack.append(a)
+        stack.append(b)
+
+    inverter_cache: Dict[int, int] = {}
+
+    def emit_wire(spec: Tuple[int, int]) -> int:
+        w, inv = spec
+        if not inv:
+            return w
+        if w == CONST0:
+            return CONST1
+        if w == CONST1:
+            return CONST0
+        if w not in inverter_cache:
+            inverter_cache[w] = out.add_gate(G.GateType.XNOR, w, CONST0)
+        return inverter_cache[w]
+
+    for tt, a, b, ow in emitted:
+        if ow not in live:
+            stats["dead"] += 1
+            continue
+        out.add_gate(tt, a, b, out=ow)
+
+    for ff in net.dffs:
+        out.add_dff(d=emit_wire(resolve_final(ff.d)), init=ff.init, q=ff.q)
+    out.set_outputs([emit_wire(resolve_final(w)) for w in net.outputs])
+    out.n_wires = max(out.n_wires, net.n_wires)
+
+    stats["gates_before"] = net.n_gates
+    stats["gates_after"] = out.n_gates
+    stats["nonxor_before"] = net.n_nonxor()
+    stats["nonxor_after"] = out.n_nonxor()
+    out.validate()
+    return out, stats

@@ -1,0 +1,153 @@
+"""Plain (insecure) Boolean simulation of sequential netlists.
+
+The simulator computes the functional output of a netlist on cleartext
+inputs.  It is the reference model against which both the SkipGate
+engine and the two-party protocol are validated: for any circuit and
+inputs, ``simulate(...) == skipgate_run(...) == protocol_run(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import gates as G
+from .netlist import ALICE, BOB, CONST, Netlist, PUBLIC
+
+
+InputProvider = Callable[[int], Dict[str, Sequence[int]]]
+
+
+def constant_inputs(
+    alice: Sequence[int] = (),
+    bob: Sequence[int] = (),
+    public: Sequence[int] = (),
+) -> InputProvider:
+    """Input provider that presents the same bits every cycle."""
+
+    def provider(cycle: int) -> Dict[str, Sequence[int]]:
+        return {ALICE: alice, BOB: bob, PUBLIC: public}
+
+    return provider
+
+
+def _resolve_init(init, init_bits: Dict[str, Sequence[int]]) -> int:
+    if init.src == CONST:
+        return init.idx
+    if init.src == "shared":
+        a = init_bits.get(ALICE, ())
+        b = init_bits.get(BOB, ())
+        if init.idx >= len(a) or init.idx >= len(b):
+            raise ValueError(
+                f"shared init bit {init.idx} needs both parties' init vectors"
+            )
+        return (a[init.idx] ^ b[init.idx]) & 1
+    vec = init_bits.get(init.src)
+    if vec is None or init.idx >= len(vec):
+        raise ValueError(
+            f"flip-flop init references {init.src}[{init.idx}] "
+            f"but no such init bit was provided"
+        )
+    return vec[init.idx] & 1
+
+
+class PlainSimulator:
+    """Cycle-accurate cleartext simulator for :class:`Netlist`.
+
+    Args:
+        net: the netlist to simulate.
+        init_bits: per-role init vectors used by flip-flop/macro
+            ``InitSpec`` references (keys ``"alice"``, ``"bob"``,
+            ``"public"``).
+    """
+
+    def __init__(
+        self, net: Netlist, init_bits: Optional[Dict[str, Sequence[int]]] = None
+    ) -> None:
+        self.net = net
+        self.init_bits = init_bits or {}
+        self.values: List[int] = [0] * net.n_wires
+        self.values[1] = 1
+        self.cycle = 0
+        self._macro_state: Dict[int, List[int]] = {}
+        for macro in net.macros:
+            self._macro_state[id(macro)] = macro.plain_init(
+                lambda init: _resolve_init(init, self.init_bits)
+            )
+        self._ff_state = [
+            _resolve_init(ff.init, self.init_bits) for ff in net.dffs
+        ]
+
+    def step(self, inputs: Dict[str, Sequence[int]]) -> None:
+        """Run one clock cycle with the given per-role input bits."""
+        net = self.net
+        values = self.values
+        values[0] = 0
+        values[1] = 1
+        for role in (ALICE, BOB, PUBLIC):
+            wires = net.inputs[role]
+            bits = inputs.get(role, ())
+            if len(bits) != len(wires):
+                raise ValueError(
+                    f"{role} inputs: expected {len(wires)} bits, got {len(bits)}"
+                )
+            for w, bit in zip(wires, bits):
+                values[w] = bit & 1
+        for ff, q in zip(net.dffs, self._ff_state):
+            values[ff.q] = q
+
+        tts, gas, gbs, gouts = net.gate_tt, net.gate_a, net.gate_b, net.gate_out
+        pending_writes: List = []
+        for entry in net.schedule:
+            if entry >= 0:
+                gi = entry
+                tt = tts[gi]
+                out = (tt >> (values[gas[gi]] + 2 * values[gbs[gi]])) & 1
+                values[gouts[gi]] = out
+            else:
+                port = net.macro_ports[-entry - 1]
+                port.plain_step(values, self._macro_state, pending_writes)
+        for write in pending_writes:
+            write()
+        self._ff_state = [values[ff.d] for ff in net.dffs]
+        self.cycle += 1
+
+    def run(
+        self,
+        cycles: int,
+        inputs: Optional[InputProvider] = None,
+    ) -> List[int]:
+        """Run ``cycles`` clock cycles and return the output bits."""
+        provider = inputs or constant_inputs()
+        for c in range(cycles):
+            self.step(provider(self.cycle))
+        return self.outputs()
+
+    def outputs(self) -> List[int]:
+        """Output values after the most recent cycle.
+
+        Flip-flop outputs report the committed (post-clock-edge)
+        value, matching the SkipGate engine's output semantics;
+        combinational wires report their last-cycle value.
+        """
+        committed = {}
+        for ff, q in zip(self.net.dffs, self._ff_state):
+            committed[ff.q] = q
+        return [committed.get(w, self.values[w]) for w in self.net.outputs]
+
+    def macro_words(self, macro_index: int) -> List[int]:
+        """Cleartext contents of a macro memory (for test inspection)."""
+        macro = self.net.macros[macro_index]
+        return macro.plain_words(self._macro_state[id(macro)])
+
+
+def simulate(
+    net: Netlist,
+    cycles: int = 1,
+    alice: Sequence[int] = (),
+    bob: Sequence[int] = (),
+    public: Sequence[int] = (),
+    init_bits: Optional[Dict[str, Sequence[int]]] = None,
+) -> List[int]:
+    """One-shot helper: simulate ``net`` with constant inputs."""
+    sim = PlainSimulator(net, init_bits=init_bits)
+    return sim.run(cycles, constant_inputs(alice, bob, public))

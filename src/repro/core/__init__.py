@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the SkipGate algorithm.
+
+Exposes the SkipGate engine (Algorithms 1-6), the label backends, the
+cost statistics and the two-party protocol wrapper.
+"""
+
+from .backend import Backend, CountingBackend
+from .engine import MacroContext, SkipGateEngine
+from .run import RunResult, evaluate_with_stats
+from .stats import CycleStats, RunStats
+
+__all__ = [
+    "Backend",
+    "CountingBackend",
+    "CycleStats",
+    "MacroContext",
+    "RunResult",
+    "RunStats",
+    "SkipGateEngine",
+    "evaluate_with_stats",
+]

@@ -1,0 +1,92 @@
+"""Label backends for the SkipGate engine.
+
+The SkipGate engine (:mod:`repro.core.engine`) is *label-representation
+agnostic*: all category decisions depend only on which wires are public
+and on label identity, never on label contents.  A backend supplies the
+label algebra:
+
+* :class:`CountingBackend` — labels are random 128-bit integers and
+  "garbling" just mints a fresh label.  This mode computes the paper's
+  cost metric (garbled non-XOR gates) exactly, without cryptography,
+  and is what the benchmark harness uses.  Crucially it consumes only
+  **public** information — the engine never sees private input bits —
+  which mirrors the security argument of Section 3.5.
+* The cryptographic garbler/evaluator backends live in
+  :mod:`repro.core.protocol`; they share this interface and run the
+  real half-gate protocol over a channel.
+
+Free-XOR is modelled exactly: a wire label is the XOR of the base
+labels on its structural path, so two wires carry identical labels if
+and only if the real protocol would produce bit-identical key material
+— the condition both parties can detect symmetrically (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class Backend:
+    """Interface the SkipGate engine uses to manipulate labels."""
+
+    def secret_label(self, key: Hashable) -> int:
+        """Label for a private input / initialization bit.
+
+        ``key`` identifies the bit, e.g. ``("in", "alice", cycle, i)``
+        or ``("init", "bob", i)``.  Must be memoized: the same key must
+        always return the same label so that re-used input bits carry
+        identical labels (which Category iii can then exploit).
+        """
+        raise NotImplementedError
+
+    def xor(self, la: int, lb: int) -> int:
+        """Free-XOR combination of two labels."""
+        raise NotImplementedError
+
+    def garble(self, tt: int, la: int, lb: int, key: int) -> int:
+        """Garble/evaluate one non-XOR gate; returns the output label.
+
+        ``tt`` is the effective truth table after input flips have been
+        folded in; ``key`` is the deterministic per-cycle gate id used
+        to match garbled tables between the parties.
+        """
+        raise NotImplementedError
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Hook called before each sequential cycle."""
+
+    def end_cycle(self, kept_keys: List[int], dropped_keys: List[int]) -> None:
+        """Hook called after filtering; transports surviving tables."""
+
+
+class CountingBackend(Backend):
+    """Non-cryptographic backend that models labels as random ints.
+
+    Labels are 128-bit integers with the top bit forced to 1 (so no
+    label ever collides with an encoded public constant).  XOR is
+    integer XOR, exactly mirroring free-XOR key material; garbling
+    mints a fresh label.  Deterministic given ``seed``.
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._rng = random.Random(seed)
+        self._memo: Dict[Hashable, int] = {}
+        self.tables_emitted = 0
+
+    def _fresh(self) -> int:
+        return self._rng.getrandbits(127) | (1 << 127)
+
+    def secret_label(self, key: Hashable) -> int:
+        label = self._memo.get(key)
+        if label is None:
+            label = self._fresh()
+            self._memo[key] = label
+        return label
+
+    def xor(self, la: int, lb: int) -> int:
+        return la ^ lb
+
+    def garble(self, tt: int, la: int, lb: int, key: int) -> int:
+        self.tables_emitted += 1
+        return self._fresh()

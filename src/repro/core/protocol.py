@@ -1,0 +1,307 @@
+"""The two-party SkipGate protocol (Algorithms 1 and 2, with crypto).
+
+This module runs the *real* protocol: Alice garbles with half-gates,
+Bob receives his input labels through oblivious transfer, garbled
+tables travel over a byte-counted channel, and the SkipGate engine on
+each side independently decides — from public information and label
+identity only — which gates to garble, compute locally, or skip.
+
+The parties run in two threads; because Alice sends each cycle's
+surviving tables at the end of her cycle while Bob blocks for them at
+the start of his, Alice is naturally garbling cycle ``c+1`` while Bob
+evaluates cycle ``c``, the pipelining described in Section 3.2.
+
+Synchronization argument (why the two engines agree): every decision
+the engine takes depends only on (a) public inputs, which both have,
+and (b) raw-label identity plus flip bits, which evolve identically on
+both sides — Alice compares zero-labels, Bob compares held labels, and
+these coincide because labels are only ever created fresh (garbling,
+inputs) or combined structurally (XOR, wire/inverter passes).  Garbled
+tables are additionally tagged with their deterministic per-cycle gate
+key, so a table filtered by Alice (Algorithm 4 line 18) is simply
+absent from Bob's batch and he substitutes a flagged dummy label
+(Algorithm 5 line 18).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..circuit.bits import bits_to_int
+from ..circuit.netlist import Netlist
+from ..gc.channel import Endpoint, channel_pair
+from ..gc.garble import (
+    GarbledTable,
+    evaluate_gate,
+    garble_gate,
+    random_delta,
+    random_label,
+)
+from ..gc.hashing import LABEL_BYTES
+from ..gc.ot import OTReceiver, OTSender
+from ..gc.ot_extension import OTExtensionReceiver, OTExtensionSender
+from .backend import Backend
+from .engine import SkipGateEngine
+from .stats import RunStats
+
+
+class GarblerBackend(Backend):
+    """Alice: creates labels, garbles, transfers inputs, sends tables."""
+
+    def __init__(
+        self,
+        chan: Endpoint,
+        alice_bits: Dict[Hashable, int],
+        ot_group: str = "modp2048",
+        ot: str = "simplest",
+        rng=None,
+    ) -> None:
+        self.chan = chan
+        self.delta = random_delta(rng)
+        self._rng = rng
+        self._memo: Dict[Hashable, int] = {}
+        self._alice_bits = alice_bits
+        if ot == "extension":
+            self._ot = OTExtensionSender(chan, group=ot_group, rng=rng)
+        else:
+            self._ot = OTSender(chan, group=ot_group)
+        self._pending: Dict[int, GarbledTable] = {}
+        self._gid = 0
+        self.tables_sent = 0
+
+    def secret_label(self, key: Hashable) -> int:
+        label = self._memo.get(key)
+        if label is not None:
+            return label
+        zero = random_label(self._rng)
+        self._memo[key] = zero
+        owner = key[1]
+        if owner == "alice":
+            bit = self._alice_bits[key]
+            self.chan.send("alice-label", zero ^ (self.delta if bit else 0), LABEL_BYTES)
+        elif owner == "bob":
+            self._ot.send(zero, zero ^ self.delta)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown label owner in key {key!r}")
+        return zero
+
+    def xor(self, la: int, lb: int) -> int:
+        return la ^ lb
+
+    def garble(self, tt: int, la: int, lb: int, key: int) -> int:
+        out0, table = garble_gate(tt, la, lb, self.delta, self._gid)
+        self._gid += 1
+        self._pending[key] = table
+        return out0
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._pending = {}
+
+    def end_cycle(self, kept_keys: List[int], dropped_keys: List[int]) -> None:
+        batch = [(k, self._pending[k].tg, self._pending[k].te) for k in kept_keys]
+        self.tables_sent += len(batch)
+        # Wire size: table payload only; the key tags are bookkeeping
+        # both parties could derive (they are deterministic).
+        self.chan.send("tables", batch, len(batch) * GarbledTable.SIZE_BYTES)
+
+
+class EvaluatorBackend(Backend):
+    """Bob: receives labels/tables, evaluates, flags dummy labels."""
+
+    def __init__(
+        self,
+        chan: Endpoint,
+        bob_bits: Dict[Hashable, int],
+        ot_group: str = "modp2048",
+        ot: str = "simplest",
+        rng=None,
+    ) -> None:
+        self.chan = chan
+        self._rng = rng
+        self._memo: Dict[Hashable, int] = {}
+        self._bob_bits = bob_bits
+        if ot == "extension":
+            self._ot = OTExtensionReceiver(chan, group=ot_group, rng=rng)
+        else:
+            self._ot = OTReceiver(chan, group=ot_group)
+        self._tables: Dict[int, GarbledTable] = {}
+        self._gid = 0
+        #: Labels invented for filtered gates (Algorithm 5 line 18);
+        #: kept to assert none ever reaches a live output.
+        self.invalid_labels: set = set()
+
+    def secret_label(self, key: Hashable) -> int:
+        label = self._memo.get(key)
+        if label is not None:
+            return label
+        owner = key[1]
+        if owner == "alice":
+            label = self.chan.recv("alice-label")
+        elif owner == "bob":
+            label = self._ot.receive(self._bob_bits[key])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown label owner in key {key!r}")
+        self._memo[key] = label
+        return label
+
+    def xor(self, la: int, lb: int) -> int:
+        return la ^ lb
+
+    def garble(self, tt: int, la: int, lb: int, key: int) -> int:
+        gid = self._gid
+        self._gid += 1
+        table = self._tables.get(key)
+        if table is None:
+            # Alice filtered this table: its fanout will reach zero.
+            # Track the secret with a flagged unique label.
+            dummy = random_label(self._rng)
+            self.invalid_labels.add(dummy)
+            return dummy
+        return evaluate_gate(tt, la, lb, table, gid)
+
+    def begin_cycle(self, cycle: int) -> None:
+        batch = self.chan.recv("tables")
+        self._tables = {k: GarbledTable(tg, te) for k, tg, te in batch}
+
+
+@dataclass
+class ProtocolResult:
+    """Everything the harness wants to know about a protocol run."""
+
+    outputs: List[int]
+    value: int
+    alice_stats: RunStats
+    bob_stats: RunStats
+    tables_sent: int
+    alice_sent_bytes: int
+    bob_sent_bytes: int
+
+
+def _expand_bits(
+    net: Netlist, role: str, per_cycle: Sequence[int], init: Sequence[int], cycles: int
+) -> Dict[Hashable, int]:
+    """Map engine label keys to the owning party's actual bits."""
+    bits: Dict[Hashable, int] = {}
+    wires = net.inputs[role]
+    for cycle in range(cycles):
+        row = per_cycle(cycle) if callable(per_cycle) else per_cycle
+        if len(row) != len(wires):
+            raise ValueError(f"{role}: expected {len(wires)} bits per cycle")
+        for i, bit in enumerate(row):
+            bits[("in", role, cycle, i)] = bit & 1
+    for i, bit in enumerate(init):
+        bits[("init", role, i)] = bit & 1
+    return bits
+
+
+def run_protocol(
+    net: Netlist,
+    cycles: int,
+    alice: Sequence[int] = (),
+    bob: Sequence[int] = (),
+    public: Sequence[int] = (),
+    alice_init: Sequence[int] = (),
+    bob_init: Sequence[int] = (),
+    public_init: Sequence[int] = (),
+    ot_group: str = "modp512",
+    ot: str = "simplest",
+    timeout: float = 120.0,
+) -> ProtocolResult:
+    """Run the full two-party protocol and return the decoded output.
+
+    Alice plays the garbler with inputs ``alice``/``alice_init``; Bob
+    evaluates with ``bob``/``bob_init``.  Both know ``public`` (per
+    cycle) and ``public_init`` (the public input ``p``).  At the end
+    Bob sends his output labels to Alice, Alice decodes and shares the
+    cleartext result (Algorithm 1 lines 16-17), so both learn ``c``.
+    ``ot`` selects the input-label transfer: ``"simplest"`` (one DH OT
+    per bit) or ``"extension"`` (IKNP: kappa base OTs amortized over
+    all of Bob's input bits).
+    """
+    a_end, b_end = channel_pair()
+    alice_bits = _expand_bits(net, "alice", alice, alice_init, cycles)
+    bob_bits = _expand_bits(net, "bob", bob, bob_init, cycles)
+
+    bob_box: dict = {}
+
+    def bob_main() -> None:
+        try:
+            backend = EvaluatorBackend(
+                b_end, bob_bits, ot_group=ot_group, ot=ot
+            )
+            engine = SkipGateEngine(net, backend, public_init=public_init)
+            for i in range(cycles):
+                row = public(engine.cycle) if callable(public) else public
+                engine.step(row, final=(i == cycles - 1))
+            out_states = engine.output_states()
+            payload = []
+            for s in out_states:
+                if type(s) is int:
+                    payload.append(("pub", s))
+                else:
+                    if s[0] in backend.invalid_labels:
+                        raise AssertionError(
+                            "a dummy label for a filtered gate reached an output"
+                        )
+                    payload.append(("lbl", s[0], s[1]))
+            b_end.send("outputs", payload, LABEL_BYTES * len(payload))
+            result = b_end.recv("result", timeout=timeout)
+            bob_box["outputs"] = result
+            bob_box["stats"] = engine.stats
+        except BaseException as exc:  # pragma: no cover - error plumbing
+            bob_box["error"] = exc
+            b_end.abort()
+
+    bob_thread = threading.Thread(target=bob_main, name="bob", daemon=True)
+    bob_thread.start()
+
+    try:
+        backend = GarblerBackend(a_end, alice_bits, ot_group=ot_group, ot=ot)
+        engine = SkipGateEngine(net, backend, public_init=public_init)
+        for i in range(cycles):
+            row = public(engine.cycle) if callable(public) else public
+            engine.step(row, final=(i == cycles - 1))
+        payload = a_end.recv("outputs", timeout=timeout)
+        out_states = engine.output_states()
+        if len(payload) != len(out_states):
+            raise AssertionError("output arity desync between parties")
+        outputs: List[int] = []
+        for got, s in zip(payload, out_states):
+            if got[0] == "pub":
+                if type(s) is not int or s != got[1]:
+                    raise AssertionError("public output desync between parties")
+                outputs.append(s)
+            else:
+                _, bob_label, bob_flip = got
+                zero, flip, _ = s
+                if bob_flip != flip:
+                    raise AssertionError("flip-bit desync between parties")
+                if bob_label == zero:
+                    raw = 0
+                elif bob_label == zero ^ backend.delta:
+                    raw = 1
+                else:
+                    raise AssertionError("Bob returned an unknown output label")
+                outputs.append(raw ^ flip)
+        a_end.send("result", outputs, len(outputs))
+        alice_stats = engine.stats
+    except BaseException:
+        a_end.abort()
+        bob_thread.join(timeout=5.0)
+        raise
+
+    bob_thread.join(timeout=timeout)
+    if "error" in bob_box:
+        raise bob_box["error"]
+
+    return ProtocolResult(
+        outputs=outputs,
+        value=bits_to_int(outputs),
+        alice_stats=alice_stats,
+        bob_stats=bob_box["stats"],
+        tables_sent=backend.tables_sent,
+        alice_sent_bytes=a_end.sent.payload_bytes,
+        bob_sent_bytes=b_end.sent.payload_bytes,
+    )

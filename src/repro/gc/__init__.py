@@ -1,0 +1,31 @@
+"""Garbled-circuit cryptographic substrate.
+
+Half-gate garbling with free-XOR and row reduction, the SHA-256-based
+garbling hash, 1-out-of-2 oblivious transfer, and the byte-counted
+in-memory channel the two-party protocol runs over.
+"""
+
+from .channel import ChannelClosed, ChannelStats, Endpoint, channel_pair
+from .garble import GarbledTable, evaluate_gate, garble_gate, random_delta, random_label
+from .hashing import LABEL_BITS, LABEL_BYTES, hash_label
+from .ot import OTReceiver, OTSender
+from .ot_extension import OTExtensionReceiver, OTExtensionSender
+
+__all__ = [
+    "ChannelClosed",
+    "ChannelStats",
+    "Endpoint",
+    "GarbledTable",
+    "LABEL_BITS",
+    "LABEL_BYTES",
+    "OTExtensionReceiver",
+    "OTExtensionSender",
+    "OTReceiver",
+    "OTSender",
+    "channel_pair",
+    "evaluate_gate",
+    "garble_gate",
+    "hash_label",
+    "random_delta",
+    "random_label",
+]

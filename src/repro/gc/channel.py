@@ -1,0 +1,77 @@
+"""In-memory duplex channel with byte accounting.
+
+The two parties of the protocol (threads in the same process) exchange
+messages through a pair of unbounded queues.  Every message declares
+its wire size so the harness can report communication — the GC
+bottleneck [7] — in bytes, not just in garbled-table counts.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class ChannelClosed(Exception):
+    """Raised when receiving from a channel whose peer has aborted."""
+
+
+_SENTINEL = object()
+
+
+@dataclass
+class ChannelStats:
+    """Bytes and message counts in one direction."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.payload_bytes += nbytes
+
+
+class Endpoint:
+    """One side of a duplex channel."""
+
+    def __init__(self, out_q: "queue.Queue", in_q: "queue.Queue", sent: ChannelStats) -> None:
+        self._out = out_q
+        self._in = in_q
+        self.sent = sent
+
+    def send(self, tag: str, payload: Any, nbytes: int) -> None:
+        """Send a message; ``nbytes`` is its declared wire size."""
+        self.sent.record(nbytes)
+        self._out.put((tag, payload))
+
+    def recv(self, expected_tag: str, timeout: Optional[float] = 60.0) -> Any:
+        """Receive the next message, asserting its tag matches."""
+        try:
+            item = self._in.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise ChannelClosed(
+                f"timed out waiting for {expected_tag!r}"
+            ) from exc
+        if item is _SENTINEL:
+            raise ChannelClosed("peer aborted")
+        tag, payload = item
+        if tag != expected_tag:
+            raise ChannelClosed(
+                f"protocol desync: expected {expected_tag!r}, got {tag!r}"
+            )
+        return payload
+
+    def abort(self) -> None:
+        """Wake up a peer blocked on ``recv`` after a local failure."""
+        self._out.put(_SENTINEL)
+
+
+def channel_pair() -> Tuple[Endpoint, Endpoint]:
+    """Create the two connected endpoints (alice_end, bob_end)."""
+    a2b: "queue.Queue" = queue.Queue()
+    b2a: "queue.Queue" = queue.Queue()
+    alice = Endpoint(a2b, b2a, ChannelStats())
+    bob = Endpoint(b2a, a2b, ChannelStats())
+    return alice, bob

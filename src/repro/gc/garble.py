@@ -1,0 +1,119 @@
+"""Half-gate garbling [49] with free-XOR [15] and row reduction [27].
+
+Every non-XOR 2-input gate is garbled as an AND gate with optional
+input/output inversions (:func:`repro.circuit.gates.and_decomposition`)
+at a cost of exactly **two ciphertexts** (the generator half ``TG`` and
+the evaluator half ``TE``); XOR gates are free.  This is the state of
+the art the paper's cost metric assumes (Section 2.3): one garbled
+non-XOR gate == one 2x16-byte garbled table on the wire.
+
+Conventions
+-----------
+* A wire's two labels are ``W0`` and ``W1 = W0 ^ R`` where ``R`` is the
+  garbler's global free-XOR offset with ``lsb(R) = 1``.
+* ``lsb(W)`` is the permute/point bit.
+* The per-gate tweaks are ``2*gid`` and ``2*gid + 1`` where ``gid`` is
+  a globally unique gate index agreed by both parties.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..circuit.gates import and_decomposition
+from .hashing import LABEL_MASK, hash_label
+
+
+def random_label(rng=None) -> int:
+    """Fresh 128-bit label."""
+    if rng is None:
+        return secrets.randbits(128)
+    return rng.getrandbits(128)
+
+
+def random_delta(rng=None) -> int:
+    """Fresh free-XOR offset R with the permute bit forced to 1."""
+    return random_label(rng) | 1
+
+
+@dataclass(frozen=True)
+class GarbledTable:
+    """The two half-gate ciphertexts of one garbled non-XOR gate."""
+
+    tg: int
+    te: int
+
+    SIZE_BYTES = 32  #: wire size of one garbled table (2 x 16 bytes)
+
+
+def garble_and(a0: int, b0: int, delta: int, gid: int) -> Tuple[int, GarbledTable]:
+    """Garble ``out = AND(a, b)``; returns ``(out0, table)``.
+
+    ``a0``/``b0`` are the zero labels of the inputs and ``delta`` the
+    global offset.  Implements the generator side of the half-gates
+    scheme: the first half handles ``a & p_b`` and the second half
+    ``a & (b ^ p_b)`` where ``p_b`` is b's permute bit.
+    """
+    j0 = 2 * gid
+    j1 = 2 * gid + 1
+    a1 = a0 ^ delta
+    b1 = b0 ^ delta
+    pa = a0 & 1
+    pb = b0 & 1
+    # Generator half.
+    tg = hash_label(a0, j0) ^ hash_label(a1, j0)
+    if pb:
+        tg ^= delta
+    wg0 = hash_label(a0, j0)
+    if pa:
+        wg0 ^= tg
+    # Evaluator half.
+    te = hash_label(b0, j1) ^ hash_label(b1, j1) ^ a0
+    we0 = hash_label(b0, j1)
+    if pb:
+        we0 ^= te ^ a0
+    out0 = (wg0 ^ we0) & LABEL_MASK
+    return out0, GarbledTable(tg & LABEL_MASK, te & LABEL_MASK)
+
+
+def evaluate_and(a: int, b: int, table: GarbledTable, gid: int) -> int:
+    """Evaluate a garbled AND gate on held labels ``a`` and ``b``."""
+    j0 = 2 * gid
+    j1 = 2 * gid + 1
+    w = hash_label(a, j0) ^ hash_label(b, j1)
+    if a & 1:
+        w ^= table.tg
+    if b & 1:
+        w ^= table.te ^ a
+    return w & LABEL_MASK
+
+
+def garble_gate(
+    tt: int, a0: int, b0: int, delta: int, gid: int
+) -> Tuple[int, GarbledTable]:
+    """Garble an arbitrary AND-like gate type.
+
+    Input inversions are absorbed by re-basing the zero labels
+    (``a0 ^ ai*delta`` is the label of the value that makes the AND
+    input 1 false); the output inversion re-bases the output zero
+    label.  The evaluator needs no adjustment — its labels are raw.
+    """
+    dec = and_decomposition(tt)
+    if dec is None:
+        raise ValueError(f"gate type {tt:#06b} is not AND-like")
+    ai, bi, oi = dec
+    eff_a0 = a0 ^ (delta if ai else 0)
+    eff_b0 = b0 ^ (delta if bi else 0)
+    out0, table = garble_and(eff_a0, eff_b0, delta, gid)
+    if oi:
+        out0 ^= delta
+    return out0 & LABEL_MASK, table
+
+
+def evaluate_gate(tt: int, a: int, b: int, table: GarbledTable, gid: int) -> int:
+    """Evaluate an arbitrary AND-like garbled gate (labels are raw)."""
+    if and_decomposition(tt) is None:
+        raise ValueError(f"gate type {tt:#06b} is not AND-like")
+    return evaluate_and(a, b, table, gid)

@@ -1,0 +1,40 @@
+"""Key derivation for garbling.
+
+The paper's implementations use fixed-key AES (AES-NI) as the circular
+2-correlation-robust hash H(X, tweak) required by free-XOR and
+half-gates [1, 15, 49].  Pure Python has no AES-NI, so we substitute
+SHA-256 truncated to 128 bits, which provides the same interface and
+(heuristically) the required correlation robustness.  Communication
+costs — the paper's metric — are unaffected by the hash choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Security parameter k: labels are 128-bit (Section 2.3).
+LABEL_BITS = 128
+LABEL_BYTES = LABEL_BITS // 8
+LABEL_MASK = (1 << LABEL_BITS) - 1
+
+
+def hash_label(label: int, tweak: int) -> int:
+    """H(label, tweak) -> 128-bit integer.
+
+    ``tweak`` is the unique per-half-gate index that makes the hash
+    usable across gates (the ``j``/``j'`` of the half-gate scheme).
+    """
+    data = label.to_bytes(LABEL_BYTES, "little") + (tweak & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    return int.from_bytes(hashlib.sha256(data).digest()[:LABEL_BYTES], "little")
+
+
+def kdf_bytes(secret: bytes, context: bytes, nbytes: int) -> bytes:
+    """Derive ``nbytes`` of key material (used by the OT layer)."""
+    out = b""
+    counter = 0
+    while len(out) < nbytes:
+        out += hashlib.sha256(
+            secret + context + counter.to_bytes(4, "little")
+        ).digest()
+        counter += 1
+    return out[:nbytes]

@@ -1,0 +1,132 @@
+"""1-out-of-2 Oblivious Transfer (Section 2.2).
+
+Implements the "simplest OT" of Chou-Orlandi style Diffie-Hellman OT
+over a multiplicative prime group: Alice (sender) holds two 16-byte
+messages, Bob (receiver) holds a choice bit and learns exactly the
+chosen message; Alice learns nothing about the choice.
+
+Two parameter sets are provided:
+
+* ``modp2048`` — the RFC 3526 group 14 prime, a realistic setting;
+* ``modp512``  — a small prime for fast unit tests (not secure).
+
+The transfer of Bob's GC input labels (Algorithms 1-2 lines 3-4) runs
+one OT per input bit.  OT extension is intentionally out of scope: it
+reduces OT *computation*, not the garbled-table communication the
+paper measures.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Tuple
+
+from .channel import Endpoint
+from .hashing import LABEL_BYTES, kdf_bytes
+
+# RFC 3526, group 14 (2048-bit MODP); generator 2.
+_MODP2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# A fixed 512-bit odd modulus for fast unit tests.  The DH-OT algebra
+# is functionally correct over any group where the elements involved
+# are invertible; this parameter set is for speed only and offers no
+# security guarantees (use "modp2048" for those).
+_MODP512 = int(
+    "F518AA8781A8DF278ABA4E7D64B7CB9D49462353E5C3A8A5C8E6F0C8E6C1E1C9"
+    "5C4E9F7C9F8F1E2D3C4B5A69788796A5B4C3D2E1F0F1E2D3C4B5A69788796A3",
+    16,
+)
+
+GROUPS = {
+    "modp2048": (_MODP2048, 2),
+    "modp512": (_MODP512, 2),
+}
+
+
+def _encrypt(key: bytes, message: int, index: int) -> bytes:
+    pad = kdf_bytes(key, b"ot-msg%d" % index, LABEL_BYTES)
+    m = message.to_bytes(LABEL_BYTES, "little")
+    return bytes(x ^ y for x, y in zip(m, pad))
+
+
+def _decrypt(key: bytes, blob: bytes, index: int) -> int:
+    pad = kdf_bytes(key, b"ot-msg%d" % index, LABEL_BYTES)
+    return int.from_bytes(bytes(x ^ y for x, y in zip(blob, pad)), "little")
+
+
+class OTSender:
+    """Alice's side: transfers one of (m0, m1) per invocation."""
+
+    def __init__(self, chan: Endpoint, group: str = "modp2048") -> None:
+        self.p, self.g = GROUPS[group]
+        self.chan = chan
+        self._a = secrets.randbelow(self.p - 2) + 1
+        self._big_a = pow(self.g, self._a, self.p)
+        self._big_a_inv = pow(self._big_a, -1, self.p)
+        self._setup_sent = False
+        self.count = 0
+
+    def _ensure_setup(self) -> None:
+        if not self._setup_sent:
+            self.chan.send("ot-setup", self._big_a, (self.p.bit_length() + 7) // 8)
+            self._setup_sent = True
+
+    def send(self, m0: int, m1: int) -> None:
+        """Obliviously transfer one of two 128-bit messages."""
+        self._ensure_setup()
+        big_b = self.chan.recv("ot-b")
+        if not 1 < big_b < self.p:
+            raise ValueError("OT receiver sent an invalid group element")
+        group_bytes = (self.p.bit_length() + 7) // 8
+        k0 = pow(big_b, self._a, self.p).to_bytes(group_bytes, "little")
+        k1 = pow(big_b * self._big_a_inv % self.p, self._a, self.p).to_bytes(
+            group_bytes, "little"
+        )
+        e0 = _encrypt(k0, m0, self.count)
+        e1 = _encrypt(k1, m1, self.count)
+        self.chan.send("ot-e", (e0, e1), 2 * LABEL_BYTES)
+        self.count += 1
+
+
+class OTReceiver:
+    """Bob's side: learns ``m[choice]`` and nothing else."""
+
+    def __init__(self, chan: Endpoint, group: str = "modp2048") -> None:
+        self.p, self.g = GROUPS[group]
+        self.chan = chan
+        self._big_a = None
+        self.count = 0
+
+    def _ensure_setup(self) -> None:
+        if self._big_a is None:
+            self._big_a = self.chan.recv("ot-setup")
+            if not 1 < self._big_a < self.p:
+                raise ValueError("OT sender sent an invalid group element")
+
+    def receive(self, choice: int) -> int:
+        """Receive the message selected by ``choice`` (0 or 1)."""
+        self._ensure_setup()
+        b = secrets.randbelow(self.p - 2) + 1
+        big_b = pow(self.g, b, self.p)
+        if choice:
+            big_b = big_b * self._big_a % self.p
+        group_bytes = (self.p.bit_length() + 7) // 8
+        self.chan.send("ot-b", big_b, group_bytes)
+        key = pow(self._big_a, b, self.p).to_bytes(group_bytes, "little")
+        e0, e1 = self.chan.recv("ot-e")
+        return _decrypt(key, e1 if choice else e0, self.count_and_bump())
+
+    def count_and_bump(self) -> int:
+        c = self.count
+        self.count += 1
+        return c

@@ -1,0 +1,328 @@
+"""The benchmark programs of the paper's evaluation, for the garbled CPU.
+
+Each entry of :data:`REGISTRY` is a :class:`BenchProgram`: C source (or
+ARM assembly where the paper's toolchain would have relied on compiler
+idiom recognition, e.g. ``ADC`` chains for multi-precision arithmetic),
+the memory geometry, input generators, and the expected-output oracle.
+
+Everything here follows the paper's Section 5 benchmark definitions:
+inputs are one 32-bit word unless stated, Table 5 functions take
+XOR-shared inputs, and results land in the output memory via
+``gc_main``'s third pointer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .sources import (
+    aes_c,
+    bubble_sort_c,
+    compare_big_asm,
+    compare_c,
+    cordic_c,
+    dijkstra_c,
+    hamming_c,
+    matmult_c,
+    merge_sort_c,
+    mult_c,
+    sha3_c,
+    sum_big_asm,
+    sum_c,
+)
+
+
+@dataclass
+class BenchProgram:
+    """A benchmark function ready to run on the garbled processor."""
+
+    name: str
+    #: "c" or "asm"
+    kind: str
+    source: str
+    alice_words: int
+    bob_words: int
+    output_words: int
+    data_words: int = 64
+    imem_words: int = 256
+    #: rng -> (alice words, bob words)
+    gen_inputs: Callable[[random.Random], Tuple[List[int], List[int]]] = None
+    #: (alice, bob) -> expected output words
+    oracle: Callable[[List[int], List[int]], List[int]] = None
+    #: the matching paper row name, when there is one
+    paper_key: Optional[str] = None
+
+
+def _words(rng: random.Random, n: int) -> List[int]:
+    return [rng.getrandbits(32) for _ in range(n)]
+
+
+M32 = 0xFFFFFFFF
+
+
+def _registry() -> Dict[str, BenchProgram]:
+    r: Dict[str, BenchProgram] = {}
+
+    def add(p: BenchProgram) -> None:
+        r[p.name] = p
+
+    add(BenchProgram(
+        name="sum32",
+        kind="c",
+        source=sum_c(),
+        alice_words=1, bob_words=1, output_words=1, data_words=8,
+        imem_words=32,
+        gen_inputs=lambda rng: (_words(rng, 1), _words(rng, 1)),
+        oracle=lambda a, b: [(a[0] + b[0]) & M32],
+        paper_key="Sum 32",
+    ))
+
+    add(BenchProgram(
+        name="sum1024",
+        kind="asm",
+        source=sum_big_asm(32),
+        alice_words=32, bob_words=32, output_words=32, data_words=8,
+        imem_words=256,
+        gen_inputs=lambda rng: (_words(rng, 32), _words(rng, 32)),
+        oracle=_sum_big_oracle,
+        paper_key="Sum 1024",
+    ))
+
+    add(BenchProgram(
+        name="compare32",
+        kind="c",
+        source=compare_c(),
+        alice_words=1, bob_words=1, output_words=1, data_words=8,
+        imem_words=32,
+        gen_inputs=lambda rng: (_words(rng, 1), _words(rng, 1)),
+        oracle=lambda a, b: [int(a[0] < b[0])],
+        paper_key="Compare 32",
+    ))
+
+    add(BenchProgram(
+        name="compare16384",
+        kind="asm",
+        source=compare_big_asm(512),
+        alice_words=512, bob_words=512, output_words=1, data_words=8,
+        imem_words=2048,
+        gen_inputs=lambda rng: (_words(rng, 512), _words(rng, 512)),
+        oracle=_compare_big_oracle,
+        paper_key="Compare 16384",
+    ))
+
+    for bits, words in ((32, 1), (160, 5), (512, 16)):
+        add(BenchProgram(
+            name=f"hamming{bits}",
+            kind="c",
+            source=hamming_c(words),
+            alice_words=words, bob_words=words, output_words=1,
+            data_words=16, imem_words=256,
+            gen_inputs=(lambda w: lambda rng: (_words(rng, w), _words(rng, w)))(words),
+            oracle=_hamming_oracle,
+            paper_key=f"Hamming {bits}",
+        ))
+
+    add(BenchProgram(
+        name="mult32",
+        kind="c",
+        source=mult_c(),
+        alice_words=1, bob_words=1, output_words=1, data_words=8,
+        imem_words=32,
+        gen_inputs=lambda rng: (_words(rng, 1), _words(rng, 1)),
+        oracle=lambda a, b: [(a[0] * b[0]) & M32],
+        paper_key="Mult 32",
+    ))
+
+    for n in (3, 5, 8):
+        add(BenchProgram(
+            name=f"matmult{n}x{n}",
+            kind="c",
+            source=matmult_c(n),
+            alice_words=n * n, bob_words=n * n, output_words=n * n,
+            data_words=64, imem_words=128,
+            gen_inputs=(lambda m: lambda rng: (_words(rng, m * m), _words(rng, m * m)))(n),
+            oracle=(lambda m: lambda a, b: _matmult_oracle(a, b, m))(n),
+            paper_key=f"MatrixMult{n}x{n} 32",
+        ))
+
+    add(BenchProgram(
+        name="sha3",
+        kind="c",
+        source=sha3_c(),
+        alice_words=16, bob_words=16, output_words=8, data_words=256,
+        imem_words=4096,
+        gen_inputs=lambda rng: (_words(rng, 16), _words(rng, 16)),
+        oracle=_sha3_oracle,
+        paper_key="SHA3 256",
+    ))
+
+    add(BenchProgram(
+        name="aes128",
+        kind="c",
+        source=aes_c(),
+        alice_words=4, bob_words=4, output_words=4, data_words=512,
+        imem_words=4096,
+        gen_inputs=lambda rng: (_words(rng, 4), _words(rng, 4)),
+        oracle=_aes_oracle,
+        paper_key="AES 128",
+    ))
+
+    add(BenchProgram(
+        name="bubble_sort32",
+        kind="c",
+        source=bubble_sort_c(32),
+        alice_words=32, bob_words=32, output_words=32, data_words=128,
+        imem_words=128,
+        gen_inputs=lambda rng: (_words(rng, 32), _words(rng, 32)),
+        oracle=_sort_oracle,
+        paper_key="Bubble-Sort32 32",
+    ))
+
+    add(BenchProgram(
+        name="merge_sort32",
+        kind="c",
+        source=merge_sort_c(32),
+        alice_words=32, bob_words=32, output_words=32, data_words=256,
+        imem_words=256,
+        gen_inputs=lambda rng: (_words(rng, 32), _words(rng, 32)),
+        oracle=_sort_oracle,
+        paper_key="Merge-Sort32 32",
+    ))
+
+    add(BenchProgram(
+        name="dijkstra8",
+        kind="c",
+        source=dijkstra_c(8),
+        alice_words=64, bob_words=64, output_words=8, data_words=256,
+        imem_words=512,
+        gen_inputs=_dijkstra_inputs,
+        oracle=_dijkstra_oracle,
+        paper_key="Dijkstra64 32",
+    ))
+
+    add(BenchProgram(
+        name="cordic",
+        kind="c",
+        source=cordic_c(),
+        alice_words=3, bob_words=3, output_words=3, data_words=512,
+        imem_words=4096,
+        gen_inputs=_cordic_inputs,
+        oracle=_cordic_oracle,
+        paper_key="CORDIC 32",
+    ))
+
+    return r
+
+
+# -- oracles -------------------------------------------------------------------
+
+
+def _sum_big_oracle(a: List[int], b: List[int]) -> List[int]:
+    n = len(a)
+    av = sum(w << (32 * i) for i, w in enumerate(a))
+    bv = sum(w << (32 * i) for i, w in enumerate(b))
+    total = (av + bv) & ((1 << (32 * n)) - 1)
+    return [(total >> (32 * i)) & M32 for i in range(n)]
+
+
+def _compare_big_oracle(a: List[int], b: List[int]) -> List[int]:
+    av = sum(w << (32 * i) for i, w in enumerate(a))
+    bv = sum(w << (32 * i) for i, w in enumerate(b))
+    return [int(av < bv)]
+
+
+def _hamming_oracle(a: List[int], b: List[int]) -> List[int]:
+    return [sum(bin(x ^ y).count("1") for x, y in zip(a, b))]
+
+
+def _matmult_oracle(a: List[int], b: List[int], n: int) -> List[int]:
+    return [
+        sum(a[i * n + k] * b[k * n + j] for k in range(n)) & M32
+        for i in range(n)
+        for j in range(n)
+    ]
+
+
+def _sha3_oracle(a: List[int], b: List[int]) -> List[int]:
+    from ..bench_circuits.sha3 import sha3_256_reference
+
+    msg_words = [(x ^ y) & M32 for x, y in zip(a, b)]
+    bits = []
+    for w in msg_words:
+        bits += [(w >> i) & 1 for i in range(32)]
+    out = sha3_256_reference(bits)
+    return [
+        sum(out[32 * i + j] << j for j in range(32)) for i in range(8)
+    ]
+
+
+def _aes_oracle(a: List[int], b: List[int]) -> List[int]:
+    from ..bench_circuits.aes import aes128_reference
+
+    key = b"".join(w.to_bytes(4, "little") for w in a)
+    pt = b"".join(w.to_bytes(4, "little") for w in b)
+    ct = aes128_reference(key, pt)
+    return [int.from_bytes(ct[4 * i: 4 * i + 4], "little") for i in range(4)]
+
+
+def _sort_oracle(a: List[int], b: List[int]) -> List[int]:
+    return sorted((x ^ y) & M32 for x, y in zip(a, b))
+
+
+def _dijkstra_inputs(rng: random.Random) -> Tuple[List[int], List[int]]:
+    # XOR-shared 8x8 adjacency matrix with small positive weights.
+    n = 8
+    weights = [
+        0 if i == j else rng.randint(1, 1000)
+        for i in range(n)
+        for j in range(n)
+    ]
+    mask = [rng.getrandbits(32) for _ in range(n * n)]
+    return mask, [w ^ m for w, m in zip(weights, mask)]
+
+
+def _dijkstra_oracle(a: List[int], b: List[int]) -> List[int]:
+    n = 8
+    w = [(x ^ y) & M32 for x, y in zip(a, b)]
+    INF = 0x3FFFFFFF
+    dist = [INF] * n
+    dist[0] = 0
+    visited = [False] * n
+    for _ in range(n):
+        u, best = -1, INF + 1
+        for i in range(n):
+            if not visited[i] and dist[i] < best:
+                u, best = i, dist[i]
+        visited[u] = True
+        for v in range(n):
+            alt = dist[u] + w[u * n + v]
+            if w[u * n + v] != 0 and alt < dist[v]:
+                dist[v] = alt
+    return dist
+
+
+def _cordic_inputs(rng: random.Random) -> Tuple[List[int], List[int]]:
+    from ..bench_circuits.cordic import circular_gain, to_fixed
+
+    theta = rng.uniform(-0.9, 0.9)
+    words = [to_fixed(1.0 / circular_gain()), to_fixed(0.0), to_fixed(theta)]
+    mask = [rng.getrandbits(32) for _ in range(3)]
+    return mask, [w ^ m for w, m in zip(words, mask)]
+
+
+def _cordic_oracle(a: List[int], b: List[int]) -> List[int]:
+    from ..bench_circuits.cordic import cordic_reference, from_fixed, to_fixed
+
+    x, y, z = ((av ^ bv) & M32 for av, bv in zip(a, b))
+    fx, fy, fz = cordic_reference(from_fixed(x), from_fixed(y), from_fixed(z))
+    return [to_fixed(fx), to_fixed(fy), to_fixed(fz)]
+
+
+REGISTRY: Dict[str, BenchProgram] = _registry()
+
+
+def get_program(name: str) -> BenchProgram:
+    """Look up a benchmark program by name."""
+    return REGISTRY[name]

@@ -1,0 +1,60 @@
+"""Measured-vs-paper table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional, Sequence
+
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+def fmt(value) -> str:
+    """Human-readable number (thousands separators); strings pass."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:,.2f}"
+    return f"{value:,}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: Optional[List[str]] = None,
+) -> str:
+    """Render a markdown table with a title and optional footnotes."""
+    srows = [[fmt(c) if not isinstance(c, str) else c for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in srows)) if srows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"## {title}", ""]
+    lines.append("| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in srows:
+        lines.append("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |")
+    if notes:
+        lines.append("")
+        for note in notes:
+            lines.append(f"- {note}")
+    return "\n".join(lines) + "\n"
+
+
+def publish(name: str, text: str) -> None:
+    """Write a rendered table to results/ and echo it to the terminal.
+
+    The echo bypasses pytest's capture so ``pytest benchmarks/`` output
+    (and the teed bench_output.txt) contains the tables.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.md")
+    with open(path, "w") as fh:
+        fh.write(text)
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()

@@ -1,0 +1,181 @@
+"""Assembler and disassembler tests."""
+
+import pytest
+
+from repro.arm import isa
+from repro.arm.assembler import AssemblyError, assemble, disassemble_word
+
+
+def one(src):
+    words = assemble(src)
+    assert len(words) == 1
+    return words[0]
+
+
+class TestDataProcessing:
+    def test_add_register(self):
+        w = one("ADD r1, r2, r3")
+        f = isa.decode(w)
+        assert f.klass == isa.CLASS_DP
+        assert isa.DP_OPS[f.opcode] == "ADD"
+        assert (f.rd, f.rn, f.rm) == (1, 2, 3)
+        assert f.cond == isa.COND_AL
+        assert f.set_flags == 0
+
+    def test_s_suffix(self):
+        f = isa.decode(one("ADDS r1, r2, r3"))
+        assert f.set_flags == 1
+
+    def test_condition_suffix(self):
+        f = isa.decode(one("ADDEQ r1, r2, r3"))
+        assert isa.COND_NAMES[f.cond] == "EQ"
+
+    def test_condition_and_s_both_orders(self):
+        for src in ("ADDEQS r1, r2, r3", "ADDSEQ r1, r2, r3"):
+            f = isa.decode(one(src))
+            assert isa.COND_NAMES[f.cond] == "EQ"
+            assert f.set_flags == 1
+
+    def test_immediate_simple(self):
+        f = isa.decode(one("MOV r1, #42"))
+        assert f.imm_op2 == 1
+        assert isa.decode_rotated_imm(f.rot_imm) == 42
+
+    def test_immediate_rotated(self):
+        f = isa.decode(one("MOV r1, #0x1000"))
+        assert isa.decode_rotated_imm(f.rot_imm) == 0x1000
+
+    def test_unencodable_immediate_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("MOV r1, #0x12345")
+
+    def test_shifted_operand(self):
+        f = isa.decode(one("ADD r1, r2, r3, LSL #4"))
+        assert f.shamt == 4
+        assert isa.SHIFT_NAMES[f.shift_type] == "LSL"
+
+    def test_cmp_always_sets_flags(self):
+        f = isa.decode(one("CMP r1, r2"))
+        assert f.set_flags == 1
+        assert isa.DP_OPS[f.opcode] == "CMP"
+
+    def test_register_aliases(self):
+        f = isa.decode(one("MOV sp, lr"))
+        assert f.rd == isa.SP
+        assert f.rm == isa.LR
+
+    def test_bic_not_parsed_as_branch(self):
+        f = isa.decode(one("BIC r1, r2, #3"))
+        assert isa.DP_OPS[f.opcode] == "BIC"
+
+    def test_blt_is_branch_lt_not_bl(self):
+        f = isa.decode(one("BLT 0"))
+        assert f.klass == isa.CLASS_BRANCH
+        assert isa.COND_NAMES[f.cond] == "LT"
+        assert f.link == 0
+
+    def test_bleq_is_link_eq(self):
+        f = isa.decode(one("BLEQ 0"))
+        assert f.link == 1
+        assert isa.COND_NAMES[f.cond] == "EQ"
+
+
+class TestMemoryAndBranch:
+    def test_ldr_offset(self):
+        f = isa.decode(one("LDR r1, [r2, #8]"))
+        assert f.klass == isa.CLASS_MEM
+        assert (f.load, f.rd, f.rn, f.imm12, f.up) == (1, 1, 2, 8, 1)
+
+    def test_str_negative_offset(self):
+        f = isa.decode(one("STR r1, [r2, #-4]"))
+        assert (f.load, f.up, f.imm12) == (0, 0, 4)
+
+    def test_branch_to_label(self):
+        words = assemble("""
+        start:
+            NOP
+            B start
+        """)
+        f = isa.decode(words[1])
+        assert f.offset24 == -2  # back to word 0 from pc=1: 0 - (1+1)
+
+    def test_forward_branch(self):
+        words = assemble("""
+            B end
+            NOP
+            NOP
+        end:
+            HALT
+        """)
+        f = isa.decode(words[0])
+        assert f.offset24 == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nNOP\nx:\nNOP")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROB r1, r2")
+
+
+class TestSpecialAndPseudo:
+    def test_halt(self):
+        f = isa.decode(one("HALT"))
+        assert f.klass == isa.CLASS_SPECIAL
+        assert f.special_op == isa.SPECIAL_HALT
+
+    def test_mul(self):
+        f = isa.decode(one("MUL r1, r2, r3"))
+        assert f.special_op == isa.SPECIAL_MUL
+        assert (f.rd, f.rm, f.rs) == (1, 2, 3)
+
+    def test_nop_expands_to_mov(self):
+        f = isa.decode(one("NOP"))
+        assert isa.DP_OPS[f.opcode] == "MOV"
+
+    def test_ldr_eq_small(self):
+        f = isa.decode(one("LDR r1, =42"))
+        assert isa.DP_OPS[f.opcode] == "MOV"
+
+    def test_ldr_eq_wide_expands(self):
+        words = assemble("LDR r1, =0x12345678")
+        assert len(words) == 4  # MOV + 3 ORRs
+        names = [isa.DP_OPS[isa.decode(w).opcode] for w in words]
+        assert names == ["MOV", "ORR", "ORR", "ORR"]
+
+    def test_ldr_eq_mvn_trick(self):
+        words = assemble("LDR r1, =0xFFFFFFFE")
+        assert len(words) == 1
+        assert isa.DP_OPS[isa.decode(words[0]).opcode] == "MVN"
+
+
+class TestRotatedImmediates:
+    def test_round_trip(self):
+        for value in (0, 1, 255, 0x1000, 0xFF000000, 0x3FC, 104 << 20):
+            enc = isa.encode_rotated_imm(value)
+            assert enc is not None
+            assert isa.decode_rotated_imm(enc) == value
+
+    def test_unencodable(self):
+        for value in (0x101, 0x12345, 0xFFFFFFFF - 2):
+            assert isa.encode_rotated_imm(value) is None
+
+
+class TestDisassembler:
+    def test_round_trip_through_text(self):
+        srcs = [
+            "ADD r1, r2, r3",
+            "SUBS r4, r5, #10",
+            "MOVEQ r1, #0",
+            "LDR r1, [r2, #4]",
+            "STR r3, [sp, #-8]",
+            "MUL r1, r2, r3",
+            "HALT",
+            "CMP r1, r2",
+            "ADD r1, r2, r3, LSL #4",
+        ]
+        for src in srcs:
+            w = one(src)
+            text = disassemble_word(w)
+            assert one(text.replace("+", "")) == w or disassemble_word(one(src)) == text

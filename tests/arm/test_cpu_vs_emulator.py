@@ -1,0 +1,273 @@
+"""Differential testing: the CPU netlist against the reference ISS.
+
+Random instruction sequences (data processing with immediates, shifted
+operands, MUL, predication, loads/stores) run both on the plain-
+simulated CPU circuit and on the emulator; the output memories must
+agree.  This is the correctness anchor for the garbled processor.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm import GarbledMachine, MachineConfig, assemble, isa
+
+
+def run_machine(src_or_words, alice=(), bob=(), **kw):
+    m = GarbledMachine(src_or_words, **kw)
+    return m.run(alice=alice, bob=bob)
+
+
+SMALL = dict(
+    alice_words=4, bob_words=4, output_words=4, data_words=16, imem_words=64
+)
+
+
+class TestTargeted:
+    def test_every_dp_opcode(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            AND r3, r1, r2
+            EOR r4, r1, r2
+            SUB r5, r1, r2
+            RSB r6, r1, r2
+            ADD r7, r1, r2
+            ORR r8, r1, r2
+            BIC r9, r1, r2
+            MVN r10, r2
+            MOV r11, #0x3000
+            EOR r3, r3, r4
+            EOR r3, r3, r5
+            EOR r3, r3, r6
+            EOR r3, r3, r7
+            EOR r3, r3, r8
+            EOR r3, r3, r9
+            EOR r3, r3, r10
+            STR r3, [r11, #0]
+            HALT
+        """
+        r = run_machine(src, alice=[0xDEADBEEF], bob=[0x12345678], **SMALL)
+        assert r.cycles > 0  # machine cross-checks against the ISS
+
+    def test_carry_ops(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            ADDS r3, r1, r2
+            ADC r4, r3, #0
+            SUBS r5, r1, r2
+            SBC r6, r1, r2
+            RSC r7, r1, r2
+            MOV r0, #0x3000
+            STR r4, [r0, #0]
+            STR r6, [r0, #4]
+            STR r7, [r0, #8]
+            HALT
+        """
+        run_machine(src, alice=[0xFFFFFFF0], bob=[0x20], **SMALL)
+
+    def test_predicated_execution(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            CMP r1, r2
+            MOVLT r3, #1
+            MOVGE r3, #2
+            MOV r0, #0x3000
+            STR r3, [r0, #0]
+            HALT
+        """
+        r = run_machine(src, alice=[5], bob=[9], **SMALL)
+        assert r.output_words[0] == 1
+        r = run_machine(src, alice=[9], bob=[5], **SMALL)
+        assert r.output_words[0] == 2
+
+    def test_predicated_store_cost_is_32(self):
+        """A predicated STR on a secret condition costs one conditional
+        write: 32 garbled ANDs (the paper's conditional execution
+        cost), on top of the CMP."""
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            MOV r3, #0x3000
+            CMP r1, r2
+            STRLT r1, [r3, #0]
+            HALT
+        """
+        base_src = src.replace("STRLT", "STR")
+        r_pred = run_machine(src, alice=[5], bob=[9], **SMALL)
+        r_base = run_machine(base_src, alice=[5], bob=[9], **SMALL)
+        assert r_pred.garbled_nonxor - r_base.garbled_nonxor == 32
+
+    def test_mul_on_processor_costs_993(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            MUL r3, r1, r2
+            MOV r0, #0x3000
+            STR r3, [r0, #0]
+            HALT
+        """
+        r = run_machine(src, alice=[123456789], bob=[987654321], **SMALL)
+        assert r.output_words[0] == (123456789 * 987654321) & 0xFFFFFFFF
+        assert r.garbled_nonxor == 993  # paper Table 2/4: Mult 32 = 993
+
+    def test_loop_with_public_bound(self):
+        src = """
+            MOV r0, #0x1000
+            MOV r1, #0
+            MOV r2, #0
+        loop:
+            LDR r3, [r0, #0]
+            ADD r1, r1, r3
+            ADD r0, r0, #4
+            ADD r2, r2, #1
+            CMP r2, #4
+            BLT loop
+            MOV r0, #0x3000
+            STR r1, [r0, #0]
+            HALT
+        """
+        r = run_machine(src, alice=[10, 20, 30, 40], **SMALL)
+        assert r.output_words[0] == 100
+        # 4 secret additions of 32 bits = 4 * 31 garbled ANDs; the
+        # first addition is into a public zero and free.
+        assert r.garbled_nonxor == 3 * 31
+
+    def test_bl_and_return_through_lr(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            BL triple
+            MOV r0, #0x3000
+            STR r1, [r0, #0]
+            HALT
+        triple:
+            ADD r1, r1, r1, LSL #1
+            MOV pc, lr
+        """
+        r = run_machine(src, alice=[7], **SMALL)
+        assert r.output_words[0] == 21
+
+    def test_halted_cycles_are_free(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            ADD r3, r1, r2
+            MOV r0, #0x3000
+            STR r3, [r0, #0]
+            HALT
+        """
+        m = GarbledMachine(src, **SMALL)
+        short = m.run(alice=[3], bob=[4])
+        long = m.run(alice=[3], bob=[4], cycles=short.cycles + 50)
+        assert long.output_words == short.output_words
+        assert long.garbled_nonxor == short.garbled_nonxor
+
+    def test_secret_branch_makes_pc_secret_but_stays_correct(self):
+        """Figure 6: a branch on a secret condition.  The garbled run
+        must still produce the right answer (at a much higher cost)."""
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #0]
+            CMP r1, r2
+            BGE else
+            ADD r3, r1, r2
+            B join
+        else:
+            SUB r3, r1, r2
+        join:
+            NOP
+            MOV r0, #0x3000
+            STR r3, [r0, #0]
+            HALT
+        """
+        m = GarbledMachine(src, **SMALL)
+        # Taken and not-taken paths have different lengths; agree on
+        # the worst case publicly.
+        worst = max(
+            m.required_cycles([5], [9])[0], m.required_cycles([9], [5])[0]
+        )
+        r1 = m.run(alice=[5], bob=[9], cycles=worst)
+        assert r1.output_words[0] == 14
+        r2 = m.run(alice=[9], bob=[5], cycles=worst)
+        assert r2.output_words[0] == 4
+        assert r2.garbled_nonxor > 100  # secret PC is expensive
+
+
+_DP_CHOICES = ["AND", "EOR", "SUB", "RSB", "ADD", "ORR", "BIC"]
+_SHIFTS = ["", ", LSL #1", ", LSR #3", ", ASR #2", ", ROR #7"]
+
+
+def random_program(rng: random.Random, length: int = 20) -> str:
+    """Random straight-line program over r1-r9 with random predication."""
+    lines = [
+        "MOV r0, #0x1000",
+        "LDR r1, [r0, #0]",
+        "LDR r2, [r0, #4]",
+        "MOV r0, #0x2000",
+        "LDR r3, [r0, #0]",
+        "LDR r4, [r0, #4]",
+        "MOV r5, #0",
+        "MOV r6, #1",
+        "MOV r7, #2",
+    ]
+    for _ in range(length):
+        kind = rng.random()
+        rd = rng.randint(1, 9)
+        rn = rng.randint(1, 9)
+        rm = rng.randint(1, 9)
+        cond = rng.choice(["", "", "", "EQ", "NE", "LT", "GE", "HI", "LS"])
+        if kind < 0.55:
+            op = rng.choice(_DP_CHOICES)
+            s = rng.choice(["", "S"])
+            shift = rng.choice(_SHIFTS)
+            lines.append(f"{op}{cond}{s} r{rd}, r{rn}, r{rm}{shift}")
+        elif kind < 0.7:
+            op = rng.choice(["MOV", "MVN"])
+            if rng.random() < 0.5:
+                lines.append(f"{op}{cond} r{rd}, #{rng.randint(0, 255)}")
+            else:
+                shift = rng.choice(_SHIFTS)
+                lines.append(f"{op}{cond} r{rd}, r{rm}{shift}")
+        elif kind < 0.8:
+            lines.append(f"MUL{cond} r{rd}, r{rn}, r{rm}")
+        elif kind < 0.9:
+            lines.append(f"CMP r{rn}, r{rm}")
+        else:
+            lines.append(f"CMN r{rn}, #{rng.randint(0, 200)}")
+    lines.append("MOV r0, #0x3000")
+    for i, r in enumerate((1, 3, 5, 9)):
+        lines.append(f"STR r{r}, [r0, #{4 * i}]")
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+class TestDifferentialRandom:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_random_programs_match_emulator(self, seed):
+        rng = random.Random(seed)
+        src = random_program(rng)
+        alice = [rng.getrandbits(32) for _ in range(4)]
+        bob = [rng.getrandbits(32) for _ in range(4)]
+        # GarbledMachine.run(check=True) raises if the garbled run and
+        # the ISS disagree on the output memory.
+        run_machine(src, alice=alice, bob=bob, **SMALL)

@@ -1,0 +1,186 @@
+"""Reference emulator tests (ISA semantics)."""
+
+import pytest
+
+from repro.arm import Emulator, EmulatorError, MachineConfig, assemble, isa
+
+
+def run_asm(src, alice=(), bob=(), config=None, max_cycles=10_000):
+    cfg = config or MachineConfig(alice_words=8, bob_words=8, output_words=8,
+                                  data_words=32, imem_words=64)
+    emu = Emulator(assemble(src), cfg, list(alice), list(bob))
+    emu.run(max_cycles)
+    return emu
+
+
+class TestArithmetic:
+    def test_add_immediate(self):
+        emu = run_asm("MOV r1, #40\nADD r1, r1, #2\nHALT")
+        assert emu.regs[1] == 42
+
+    def test_sub_wraps(self):
+        emu = run_asm("MOV r1, #1\nSUB r1, r1, #2\nHALT")
+        assert emu.regs[1] == 0xFFFFFFFF
+
+    def test_rsb(self):
+        emu = run_asm("MOV r1, #5\nRSB r1, r1, #12\nHALT")
+        assert emu.regs[1] == 7
+
+    def test_mul(self):
+        emu = run_asm("MOV r1, #7\nMOV r2, #6\nMUL r3, r1, r2\nHALT")
+        assert emu.regs[3] == 42
+
+    def test_adc_chain(self):
+        # 0xFFFFFFFF + 1 sets the carry; ADC consumes it.
+        emu = run_asm(
+            "MVN r1, #0\nADDS r2, r1, #1\nMOV r3, #0\nADC r3, r3, #0\nHALT"
+        )
+        assert emu.regs[2] == 0
+        assert emu.regs[3] == 1
+
+    def test_logic_ops(self):
+        emu = run_asm(
+            "MOV r1, #0xF0\nMOV r2, #0x0F\n"
+            "ORR r3, r1, r2\nAND r4, r1, r2\nEOR r5, r1, r2\n"
+            "BIC r6, r1, #0x30\nMVN r7, #0\nHALT"
+        )
+        assert emu.regs[3] == 0xFF
+        assert emu.regs[4] == 0
+        assert emu.regs[5] == 0xFF
+        assert emu.regs[6] == 0xC0
+        assert emu.regs[7] == 0xFFFFFFFF
+
+    def test_shifted_operand(self):
+        emu = run_asm("MOV r1, #3\nADD r2, r1, r1, LSL #4\nHALT")
+        assert emu.regs[2] == 3 + 48
+
+    def test_asr_operand(self):
+        emu = run_asm("MVN r1, #0\nMOV r2, r1, ASR #4\nHALT")
+        assert emu.regs[2] == 0xFFFFFFFF
+
+    def test_ror_operand(self):
+        emu = run_asm("MOV r1, #1\nMOV r2, r1, ROR #1\nHALT")
+        assert emu.regs[2] == 0x80000000
+
+
+class TestConditions:
+    def test_predicated_mov(self):
+        emu = run_asm(
+            "MOV r1, #5\nCMP r1, #5\nMOVEQ r2, #1\nMOVNE r3, #1\nHALT"
+        )
+        assert emu.regs[2] == 1
+        assert emu.regs[3] == 0
+
+    def test_signed_conditions(self):
+        emu = run_asm(
+            "MVN r1, #0\n"       # r1 = -1
+            "CMP r1, #1\n"
+            "MOVLT r2, #1\n"     # -1 < 1 signed
+            "MOVGE r3, #1\nHALT"
+        )
+        assert emu.regs[2] == 1
+        assert emu.regs[3] == 0
+
+    def test_unsigned_conditions(self):
+        emu = run_asm(
+            "MVN r1, #0\nCMP r1, #1\nMOVHI r2, #1\nMOVLS r3, #1\nHALT"
+        )
+        assert emu.regs[2] == 1  # 0xFFFFFFFF > 1 unsigned
+        assert emu.regs[3] == 0
+
+    def test_branch_taken_and_not(self):
+        emu = run_asm(
+            "MOV r1, #1\nCMP r1, #1\nBNE skip\nMOV r2, #7\nskip: HALT"
+        )
+        assert emu.regs[2] == 7
+
+
+class TestMemory:
+    def test_alice_bob_output(self):
+        src = """
+            MOV r0, #0x1000
+            LDR r1, [r0, #0]
+            MOV r0, #0x2000
+            LDR r2, [r0, #4]
+            ADD r3, r1, r2
+            MOV r0, #0x3000
+            STR r3, [r0, #0]
+            HALT
+        """
+        emu = run_asm(src, alice=[100], bob=[0, 23])
+        assert emu.output[0] == 123
+
+    def test_stack_and_data(self):
+        src = """
+            MOV r1, #99
+            STR r1, [sp, #-4]
+            LDR r2, [sp, #-4]
+            MOV r0, #0x3000
+            STR r2, [r0, #0]
+            HALT
+        """
+        emu = run_asm(src)
+        assert emu.output[0] == 99
+
+    def test_write_to_alice_memory_rejected(self):
+        with pytest.raises(EmulatorError):
+            run_asm("MOV r0, #0x1000\nSTR r0, [r0, #0]\nHALT")
+
+    def test_unaligned_access_rejected(self):
+        with pytest.raises(EmulatorError):
+            run_asm("MOV r0, #0x1000\nLDR r1, [r0, #1]\nHALT")
+
+    def test_unmapped_access_rejected(self):
+        with pytest.raises(EmulatorError):
+            run_asm("MOV r0, #0x8000\nLDR r1, [r0, #0]\nHALT")
+
+
+class TestControl:
+    def test_loop_sums_1_to_10(self):
+        src = """
+            MOV r1, #0
+            MOV r2, #1
+        loop:
+            ADD r1, r1, r2
+            ADD r2, r2, #1
+            CMP r2, #10
+            BLE loop
+            MOV r0, #0x3000
+            STR r1, [r0, #0]
+            HALT
+        """
+        emu = run_asm(src)
+        assert emu.output[0] == 55
+
+    def test_bl_and_return(self):
+        src = """
+            MOV r0, #5
+            BL double
+            MOV r1, #0x3000
+            STR r0, [r1, #0]
+            HALT
+        double:
+            ADD r0, r0, r0
+            MOV pc, lr
+        """
+        emu = run_asm(src)
+        assert emu.output[0] == 10
+
+    def test_missing_halt_raises(self):
+        with pytest.raises(EmulatorError):
+            run_asm("loop: B loop", max_cycles=100)
+
+    def test_halt_parks(self):
+        cfg = MachineConfig(imem_words=16)
+        emu = Emulator(assemble("MOV r1, #1\nHALT"), cfg)
+        cycles = emu.run()
+        assert cycles == 2
+        pc_before = emu.pc
+        emu.step()  # parked
+        assert emu.pc == pc_before
+        assert emu.regs[1] == 1
+
+    def test_sp_initialized_to_stack_top(self):
+        cfg = MachineConfig(data_words=64)
+        emu = Emulator(assemble("HALT"), cfg)
+        assert emu.regs[isa.SP] == isa.DATA_BASE + 4 * 64

@@ -1,0 +1,96 @@
+"""ISA-level tests: condition semantics, encodings, decode round trips."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm import isa
+
+
+class TestConditionHolds:
+    def test_against_definitions(self):
+        """Exhaustive check of the ARM condition table semantics."""
+        defs = {
+            "EQ": lambda n, z, c, v: z == 1,
+            "NE": lambda n, z, c, v: z == 0,
+            "CS": lambda n, z, c, v: c == 1,
+            "CC": lambda n, z, c, v: c == 0,
+            "MI": lambda n, z, c, v: n == 1,
+            "PL": lambda n, z, c, v: n == 0,
+            "VS": lambda n, z, c, v: v == 1,
+            "VC": lambda n, z, c, v: v == 0,
+            "HI": lambda n, z, c, v: c == 1 and z == 0,
+            "LS": lambda n, z, c, v: c == 0 or z == 1,
+            "GE": lambda n, z, c, v: n == v,
+            "LT": lambda n, z, c, v: n != v,
+            "GT": lambda n, z, c, v: z == 0 and n == v,
+            "LE": lambda n, z, c, v: z == 1 or n != v,
+            "AL": lambda n, z, c, v: True,
+            "NV": lambda n, z, c, v: False,
+        }
+        for name, fn in defs.items():
+            cond = isa.COND_NAMES.index(name)
+            for n, z, c, v in itertools.product((0, 1), repeat=4):
+                assert isa.condition_holds(cond, n, z, c, v) == int(
+                    fn(n, z, c, v)
+                ), (name, n, z, c, v)
+
+    def test_complementary_pairs(self):
+        """Adjacent condition codes are complements (EQ/NE, CS/CC, ...)."""
+        for cond in range(0, 14, 2):
+            for n, z, c, v in itertools.product((0, 1), repeat=4):
+                assert (
+                    isa.condition_holds(cond, n, z, c, v)
+                    != isa.condition_holds(cond + 1, n, z, c, v)
+                )
+
+    def test_signed_comparison_semantics(self):
+        """GE/LT/GT/LE agree with signed comparison through SUBS flags."""
+        def flags_of_cmp(a, b):
+            diff = (a - b) & isa.MASK32
+            n = (diff >> 31) & 1
+            z = int(diff == 0)
+            total = (a & isa.MASK32) + ((~b) & isa.MASK32) + 1
+            c = (total >> 32) & 1
+            x, y = a & isa.MASK32, (~b) & isa.MASK32
+            res = total & isa.MASK32
+            v = (((x ^ res) & (y ^ res)) >> 31) & 1
+            return n, z, c, v
+
+        for a in (-5, -1, 0, 1, 7, 2**31 - 1, -(2**31)):
+            for b in (-5, -1, 0, 1, 7, 2**31 - 1, -(2**31)):
+                n, z, c, v = flags_of_cmp(a, b)
+                assert isa.condition_holds(isa.COND_BY_NAME["LT"], n, z, c, v) == int(a < b)
+                assert isa.condition_holds(isa.COND_BY_NAME["GE"], n, z, c, v) == int(a >= b)
+                assert isa.condition_holds(isa.COND_BY_NAME["GT"], n, z, c, v) == int(a > b)
+                assert isa.condition_holds(isa.COND_BY_NAME["LE"], n, z, c, v) == int(a <= b)
+                # HI/LS are the unsigned versions.
+                ua, ub = a & isa.MASK32, b & isa.MASK32
+                assert isa.condition_holds(isa.COND_BY_NAME["HI"], n, z, c, v) == int(ua > ub)
+                assert isa.condition_holds(isa.COND_BY_NAME["LS"], n, z, c, v) == int(ua <= ub)
+
+
+class TestDecode:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_never_crashes(self, word):
+        f = isa.decode(word)
+        assert 0 <= f.cond <= 15
+        assert f.klass in (0, 1, 2, 3)
+
+    def test_branch_offset_sign_extension(self):
+        back = (isa.CLASS_BRANCH << 26) | (0xFFFFFF)  # offset -1
+        assert isa.decode(back).offset24 == -1
+        fwd = (isa.CLASS_BRANCH << 26) | 5
+        assert isa.decode(fwd).offset24 == 5
+
+    def test_memory_map_constants(self):
+        assert isa.ALICE_BASE == 0x1000
+        assert isa.BOB_BASE == 0x2000
+        assert isa.OUTPUT_BASE == 0x3000
+        assert isa.DATA_BASE == 0x4000
+
+    def test_dp_classifications_are_disjoint(self):
+        assert not (isa.DP_NO_RD & isa.DP_NO_RN)
+        assert isa.DP_NO_RD < isa.DP_ARITH | isa.DP_NO_RD

@@ -1,0 +1,89 @@
+"""Tests for the conventional-GC and garbled-MIPS baselines."""
+
+from repro.arm import MachineConfig, assemble
+from repro.baselines import (
+    ConventionalCost,
+    conventional_cost,
+    garbled_mips_cost,
+)
+from repro.circuit import CircuitBuilder
+from repro.circuit import modules as M
+
+
+class TestConventional:
+    def test_cost_is_gates_times_cycles(self):
+        b = CircuitBuilder()
+        x = b.alice_input(8)
+        y = b.bob_input(8)
+        b.set_outputs(M.ripple_add(b, x, y))
+        net = b.build()
+        cost = conventional_cost(net, 10)
+        assert cost.nonxor_per_cycle == 7
+        assert cost.total_nonxor == 70
+        assert cost.bytes_on_wire == 70 * 32
+
+    def test_includes_macro_equivalents(self):
+        from repro.circuit.macros import Ram, zero_words
+
+        b = CircuitBuilder()
+        ram = b.net.add_macro(Ram("m", 8, zero_words(4, 8)))
+        addr = b.public_input(2)
+        b.set_outputs(ram.read(b, addr))
+        net = b.build()
+        cost = conventional_cost(net, 1)
+        assert cost.nonxor_per_cycle == (4 - 1) * 8  # mux-tree equivalent
+
+    def test_paper_arithmetic_example(self):
+        """Section 5.6: 1,909 x 126,755 = 241,975,295."""
+        cost = ConventionalCost(nonxor_per_cycle=126_755, cycles=1_909)
+        assert cost.total_nonxor == 241_975_295
+
+
+class TestGarbledMips:
+    SRC = """
+        MOV r0, #0x1000
+        LDR r1, [r0, #0]
+        MOV r0, #0x2000
+        LDR r2, [r0, #0]
+        ADD r3, r1, r2
+        MOV r0, #0x3000
+        STR r3, [r0, #0]
+        HALT
+    """
+
+    def cost(self):
+        cfg = MachineConfig(
+            alice_words=4, bob_words=4, output_words=4, data_words=16,
+            imem_words=16,
+        )
+        return garbled_mips_cost(assemble(self.SRC), cfg, [5], [7])
+
+    def test_charges_every_step(self):
+        cost = self.cost()
+        assert cost.steps == 8  # including HALT
+
+    def test_regfile_dominates(self):
+        """The instruction-level machine pays oblivious register-file
+        traffic on every step — the overhead SkipGate eliminates."""
+        cost = self.cost()
+        assert cost.regfile_nonxor > cost.alu_nonxor
+        assert cost.regfile_nonxor > cost.memory_nonxor
+        per_step = cost.regfile_nonxor / cost.steps
+        # 2 reads (15*32 each) + 1 write (decoder + enables + muxes).
+        assert per_step > 1500
+
+    def test_orders_of_magnitude_vs_skipgate(self):
+        """For the trivial sum program, the instruction-level baseline
+        pays thousands of gates where ARM2GC pays 31."""
+        cost = self.cost()
+        assert cost.total_nonxor > 100 * 31
+
+    def test_memory_access_costs_scale_with_banks(self):
+        small = MachineConfig(alice_words=4, bob_words=4, output_words=4,
+                              data_words=16, imem_words=16)
+        big = MachineConfig(alice_words=256, bob_words=256, output_words=4,
+                            data_words=16, imem_words=16)
+        words = assemble(self.SRC)
+        c_small = garbled_mips_cost(words, small, [5], [7])
+        c_big = garbled_mips_cost(words, big, [5], [7])
+        assert c_big.memory_nonxor > c_small.memory_nonxor

@@ -1,0 +1,394 @@
+"""Mini-C compiler tests: language semantics on the garbled processor.
+
+Each program is compiled and executed on the GarbledMachine, which
+cross-checks the garbled run against the reference emulator; the
+assertions here check outputs against plain Python semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm import GarbledMachine
+from repro.cc import CompileError, compile_c
+
+M32 = 0xFFFFFFFF
+SMALL = dict(
+    alice_words=8, bob_words=8, output_words=8, data_words=64, imem_words=256
+)
+
+
+def run_c(src, alice=(), bob=(), **kw):
+    cfg = dict(SMALL)
+    cfg.update(kw)
+    machine = GarbledMachine(compile_c(src).words, **cfg)
+    return machine.run(alice=alice, bob=bob)
+
+
+class TestExpressions:
+    @given(st.integers(0, M32), st.integers(0, M32))
+    @settings(max_examples=6, deadline=None)
+    def test_arithmetic_ops(self, a, b):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] + b[0];
+            c[1] = a[0] - b[0];
+            c[2] = a[0] & b[0];
+            c[3] = a[0] | b[0];
+            c[4] = a[0] ^ b[0];
+            c[5] = a[0] * b[0];
+        }
+        """
+        r = run_c(src, alice=[a], bob=[b])
+        assert r.output_words == [
+            (a + b) & M32, (a - b) & M32, a & b, a | b, a ^ b,
+            (a * b) & M32, 0, 0,
+        ]
+
+    def test_unary_ops(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = -a[0];
+            c[1] = ~a[0];
+            c[2] = !b[0];
+            c[3] = !a[0];
+        }
+        """
+        r = run_c(src, alice=[5], bob=[0])
+        assert r.output_words[:4] == [(-5) & M32, (~5) & M32, 1, 0]
+
+    def test_shifts_and_div_mod(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] << 4;
+            c[1] = a[0] >> 3;
+            c[2] = a[0] / 8;
+            c[3] = a[0] % 8;
+            c[4] = a[0] * 16;
+        }
+        """
+        v = 0x12345678
+        r = run_c(src, alice=[v])
+        assert r.output_words[:5] == [
+            (v << 4) & M32, v >> 3, v >> 3, v % 8, (v * 16) & M32
+        ]
+
+    def test_variable_shift_rejected(self):
+        with pytest.raises(CompileError):
+            compile_c("""
+            void gc_main(const int *a, const int *b, int *c) {
+                c[0] = a[0] << b[0];
+            }
+            """)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_comparisons_signed(self, x, y):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] < b[0];
+            c[1] = a[0] <= b[0];
+            c[2] = a[0] > b[0];
+            c[3] = a[0] >= b[0];
+            c[4] = a[0] == b[0];
+            c[5] = a[0] != b[0];
+        }
+        """
+        r = run_c(src, alice=[x & M32], bob=[y & M32])
+        assert r.output_words[:6] == [
+            int(x < y), int(x <= y), int(x > y), int(x >= y),
+            int(x == y), int(x != y),
+        ]
+
+    def test_logical_and_or(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = (a[0] > 1) && (b[0] > 1);
+            c[1] = (a[0] > 1) || (b[0] > 1);
+        }
+        """
+        r = run_c(src, alice=[5], bob=[0])
+        assert r.output_words[:2] == [0, 1]
+
+    def test_ternary(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] > b[0] ? a[0] : b[0];
+            c[1] = a[0] > b[0] ? b[0] : a[0];
+        }
+        """
+        r = run_c(src, alice=[17], bob=[23])
+        assert r.output_words[:2] == [23, 17]
+
+    def test_wide_constants(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = a[0] ^ 0x12345678;
+            c[1] = 0xDEADBEEF;
+        }
+        """
+        r = run_c(src, alice=[0])
+        assert r.output_words[:2] == [0x12345678, 0xDEADBEEF]
+
+    def test_precedence(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = 2 + 3 * 4;
+            c[1] = (2 + 3) * 4;
+            c[2] = 1 | 2 & 3;
+            c[3] = a[0] + b[0] * 2;
+        }
+        """
+        r = run_c(src, alice=[10], bob=[3])
+        assert r.output_words[:4] == [14, 20, 1 | (2 & 3), 16]
+
+
+class TestStatements:
+    def test_locals_and_compound_assign(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x = a[0];
+            x += b[0];
+            x <<= 1;
+            x -= 4;
+            x ^= 0xFF;
+            c[0] = x;
+        }
+        """
+        r = run_c(src, alice=[10], bob=[20])
+        assert r.output_words[0] == ((((10 + 20) << 1) - 4) ^ 0xFF)
+
+    def test_increment_decrement(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int i = a[0];
+            i++;
+            i++;
+            i--;
+            c[0] = i;
+        }
+        """
+        assert run_c(src, alice=[41]).output_words[0] == 42
+
+    def test_while_loop(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int total = 0;
+            int i = 0;
+            while (i < 10) {
+                total += i;
+                i++;
+            }
+            c[0] = total;
+        }
+        """
+        assert run_c(src).output_words[0] == 45
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int total = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i == 7) { continue; }
+                if (i == 10) { break; }
+                total += i;
+            }
+            c[0] = total;
+        }
+        """
+        assert run_c(src).output_words[0] == sum(range(10)) - 7
+
+    def test_scoped_redeclaration(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x = 1;
+            for (int i = 0; i < 3; i++) { int t = i; c[0] = c[0] + t; }
+            for (int i = 0; i < 4; i++) { int t = 2; c[1] = c[1] + t; }
+            c[2] = x;
+        }
+        """
+        r = run_c(src)
+        assert r.output_words[:3] == [3, 8, 1]
+
+    def test_arrays_on_stack(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x[5];
+            for (int i = 0; i < 5; i++) { x[i] = a[i] * 2; }
+            int total = 0;
+            for (int i = 0; i < 5; i++) { total += x[i]; }
+            c[0] = total;
+        }
+        """
+        r = run_c(src, alice=[1, 2, 3, 4, 5])
+        assert r.output_words[0] == 30
+
+    def test_pointer_deref_sugar(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = *a + *(b + 1);
+        }
+        """
+        r = run_c(src, alice=[7], bob=[0, 35])
+        assert r.output_words[0] == 42
+
+
+class TestFunctions:
+    def test_call_with_return(self):
+        src = """
+        int add3(int x, int y, int z) {
+            return x + y + z;
+        }
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = add3(a[0], b[0], 5);
+        }
+        """
+        assert run_c(src, alice=[10], bob=[20]).output_words[0] == 35
+
+    def test_nested_call_chain(self):
+        src = """
+        int double_it(int x) { return x + x; }
+        int quad(int x) {
+            int d = double_it(x);
+            return double_it(d);
+        }
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = quad(a[0]);
+        }
+        """
+        assert run_c(src, alice=[5]).output_words[0] == 20
+
+    def test_pointer_parameters(self):
+        src = """
+        void fill(int *p, int n) {
+            for (int i = 0; i < n; i++) { p[i] = i * i; }
+        }
+        void gc_main(const int *a, const int *b, int *c) {
+            int buf[4];
+            fill(buf, 4);
+            c[0] = buf[0] + buf[1] + buf[2] + buf[3];
+        }
+        """
+        assert run_c(src).output_words[0] == 0 + 1 + 4 + 9
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(CompileError):
+            compile_c("""
+            void gc_main(const int *a, const int *b, int *c) {
+                c[0] = nope(1);
+            }
+            """)
+
+    def test_missing_gc_main_rejected(self):
+        with pytest.raises(CompileError):
+            compile_c("int f(int x) { return x; }")
+
+
+class TestIfConversion:
+    def test_secret_condition_stays_flow_independent(self):
+        """The key property: an if on secret data compiles to
+        predicated code, so the cycle count does not depend on the
+        secret inputs."""
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x = a[0];
+            if (x > b[0]) { c[0] = x; } else { c[0] = b[0]; }
+        }
+        """
+        m = GarbledMachine(compile_c(src).words, **SMALL)
+        r1 = m.run(alice=[100], bob=[5])
+        r2 = m.run(alice=[5], bob=[100])
+        assert r1.output_words[0] == 100
+        assert r2.output_words[0] == 100
+        assert r1.cycles == r2.cycles
+        assert r1.input_independent_flow
+        # identical garbling cost on both sides of the condition
+        assert r1.garbled_nonxor == r2.garbled_nonxor
+
+    def test_predicated_store_of_constant_is_free(self):
+        """if (secret) {c[0] = 1;} costs only the CMP: conditionally
+        writing a public constant over a public zero collapses to the
+        condition's own label (the MUXes are category ii/iii), so the
+        conditional store itself garbles nothing."""
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            if (a[0] < b[0]) { c[0] = 1; }
+        }
+        """
+        r = run_c(src, alice=[1], bob=[2])
+        assert r.garbled_nonxor == 32  # the borrow chain only
+
+    def test_predicated_store_of_secret_costs_32(self):
+        """Conditionally storing a *secret* value is one conditional
+        write: 32 garbled ANDs on top of the comparison."""
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            c[0] = b[1];
+            if (a[0] < b[0]) { c[0] = a[1]; }
+        }
+        """
+        r = run_c(src, alice=[1, 77], bob=[2, 55])
+        assert r.output_words[0] == 77
+        assert r.garbled_nonxor == 32 + 32
+
+    def test_if_with_comparison_in_body_uses_retest(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x = 0;
+            if (a[0] < b[0]) {
+                x = a[1] > b[1];
+            }
+            c[0] = x;
+        }
+        """
+        r = run_c(src, alice=[1, 9], bob=[2, 3])
+        assert r.output_words[0] == 1
+        r = run_c(src, alice=[3, 9], bob=[2, 3])
+        assert r.output_words[0] == 0
+
+    def test_public_condition_branches_free(self):
+        """Branches on public data cost nothing: the whole loop below
+        garbles zero tables."""
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int total = 0;
+            for (int i = 0; i < 20; i++) {
+                if (i % 2 == 0) { total += i; }
+            }
+            c[0] = total;
+        }
+        """
+        r = run_c(src)
+        assert r.output_words[0] == sum(i for i in range(20) if i % 2 == 0)
+        assert r.garbled_nonxor == 0
+
+    def test_else_if_chain(self):
+        src = """
+        void gc_main(const int *a, const int *b, int *c) {
+            int x = a[0];
+            if (x < 10) { c[0] = 1; }
+            else if (x < 20) { c[0] = 2; }
+            else { c[0] = 3; }
+        }
+        """
+        assert run_c(src, alice=[5]).output_words[0] == 1
+        assert run_c(src, alice=[15]).output_words[0] == 2
+        assert run_c(src, alice=[25]).output_words[0] == 3
+
+
+class TestDiagnostics:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            compile_c("void gc_main(const int*a,const int*b,int*c){c[0]=zz;}")
+
+    def test_assign_to_input_pointer(self):
+        with pytest.raises(CompileError):
+            compile_c("void gc_main(const int*a,const int*b,int*c){a = c;}")
+
+    def test_expression_statement_rejected(self):
+        with pytest.raises(CompileError):
+            compile_c("void gc_main(const int*a,const int*b,int*c){a[0] + 1;}")
+
+    def test_division_by_non_power_of_two(self):
+        with pytest.raises(CompileError):
+            compile_c("void gc_main(const int*a,const int*b,int*c){c[0]=a[0]/3;}")

@@ -1,0 +1,173 @@
+"""Exhaustive tests for the gate-type algebra in repro.circuit.gates."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import gates as G
+
+
+ALL_TTS = list(range(16))
+
+
+def brute_eval(tt, a, b):
+    return (tt >> (a + 2 * b)) & 1
+
+
+class TestEvaluate:
+    def test_matches_bit_extraction_for_all_tables(self):
+        for tt, a, b in itertools.product(ALL_TTS, (0, 1), (0, 1)):
+            assert G.evaluate(tt, a, b) == brute_eval(tt, a, b)
+
+    def test_named_gates_have_expected_semantics(self):
+        cases = {
+            G.GateType.AND: lambda a, b: a & b,
+            G.GateType.OR: lambda a, b: a | b,
+            G.GateType.XOR: lambda a, b: a ^ b,
+            G.GateType.XNOR: lambda a, b: 1 - (a ^ b),
+            G.GateType.NAND: lambda a, b: 1 - (a & b),
+            G.GateType.NOR: lambda a, b: 1 - (a | b),
+            G.GateType.ANDNB: lambda a, b: a & (1 - b),
+            G.GateType.ANDNA: lambda a, b: (1 - a) & b,
+            G.GateType.ORNB: lambda a, b: a | (1 - b),
+            G.GateType.ORNA: lambda a, b: (1 - a) | b,
+            G.GateType.BUFA: lambda a, b: a,
+            G.GateType.BUFB: lambda a, b: b,
+            G.GateType.NOTA: lambda a, b: 1 - a,
+            G.GateType.NOTB: lambda a, b: 1 - b,
+            G.GateType.ZERO: lambda a, b: 0,
+            G.GateType.ONE: lambda a, b: 1,
+        }
+        for tt, fn in cases.items():
+            for a, b in itertools.product((0, 1), repeat=2):
+                assert G.evaluate(tt, a, b) == fn(a, b), G.gate_name(tt)
+
+
+class TestClassification:
+    def test_every_tt_is_exactly_one_kind(self):
+        for tt in ALL_TTS:
+            kinds = [
+                tt in G.XOR_TYPES,
+                tt in G.AND_TYPES,
+                tt in G.DEGENERATE_TYPES,
+            ]
+            assert sum(kinds) == 1, G.gate_name(tt)
+
+    def test_and_types_have_one_or_three_minterms(self):
+        for tt in G.AND_TYPES:
+            assert bin(tt).count("1") in (1, 3)
+
+    def test_is_free_and_is_nonxor(self):
+        assert G.is_free(G.GateType.XOR)
+        assert G.is_free(G.GateType.XNOR)
+        assert not G.is_free(G.GateType.AND)
+        assert G.is_nonxor(G.GateType.NAND)
+        assert not G.is_nonxor(G.GateType.XOR)
+        assert not G.is_nonxor(G.GateType.BUFA)
+
+
+class TestRestrict:
+    """Category-ii analysis: fix one input to a public constant."""
+
+    def test_restriction_agrees_with_brute_force(self):
+        for tt, which, value in itertools.product(ALL_TTS, (0, 1), (0, 1)):
+            r = G.restrict(tt, which, value)
+            for free in (0, 1):
+                a, b = (value, free) if which == 0 else (free, value)
+                expected = brute_eval(tt, a, b)
+                if r.kind == G.CONST:
+                    assert expected == r.value
+                elif r.kind == G.PASS:
+                    assert expected == free
+                else:
+                    assert expected == 1 - free
+
+    def test_figure1_examples(self):
+        """The four Phase-1 replacements shown in Figure 1 of the paper."""
+        # AND with public 0 -> constant 0
+        assert G.restrict(G.GateType.AND, 0, 0) == G.Restriction(G.CONST, 0)
+        # AND with public 1 -> wire
+        assert G.restrict(G.GateType.AND, 0, 1).kind == G.PASS
+        # OR with public 1 -> constant 1
+        assert G.restrict(G.GateType.OR, 1, 1) == G.Restriction(G.CONST, 1)
+        # XOR with public 1 -> inverter
+        assert G.restrict(G.GateType.XOR, 0, 1).kind == G.INVERT
+        # XOR with public 0 -> wire
+        assert G.restrict(G.GateType.XOR, 0, 0).kind == G.PASS
+
+
+class TestRestrictTied:
+    """Category-iii analysis: identical or inverted secret inputs."""
+
+    def test_equal_inputs_agree_with_brute_force(self):
+        for tt in ALL_TTS:
+            r = G.restrict_equal(tt)
+            for v in (0, 1):
+                expected = brute_eval(tt, v, v)
+                if r.kind == G.CONST:
+                    assert expected == r.value
+                elif r.kind == G.PASS:
+                    assert expected == v
+                else:
+                    assert expected == 1 - v
+
+    def test_inverted_inputs_agree_with_brute_force(self):
+        for tt in ALL_TTS:
+            r = G.restrict_inverted(tt)
+            for v in (0, 1):
+                expected = brute_eval(tt, v, 1 - v)
+                if r.kind == G.CONST:
+                    assert expected == r.value
+                elif r.kind == G.PASS:
+                    assert expected == v
+                else:
+                    assert expected == 1 - v
+
+    def test_figure2_examples(self):
+        """Phase-2 replacements shown in Figure 2 of the paper."""
+        # XOR of identical secrets -> public 0
+        assert G.restrict_equal(G.GateType.XOR) == G.Restriction(G.CONST, 0)
+        # XOR of inverted secrets -> public 1
+        assert G.restrict_inverted(G.GateType.XOR) == G.Restriction(G.CONST, 1)
+        # AND of identical secrets -> wire
+        assert G.restrict_equal(G.GateType.AND).kind == G.PASS
+        # AND of inverted secrets -> public 0
+        assert G.restrict_inverted(G.GateType.AND) == G.Restriction(G.CONST, 0)
+
+
+class TestFlipFolding:
+    def test_apply_input_flips_all_combinations(self):
+        for tt, fa, fb in itertools.product(ALL_TTS, (0, 1), (0, 1)):
+            folded = G.apply_input_flips(tt, fa, fb)
+            for a, b in itertools.product((0, 1), repeat=2):
+                assert brute_eval(folded, a, b) == brute_eval(tt, a ^ fa, b ^ fb)
+
+    def test_flip_folding_preserves_and_likeness(self):
+        for tt in G.AND_TYPES:
+            for fa, fb in itertools.product((0, 1), repeat=2):
+                assert G.apply_input_flips(tt, fa, fb) in G.AND_TYPES
+
+    def test_flip_folding_preserves_xor_likeness(self):
+        for tt in G.XOR_TYPES:
+            for fa, fb in itertools.product((0, 1), repeat=2):
+                assert G.apply_input_flips(tt, fa, fb) in G.XOR_TYPES
+
+
+class TestAndDecomposition:
+    def test_decomposition_recomposes_for_all_and_types(self):
+        for tt in G.AND_TYPES:
+            ai, bi, oi = G.and_decomposition(tt)
+            for a, b in itertools.product((0, 1), repeat=2):
+                recomposed = oi ^ ((a ^ ai) & (b ^ bi))
+                assert recomposed == brute_eval(tt, a, b), G.gate_name(tt)
+
+    def test_non_and_types_return_none(self):
+        for tt in ALL_TTS:
+            if tt not in G.AND_TYPES:
+                assert G.and_decomposition(tt) is None
+
+
+class TestNames:
+    def test_name_round_trip(self):
+        for tt in ALL_TTS:
+            assert G.GATE_BY_NAME[G.gate_name(tt)] == tt

@@ -1,0 +1,242 @@
+"""Macro memories must cost exactly what their gate-level circuit costs.
+
+The substitution argument in DESIGN.md rests on this: a macro RAM/ROM
+read is allowed to shortcut the per-gate simulation only because it
+produces the same number of garbled tables (and the same public
+outputs) as the explicit MUX-tree circuit evaluated by SkipGate.  Here
+we build both versions of the same memory access and compare, sweeping
+which address bits are public.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder
+from repro.circuit import modules as M
+from repro.circuit.bits import int_to_bits, pack_words
+from repro.circuit.macros import Ram, input_words
+from repro.core import evaluate_with_stats
+
+WIDTH = 8
+DEPTH = 8  # 3 address bits
+WORDS = [17, 34, 51, 68, 85, 102, 119, 136]
+
+
+def build_macro_read(public_positions):
+    """Memory read via the Ram macro; addr bits split public/secret."""
+    b = CircuitBuilder()
+    ram = b.net.add_macro(Ram("m", WIDTH, input_words("alice", DEPTH, WIDTH)))
+    addr = []
+    for i in range(3):
+        if i in public_positions:
+            addr.append(b.public_input(1)[0])
+        else:
+            addr.append(b.bob_input(1)[0])
+    b.set_outputs(ram.read(b, addr))
+    return b.build()
+
+
+def build_gate_level_read(public_positions, public_first=True):
+    """The same read as an explicit MUX tree over per-bit flip-flops.
+
+    Stored words are modelled as alice per-cycle inputs (same label
+    structure as flip-flops initialized from alice's input vector).
+
+    With ``public_first`` the tree consumes the public address bits in
+    its bottom levels, which is the ordering that realizes the paper's
+    Section 4.4 claim (oblivious access to the *subset* selected by the
+    public bits).  A tree with secret bits below public ones pays for
+    muxing candidates the public bits later discard, because the
+    1-table XOR MUX keeps both subtree labels alive when its public
+    select is 1.  The macro implements the dynamic public-first
+    ordering.
+    """
+    b = CircuitBuilder()
+    entries = [b.alice_input(WIDTH) for _ in range(DEPTH)]
+    addr = {}
+    for i in range(3):
+        if i in public_positions:
+            addr[i] = b.public_input(1)[0]
+        else:
+            addr[i] = b.bob_input(1)[0]
+    if public_first:
+        order = sorted(public_positions) + [
+            i for i in range(3) if i not in public_positions
+        ]
+    else:
+        order = list(range(3))
+    # Permute the entries so that the tree consuming address bits in
+    # `order` still computes entries[full address].
+    permuted = [
+        entries[sum(((idx >> level) & 1) << order[level] for level in range(3))]
+        for idx in range(DEPTH)
+    ]
+    b.set_outputs(M.mux_tree(b, [addr[i] for i in order], permuted))
+    return b.build()
+
+
+def run_macro(net, addr_value, public_positions):
+    pub = [(addr_value >> i) & 1 for i in sorted(public_positions)]
+    sec = [(addr_value >> i) & 1 for i in range(3) if i not in public_positions]
+    return evaluate_with_stats(
+        net, 1, public=pub, bob=sec, alice_init=pack_words(WORDS, WIDTH)
+    )
+
+
+def run_gate_level(net, addr_value, public_positions):
+    pub = [(addr_value >> i) & 1 for i in sorted(public_positions)]
+    sec = [(addr_value >> i) & 1 for i in range(3) if i not in public_positions]
+    return evaluate_with_stats(
+        net, 1, public=pub, bob=sec, alice=pack_words(WORDS, WIDTH)
+    )
+
+
+class TestReadEquivalence:
+    def test_all_publicness_patterns_match_public_first_tree(self):
+        for r in range(4):
+            for public_positions in itertools.combinations(range(3), r):
+                pp = set(public_positions)
+                macro_net = build_macro_read(pp)
+                gate_net = build_gate_level_read(pp, public_first=True)
+                for addr in (0, 3, 5, 7):
+                    rm = run_macro(macro_net, addr, pp)
+                    rg = run_gate_level(gate_net, addr, pp)
+                    assert rm.value == rg.value == WORDS[addr], (pp, addr)
+                    assert (
+                        rm.stats.garbled_nonxor == rg.stats.garbled_nonxor
+                    ), (pp, addr)
+
+    def test_macro_never_beats_worse_tree_orderings(self):
+        """A fixed tree that muxes secret bits below public ones can
+        only cost more; the macro's dynamic ordering is a lower bound.
+        """
+        for public_positions in [(1,), (2,), (1, 2), (0, 2)]:
+            pp = set(public_positions)
+            macro_net = build_macro_read(pp)
+            gate_net = build_gate_level_read(pp, public_first=False)
+            for addr in (0, 3, 5, 7):
+                rm = run_macro(macro_net, addr, pp)
+                rg = run_gate_level(gate_net, addr, pp)
+                assert rm.value == rg.value == WORDS[addr]
+                assert rm.stats.garbled_nonxor <= rg.stats.garbled_nonxor
+
+    def test_fully_secret_read_cost(self):
+        pp = set()
+        net = build_macro_read(pp)
+        r = run_macro(net, 5, pp)
+        assert r.stats.garbled_nonxor == (DEPTH - 1) * WIDTH
+
+    def test_fully_public_read_cost(self):
+        pp = {0, 1, 2}
+        net = build_macro_read(pp)
+        r = run_macro(net, 5, pp)
+        assert r.stats.garbled_nonxor == 0
+
+    def test_subset_cost_is_twos_power_of_secret_bits(self):
+        """Section 4.4's varying-subset access: s secret bits cost
+        (2^s - 1) * width garbled tables."""
+        for s in (1, 2, 3):
+            pp = set(range(3 - s))
+            net = build_macro_read(pp)
+            r = run_macro(net, 7, pp)
+            assert r.stats.garbled_nonxor == ((1 << s) - 1) * WIDTH
+
+
+class TestWriteEquivalence:
+    def build_macro_write(self, wen_secret):
+        b = CircuitBuilder()
+        ram = b.net.add_macro(
+            Ram("m", WIDTH, input_words("alice", DEPTH, WIDTH))
+        )
+        wen = b.bob_input(1)[0] if wen_secret else b.public_input(1)[0]
+        wdata = b.alice_input(WIDTH)
+        waddr = b.public_input(3)
+        ram.write(b, waddr, wdata, wen)
+        raddr = b.public_input(3)
+        b.set_outputs(ram.read(b, raddr))
+        return b.build()
+
+    def build_gate_write(self, wen_secret):
+        """One conditional-write MUX per stored bit of the target word,
+        the structure the register file has for a predicated MOV."""
+        b = CircuitBuilder()
+        old = b.alice_input(WIDTH)
+        wen = b.bob_input(1)[0] if wen_secret else b.public_input(1)[0]
+        wdata = b.alice_input(WIDTH)
+        b.set_outputs(b.mux_bus(wen, old, wdata))
+        return b.build()
+
+    def test_secret_wen_costs_match(self):
+        macro_net = self.build_macro_write(wen_secret=True)
+        r = evaluate_with_stats(
+            macro_net,
+            2,
+            bob=[1],
+            alice=lambda c: int_to_bits(200, WIDTH),
+            public=lambda c: int_to_bits(3, 3) + int_to_bits(3, 3),
+            alice_init=pack_words(WORDS, WIDTH),
+        )
+        assert r.value == 200
+        # Cycle 1: one conditional write of WIDTH bits; cycle 2's write
+        # is a final-cycle dead store (skipped).
+        gate_net = self.build_gate_write(wen_secret=True)
+        rg = evaluate_with_stats(
+            gate_net,
+            1,
+            bob=[1],
+            alice=int_to_bits(WORDS[3], WIDTH) + int_to_bits(200, WIDTH),
+        )
+        assert r.stats.garbled_nonxor == rg.stats.garbled_nonxor
+        assert rg.stats.garbled_nonxor == WIDTH
+
+    def test_public_wen_write_is_free(self):
+        macro_net = self.build_macro_write(wen_secret=False)
+        r = evaluate_with_stats(
+            macro_net,
+            2,
+            alice=lambda c: int_to_bits(99, WIDTH),
+            public=lambda c: [1] + int_to_bits(2, 3) + int_to_bits(2, 3),
+            alice_init=pack_words(WORDS, WIDTH),
+        )
+        assert r.value == 99
+        assert r.stats.garbled_nonxor == 0
+
+
+class TestHypothesisSweep:
+    @given(
+        st.integers(0, 7),
+        st.lists(st.integers(0, 255), min_size=8, max_size=8),
+        st.sets(st.integers(0, 2), max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_macro_matches_gate_level_on_random_contents(
+        self, addr, words, public_positions
+    ):
+        pp = set(public_positions)
+        b = CircuitBuilder()
+        ram = b.net.add_macro(
+            Ram("m", WIDTH, input_words("alice", DEPTH, WIDTH))
+        )
+        abus = []
+        for i in range(3):
+            if i in pp:
+                abus.append(b.public_input(1)[0])
+            else:
+                abus.append(b.bob_input(1)[0])
+        b.set_outputs(ram.read(b, abus))
+        macro_net = b.build()
+
+        gate_net = build_gate_level_read(pp)
+        pub = [(addr >> i) & 1 for i in sorted(pp)]
+        sec = [(addr >> i) & 1 for i in range(3) if i not in pp]
+        rm = evaluate_with_stats(
+            macro_net, 1, public=pub, bob=sec,
+            alice_init=pack_words(words, WIDTH),
+        )
+        rg = evaluate_with_stats(
+            gate_net, 1, public=pub, bob=sec, alice=pack_words(words, WIDTH)
+        )
+        assert rm.value == rg.value == words[addr]
+        assert rm.stats.garbled_nonxor == rg.stats.garbled_nonxor

@@ -1,0 +1,371 @@
+"""Functional + cost tests for the GC-optimized module library.
+
+Each module is checked two ways: functional correctness against plain
+Python integer arithmetic (with hypothesis sweeping the operand space),
+and non-XOR gate cost against the known-optimal counts the paper's
+tables rely on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder, simulate
+from repro.circuit import modules as M
+from repro.circuit.bits import bits_to_int, int_to_bits
+
+WORD = st.integers(min_value=0, max_value=2**32 - 1)
+SHORT = st.integers(min_value=0, max_value=255)
+
+
+def run1(net, a_val, b_val, width, out_width=None):
+    out = simulate(
+        net,
+        cycles=1,
+        alice=int_to_bits(a_val, width),
+        bob=int_to_bits(b_val, width),
+    )
+    return bits_to_int(out)
+
+
+def build_binop(width, fn):
+    b = CircuitBuilder()
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    out = fn(b, x, y)
+    b.set_outputs(out if isinstance(out, list) else [out])
+    return b.build()
+
+
+class TestAdder:
+    @given(WORD, WORD)
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_python(self, a, b):
+        net = build_binop(32, M.ripple_add)
+        assert run1(net, a, b, 32) == (a + b) & 0xFFFFFFFF
+
+    def test_add_with_carry_out(self):
+        net = build_binop(8, lambda b, x, y: M.ripple_add(b, x, y, with_carry=True))
+        assert run1(net, 200, 100, 8) == 300  # 9-bit result
+
+    def test_cost_is_n_minus_1(self):
+        for n in (8, 32, 64, 1024):
+            net = build_binop(n, M.ripple_add)
+            assert net.n_nonxor() == n - 1
+
+    def test_cost_with_carry_is_n(self):
+        net = build_binop(32, lambda b, x, y: M.ripple_add(b, x, y, with_carry=True))
+        assert net.n_nonxor() == 32
+
+
+class TestSubtractor:
+    @given(WORD, WORD)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_python(self, a, b):
+        net = build_binop(32, M.ripple_sub)
+        assert run1(net, a, b, 32) == (a - b) & 0xFFFFFFFF
+
+    def test_borrow_flag_means_geq(self):
+        net = build_binop(8, lambda b, x, y: M.ripple_sub(b, x, y, with_borrow=True))
+        assert run1(net, 9, 5, 8) >> 8 == 1  # no borrow
+        assert run1(net, 5, 9, 8) >> 8 == 0  # borrow
+
+    def test_cost_is_n_minus_1(self):
+        net = build_binop(32, M.ripple_sub)
+        assert net.n_nonxor() == 31
+
+
+class TestComparators:
+    @given(WORD, WORD)
+    @settings(max_examples=60, deadline=None)
+    def test_unsigned_less_than(self, a, b):
+        net = build_binop(32, M.less_than)
+        assert run1(net, a, b, 32) == int(a < b)
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_signed_less_than(self, a, b):
+        net = build_binop(32, lambda bl, x, y: M.less_than(bl, x, y, signed=True))
+        assert run1(net, a & 0xFFFFFFFF, b & 0xFFFFFFFF, 32) == int(a < b)
+
+    @given(SHORT, SHORT)
+    @settings(max_examples=40, deadline=None)
+    def test_equality(self, a, b):
+        net = build_binop(8, M.equals)
+        assert run1(net, a, b, 8) == int(a == b)
+
+    def test_compare_cost_is_n(self):
+        """Compare 32 costs 32 and Compare 16384 costs 16384 (Table 2)."""
+        for n in (32, 64):
+            net = build_binop(n, M.less_than)
+            assert net.n_nonxor() == n
+
+    def test_equality_cost(self):
+        net = build_binop(32, M.equals)
+        assert net.n_nonxor() == 31
+
+
+class TestMux:
+    @given(SHORT, SHORT, st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_mux_bus_selects(self, a, b, s):
+        bl = CircuitBuilder()
+        x = bl.alice_input(8)
+        y = bl.alice_input(8)
+        sel = bl.bob_input(1)
+        bl.set_outputs(bl.mux_bus(sel[0], x, y))
+        net = bl.build()
+        out = simulate(
+            net, 1, alice=int_to_bits(a, 8) + int_to_bits(b, 8), bob=[s]
+        )
+        assert bits_to_int(out) == (b if s else a)
+
+    def test_mux_cost_one_table_per_bit(self):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        y = bl.alice_input(32)
+        sel = bl.bob_input(1)
+        bl.set_outputs(bl.mux_bus(sel[0], x, y))
+        assert bl.build().n_nonxor() == 32
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_matches_python(self, v):
+        bl = CircuitBuilder()
+        x = bl.alice_input(64)
+        bl.set_outputs(M.popcount(bl, x))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 64))
+        assert bits_to_int(out) == bin(v).count("1")
+
+    def test_popcount_cost_is_subquadratic(self):
+        bl = CircuitBuilder()
+        x = bl.alice_input(160)
+        bl.set_outputs(M.popcount(bl, x))
+        # Tree-based popcount: well under one table per input bit.
+        assert bl.build().n_nonxor() <= 160
+
+
+class TestMultiplier:
+    @given(WORD, WORD)
+    @settings(max_examples=60, deadline=None)
+    def test_mult_matches_python(self, a, b):
+        net = build_binop(32, M.multiply)
+        assert run1(net, a, b, 32) == (a * b) & 0xFFFFFFFF
+
+    def test_mult32_cost_matches_paper(self):
+        """ARM2GC reports exactly 993 non-XOR gates for Mult 32."""
+        net = build_binop(32, M.multiply)
+        assert net.n_nonxor() == 993
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_full_width_product(self, a, b):
+        bl = CircuitBuilder()
+        x = bl.alice_input(8)
+        y = bl.bob_input(8)
+        bl.set_outputs(M.multiply(bl, x, y, out_width=16))
+        net = bl.build()
+        assert run1(net, a, b, 8) == a * b
+
+
+class TestShifters:
+    @given(WORD, st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_left(self, v, amt):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        a = bl.bob_input(5)
+        bl.set_outputs(M.barrel_shifter(bl, x, a, "left"))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 32), bob=int_to_bits(amt, 5))
+        assert bits_to_int(out) == (v << amt) & 0xFFFFFFFF
+
+    @given(WORD, st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_right_logical(self, v, amt):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        a = bl.bob_input(5)
+        bl.set_outputs(M.barrel_shifter(bl, x, a, "right"))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 32), bob=int_to_bits(amt, 5))
+        assert bits_to_int(out) == v >> amt
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_barrel_right_arithmetic(self, v, amt):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        a = bl.bob_input(5)
+        bl.set_outputs(M.barrel_shifter(bl, x, a, "right", arith=True))
+        net = bl.build()
+        out = simulate(
+            net, 1, alice=int_to_bits(v & 0xFFFFFFFF, 32), bob=int_to_bits(amt, 5)
+        )
+        assert bits_to_int(out) == (v >> amt) & 0xFFFFFFFF
+
+    @given(WORD, st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_rotate_right(self, v, amt):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        a = bl.bob_input(5)
+        bl.set_outputs(M.barrel_shifter(bl, x, a, "ror"))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 32), bob=int_to_bits(amt, 5))
+        expected = ((v >> amt) | (v << (32 - amt))) & 0xFFFFFFFF if amt else v
+        assert bits_to_int(out) == expected
+
+
+class TestDecoderMuxTree:
+    @given(st.integers(0, 7))
+    @settings(max_examples=16, deadline=None)
+    def test_decoder_one_hot(self, v):
+        bl = CircuitBuilder()
+        s = bl.alice_input(3)
+        bl.set_outputs(M.decoder(bl, s))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 3))
+        assert bits_to_int(out) == 1 << v
+
+    def test_decoder_cost(self):
+        bl = CircuitBuilder()
+        s = bl.alice_input(4)
+        bl.set_outputs(M.decoder(bl, s))
+        assert bl.build().n_nonxor() == 24  # split construction: 16 + 4 + 4
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_mux_tree_selects(self, v):
+        bl = CircuitBuilder()
+        entries = [bl.alice_input(8) for _ in range(4)]
+        s = bl.bob_input(2)
+        bl.set_outputs(M.mux_tree(bl, s, entries))
+        net = bl.build()
+        words = [11, 22, 33, 44]
+        bits = []
+        for w in words:
+            bits += int_to_bits(w, 8)
+        out = simulate(net, 1, alice=bits, bob=int_to_bits(v, 2))
+        assert bits_to_int(out) == words[v]
+
+    def test_mux_tree_cost_is_linear_scan(self):
+        """(2^k - 1) * width tables: the Section 4.4 linear scan."""
+        bl = CircuitBuilder()
+        entries = [bl.alice_input(32) for _ in range(16)]
+        s = bl.bob_input(4)
+        bl.set_outputs(M.mux_tree(bl, s, entries))
+        assert bl.build().n_nonxor() == 15 * 32
+
+
+class TestMisc:
+    @given(WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_increment(self, v):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        bl.set_outputs(M.increment(bl, x))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 32))
+        assert bits_to_int(out) == (v + 1) & 0xFFFFFFFF
+
+    @given(WORD)
+    @settings(max_examples=30, deadline=None)
+    def test_negate(self, v):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        bl.set_outputs(M.negate(bl, x))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v, 32))
+        assert bits_to_int(out) == (-v) & 0xFFFFFFFF
+
+    @given(SHORT)
+    @settings(max_examples=20, deadline=None)
+    def test_is_zero(self, v):
+        bl = CircuitBuilder()
+        x = bl.alice_input(8)
+        bl.set_outputs([M.is_zero(bl, x)])
+        net = bl.build()
+        assert simulate(net, 1, alice=int_to_bits(v, 8))[0] == int(v == 0)
+
+    @given(SHORT, SHORT, st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_swap(self, a, b, c):
+        bl = CircuitBuilder()
+        x = bl.alice_input(8)
+        y = bl.alice_input(8)
+        cw = bl.bob_input(1)
+        nx, ny = M.conditional_swap(bl, cw[0], x, y)
+        bl.set_outputs(nx + ny)
+        net = bl.build()
+        out = simulate(
+            net, 1, alice=int_to_bits(a, 8) + int_to_bits(b, 8), bob=[c]
+        )
+        lo, hi = bits_to_int(out[:8]), bits_to_int(out[8:])
+        assert (lo, hi) == ((b, a) if c else (a, b))
+
+    def test_conditional_swap_cost_is_n(self):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        y = bl.alice_input(32)
+        c = bl.bob_input(1)
+        nx, ny = M.conditional_swap(bl, c[0], x, y)
+        bl.set_outputs(nx + ny)
+        assert bl.build().n_nonxor() == 32
+
+
+class TestMinMaxAbs:
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_signed_min_max(self, a, b):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        y = bl.bob_input(32)
+        lo = M.minimum(bl, x, y, signed=True)
+        hi = M.maximum(bl, x, y, signed=True)
+        bl.set_outputs(lo + hi)
+        net = bl.build()
+        out = simulate(
+            net, 1,
+            alice=int_to_bits(a & 0xFFFFFFFF, 32),
+            bob=int_to_bits(b & 0xFFFFFFFF, 32),
+        )
+        assert bits_to_int(out[:32]) == min(a, b) & 0xFFFFFFFF
+        assert bits_to_int(out[32:]) == max(a, b) & 0xFFFFFFFF
+
+    @given(st.integers(-(2**31) + 1, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_absolute(self, v):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        bl.set_outputs(M.absolute(bl, x))
+        net = bl.build()
+        out = simulate(net, 1, alice=int_to_bits(v & 0xFFFFFFFF, 32))
+        assert bits_to_int(out) == abs(v)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+           st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub(self, a, b, sub):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        y = bl.alice_input(32)
+        s = bl.bob_input(1)
+        bl.set_outputs(M.add_sub(bl, x, y, s[0]))
+        net = bl.build()
+        out = simulate(
+            net, 1,
+            alice=int_to_bits(a, 32) + int_to_bits(b, 32), bob=[sub],
+        )
+        expect = (a - b if sub else a + b) & 0xFFFFFFFF
+        assert bits_to_int(out) == expect
+
+    def test_add_sub_costs_one_adder(self):
+        bl = CircuitBuilder()
+        x = bl.alice_input(32)
+        y = bl.alice_input(32)
+        s = bl.bob_input(1)
+        bl.set_outputs(M.add_sub(bl, x, y, s[0]))
+        assert bl.build().n_nonxor() == 31  # one carry chain

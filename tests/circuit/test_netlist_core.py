@@ -1,0 +1,113 @@
+"""Netlist structural tests: validation, fanout, stats."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, InitSpec, Netlist
+from repro.circuit import gates as G
+
+
+class TestValidation:
+    def test_multiple_drivers_rejected(self):
+        net = Netlist()
+        a = net.add_input("alice", 2)
+        net.add_gate(G.GateType.AND, a[0], a[1], out=a[0])
+        net.set_outputs([a[0]])
+        with pytest.raises(ValueError, match="multiple drivers"):
+            net.validate()
+
+    def test_use_before_drive_rejected(self):
+        net = Netlist()
+        w = net.new_wire()
+        out = net.add_gate(G.GateType.AND, w, w)
+        net.set_outputs([out])
+        with pytest.raises(ValueError, match="not driven"):
+            net.validate()
+
+    def test_undriven_output_rejected(self):
+        net = Netlist()
+        net.set_outputs([net.new_wire()])
+        with pytest.raises(ValueError, match="not driven"):
+            net.validate()
+
+    def test_undriven_dff_d_rejected(self):
+        net = Netlist()
+        net.add_dff(d=net.new_wire())
+        net.set_outputs([1])
+        with pytest.raises(ValueError, match="not driven"):
+            net.validate()
+
+    def test_bad_init_spec(self):
+        with pytest.raises(ValueError):
+            InitSpec("martian", 0)
+        with pytest.raises(ValueError):
+            InitSpec("const", 2)
+
+
+class TestFanout:
+    def test_fanout_counts_pins_outputs_and_dffs(self):
+        b = CircuitBuilder()
+        a = b.alice_input(2)
+        g = b.and_(a[0], a[1])
+        b.xor_(g, a[0])
+        q = b.dff()
+        b.drive_dff(q, g)
+        b.set_outputs([g])
+        net = b.build()
+        fanout = net.static_fanout()
+        gi = net.gate_out.index(g)
+        # consumers: xor pin + dff d + output = 3
+        assert fanout[gi] == 3
+
+    def test_duplicate_pins_count_twice(self):
+        net = Netlist()
+        a = net.add_input("alice", 1)
+        b_ = net.add_input("bob", 1)
+        g = net.add_gate(G.GateType.AND, a[0], b_[0])
+        h = net.add_gate(G.GateType.XOR, g, g)
+        net.set_outputs([h])
+        net.validate()
+        fan = net.static_fanout()
+        assert fan[0] == 2  # g consumed by both pins of h
+
+    def test_total_fanout_bound(self):
+        """The Section 3.4 bound: sum of fanouts <= 2n + q for circuits
+        without DFFs/macros."""
+        b = CircuitBuilder()
+        a = b.alice_input(4)
+        bb = b.bob_input(4)
+        wires = list(a) + list(bb)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            wires.append(b.and_(rng.choice(wires), rng.choice(wires)))
+        b.set_outputs(wires[-3:])
+        net = b.build()
+        assert sum(net.static_fanout()) <= 2 * net.n_gates + len(net.outputs)
+
+
+class TestStats:
+    def test_stats_summary(self):
+        b = CircuitBuilder()
+        x = b.alice_input(4)
+        y = b.bob_input(4)
+        from repro.circuit import modules as M
+
+        b.set_outputs(M.ripple_add(b, x, y))
+        net = b.build()
+        s = net.stats()
+        assert s["nonxor"] == 3
+        assert s["inputs_alice"] == 4
+        assert s["inputs_bob"] == 4
+        assert s["outputs"] == 4
+        assert s["dffs"] == 0
+
+    def test_wire_origin_map(self):
+        b = CircuitBuilder()
+        a = b.alice_input(2)
+        g = b.and_(a[0], a[1])
+        b.set_outputs([g])
+        net = b.build()
+        origin = net.wire_origin_gate()
+        assert origin[g] == 0
+        assert origin[a[0]] == -1

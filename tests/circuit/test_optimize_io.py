@@ -1,0 +1,143 @@
+"""Tests for the static optimizer and the netlist text format."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder, Netlist, simulate
+from repro.circuit import gates as G
+from repro.circuit.bits import bits_to_int, int_to_bits
+from repro.circuit.io import dumps_netlist, loads_netlist
+from repro.circuit.optimize import optimize
+
+
+def build_messy():
+    """A netlist with constants, duplicates and dead logic."""
+    net = Netlist("messy")
+    a = net.add_input("alice", 4)
+    b = net.add_input("bob", 4)
+    # constant-foldable: AND with const 0, OR with const 1
+    g1 = net.add_gate(G.GateType.AND, a[0], 0)
+    g2 = net.add_gate(G.GateType.OR, a[1], 1)
+    # duplicate gates
+    d1 = net.add_gate(G.GateType.XOR, a[2], b[2])
+    d2 = net.add_gate(G.GateType.XOR, a[2], b[2])
+    # same-input gate
+    s1 = net.add_gate(G.GateType.AND, a[3], a[3])
+    # dead gate (output unused)
+    net.add_gate(G.GateType.NAND, b[0], b[1])
+    # real logic
+    live = net.add_gate(G.GateType.AND, d1, s1)
+    live2 = net.add_gate(G.GateType.OR, d2, g1)
+    net.set_outputs([live, live2, g2])
+    net.validate()
+    return net
+
+
+class TestOptimize:
+    def test_folds_and_removes(self):
+        net = build_messy()
+        opt, stats = optimize(net)
+        assert stats["const_folded"] >= 3
+        assert stats["deduplicated"] >= 1
+        assert stats["dead"] >= 1
+        assert opt.n_gates < net.n_gates
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=20, deadline=None)
+    def test_semantics_preserved(self, av, bv):
+        net = build_messy()
+        opt, _ = optimize(net)
+        before = simulate(net, 1, alice=int_to_bits(av, 4), bob=int_to_bits(bv, 4))
+        after = simulate(opt, 1, alice=int_to_bits(av, 4), bob=int_to_bits(bv, 4))
+        assert before == after
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuits_preserved(self, seed):
+        rng = random.Random(seed)
+        net = Netlist("rand")
+        wires = net.add_input("alice", 6) + [0, 1]
+        tts = [G.GateType.AND, G.GateType.OR, G.GateType.XOR,
+               G.GateType.NAND, G.GateType.XNOR, G.GateType.ANDNB]
+        for _ in range(40):
+            wires.append(
+                net.add_gate(rng.choice(tts), rng.choice(wires), rng.choice(wires))
+            )
+        net.set_outputs([rng.choice(wires) for _ in range(5)])
+        net.validate()
+        opt, stats = optimize(net)
+        bits = [rng.randint(0, 1) for _ in range(6)]
+        assert simulate(net, 1, alice=bits) == simulate(opt, 1, alice=bits)
+        assert stats["nonxor_after"] <= stats["nonxor_before"]
+
+    def test_sequential_circuit_preserved(self):
+        b = CircuitBuilder()
+        x = b.bob_input(4)
+        acc = b.dff_bus(4, 0)
+        from repro.circuit import modules as M
+
+        total = M.ripple_add(b, acc, x)
+        b.drive_dff_bus(acc, total)
+        b.set_outputs(total)
+        net = b.build()
+        opt, _ = optimize(net)
+        seq = [3, 5, 11]
+        r1 = [simulate(net, 3, bob=int_to_bits(v, 4)) for v in seq]
+        r2 = [simulate(opt, 3, bob=int_to_bits(v, 4)) for v in seq]
+        assert r1 == r2
+
+    def test_builder_output_is_already_clean(self):
+        """The builder folds constants at construction: the optimizer
+        finds nothing to do on a synthesized adder."""
+        from repro.circuit import modules as M
+
+        b = CircuitBuilder()
+        x = b.alice_input(16)
+        y = b.bob_input(16)
+        b.set_outputs(M.ripple_add(b, x, y))
+        net = b.build()
+        opt, stats = optimize(net)
+        assert stats["const_folded"] == 0
+        assert stats["dead"] == 0
+        assert opt.n_nonxor() == net.n_nonxor()
+
+
+class TestNetlistIO:
+    def test_round_trip(self):
+        net = build_messy()
+        text = dumps_netlist(net)
+        back = loads_netlist(text)
+        assert back.n_gates == net.n_gates
+        assert back.outputs == net.outputs
+        for av in (0, 9, 15):
+            bits = int_to_bits(av, 4)
+            assert simulate(net, 1, alice=bits, bob=bits) == simulate(
+                back, 1, alice=bits, bob=bits
+            )
+
+    def test_round_trip_sequential(self):
+        b = CircuitBuilder()
+        x = b.alice_input(1)
+        q = b.dff()
+        b.drive_dff(q, b.xor_(q, x[0]))
+        b.set_outputs([q])
+        net = b.build()
+        back = loads_netlist(dumps_netlist(net))
+        assert simulate(net, 5, alice=[1]) == simulate(back, 5, alice=[1])
+
+    def test_macros_not_serializable(self):
+        from repro.circuit.macros import Ram, zero_words
+
+        b = CircuitBuilder()
+        ram = b.net.add_macro(Ram("m", 8, zero_words(2, 8)))
+        addr = b.public_input(1)
+        b.set_outputs(ram.read(b, addr))
+        with pytest.raises(ValueError):
+            dumps_netlist(b.build())
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_netlist("netlist x\ngate BOGUS 0 1 2\n")

@@ -1,0 +1,61 @@
+"""Tests for the reporting layer (table rendering, paper constants)."""
+
+import os
+
+from repro.reporting import paper
+from repro.reporting.tables import fmt, render_table
+
+
+class TestPaperConstants:
+    def test_table_improvements_consistent(self):
+        """Table 4's improvement column matches its own w/o / w/ ratio
+        to within rounding (a transcription self-check)."""
+        for name, (wo, w, factor_k) in paper.TABLE4.items():
+            ratio = wo / w / 1000
+            assert 0.4 <= ratio / factor_k <= 2.5, name
+
+    def test_table1_skipped_column_consistent(self):
+        for name, (wo, w, skipped) in paper.TABLE1.items():
+            assert wo - w == skipped, name
+
+    def test_table2_overhead_consistent(self):
+        for name, (hdl, arm, overhead) in paper.TABLE2.items():
+            computed = 100.0 * (arm - hdl) / hdl
+            assert abs(computed - overhead) < 0.5, name
+
+    def test_mips_factor(self):
+        assert (
+            paper.GARBLED_MIPS_HAMMING_32INT
+            // paper.ARM2GC_HAMMING_32INT
+            == paper.MIPS_IMPROVEMENT_FACTOR
+        )
+
+    def test_table6_only_arm2gc_has_dge(self):
+        dge = [name for name, row in paper.TABLE6.items() if row[4]]
+        assert dge == ["ARM2GC"]
+
+
+class TestRendering:
+    def test_fmt(self):
+        assert fmt(1234567) == "1,234,567"
+        assert fmt(None) == "-"
+        assert fmt(3.14159) == "3.14"
+        assert fmt("text") == "text"
+
+    def test_render_table_structure(self):
+        text = render_table(
+            "Demo", ["a", "b"], [[1, 2], [30000, "x"]], notes=["note"]
+        )
+        assert "## Demo" in text
+        assert "| 30,000" in text
+        assert "- note" in text
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # aligned columns
+
+    def test_publish_writes_results_file(self, tmp_path, monkeypatch):
+        from repro.reporting import tables
+
+        monkeypatch.setattr(tables, "RESULTS_DIR", str(tmp_path))
+        tables.publish("demo", "## Demo\ncontent\n")
+        assert (tmp_path / "demo.md").read_text().startswith("## Demo")

@@ -1,0 +1,140 @@
+"""Failure injection: the protocol detects tampering and desyncs.
+
+Honest-but-curious security does not require active-attack resistance,
+but a production-quality implementation should *fail loudly* rather
+than silently produce garbage when a table is corrupted, a message is
+dropped, or the parties disagree on the circuit.
+"""
+
+import threading
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuit import modules as M
+from repro.circuit.bits import int_to_bits
+from repro.core.protocol import (
+    EvaluatorBackend,
+    GarblerBackend,
+    run_protocol,
+)
+from repro.core import SkipGateEngine
+from repro.gc.channel import ChannelClosed, channel_pair
+
+
+def adder_net(width=8):
+    b = CircuitBuilder()
+    x = b.alice_input(width)
+    y = b.bob_input(width)
+    b.set_outputs(M.ripple_add(b, x, y))
+    return b.build()
+
+
+class TamperingEndpoint:
+    """Channel endpoint wrapper that corrupts garbled tables."""
+
+    def __init__(self, inner, corrupt_tag):
+        self._inner = inner
+        self._tag = corrupt_tag
+        self.sent = inner.sent
+
+    def send(self, tag, payload, nbytes):
+        if tag == self._tag and tag == "tables" and payload:
+            # Corrupt both halves of every table: the evaluator only
+            # consumes a half when the matching permute bit is set, so
+            # corrupting one half of one table would go unnoticed with
+            # probability 1/2.
+            payload = [
+                (key, tg ^ 0xDEADBEEF, te ^ 0xFEEDFACE)
+                for key, tg, te in payload
+            ]
+        self._inner.send(tag, payload, nbytes)
+
+    def recv(self, tag, timeout=60.0):
+        return self._inner.recv(tag, timeout=timeout)
+
+    def abort(self):
+        self._inner.abort()
+
+
+class TestTampering:
+    def test_corrupted_table_is_detected_at_decode(self):
+        """Flipping bits in a garbled table gives Bob a label that is
+        neither output label; Alice's decode raises."""
+        net = adder_net()
+        a_end, b_end = channel_pair()
+        tampered = TamperingEndpoint(a_end, "tables")
+
+        alice_bits = {("in", "alice", 0, i): (5 >> i) & 1 for i in range(8)}
+        bob_bits = {("in", "bob", 0, i): (9 >> i) & 1 for i in range(8)}
+
+        def bob_main():
+            backend = EvaluatorBackend(b_end, bob_bits, ot_group="modp512")
+            engine = SkipGateEngine(net, backend)
+            engine.step((), final=True)
+            payload = []
+            for s in engine.output_states():
+                payload.append(
+                    ("pub", s) if type(s) is int else ("lbl", s[0], s[1])
+                )
+            b_end.send("outputs", payload, 16 * len(payload))
+
+        t = threading.Thread(target=bob_main, daemon=True)
+        t.start()
+        backend = GarblerBackend(tampered, alice_bits, ot_group="modp512")
+        engine = SkipGateEngine(net, backend)
+        engine.step((), final=True)
+        payload = a_end.recv("outputs")
+        with pytest.raises(AssertionError, match="unknown output label"):
+            for got, s in zip(payload, engine.output_states()):
+                if got[0] == "lbl":
+                    _, label, _flip = got
+                    zero, _, _ = s
+                    if label not in (zero, zero ^ backend.delta):
+                        raise AssertionError(
+                            "Bob returned an unknown output label"
+                        )
+        t.join(timeout=10)
+
+    def test_channel_tag_mismatch_raises(self):
+        a, b = channel_pair()
+        a.send("tables", [], 0)
+        with pytest.raises(ChannelClosed, match="desync"):
+            b.recv("alice-label")
+
+    def test_peer_abort_unblocks(self):
+        a, b = channel_pair()
+        a.abort()
+        with pytest.raises(ChannelClosed):
+            b.recv("tables")
+
+
+class TestMisconfiguration:
+    def test_wrong_public_input_arity(self):
+        net = adder_net()
+        with pytest.raises(ValueError, match="public"):
+            run_protocol(net, 1, alice=[0] * 8, bob=[0] * 8, public=[1])
+
+    def test_wrong_private_input_arity(self):
+        net = adder_net()
+        with pytest.raises(ValueError, match="expected 8 bits"):
+            run_protocol(net, 1, alice=[0] * 4, bob=[0] * 8)
+
+    def test_engine_rejects_invalid_netlist(self):
+        from repro.circuit import Netlist
+        from repro.core import SkipGateEngine
+
+        net = Netlist()
+        net.add_gate(8, 5, 6)  # undriven input wires
+        net.set_outputs([2])
+        with pytest.raises(ValueError):
+            SkipGateEngine(net)
+
+    def test_missing_public_init_bit(self):
+        from repro.circuit import CircuitBuilder, InitSpec
+
+        b = CircuitBuilder()
+        q = b.dff(init=InitSpec("public", 3))
+        b.set_outputs([q])
+        with pytest.raises(ValueError, match="out of range"):
+            SkipGateEngine(b.build(), public_init=[1])

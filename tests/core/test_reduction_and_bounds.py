@@ -1,0 +1,190 @@
+"""Recursive fanout reduction (Figure 3) and the O(n) bound (Sec. 3.4)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder
+from repro.circuit import gates as G
+from repro.core import CountingBackend, SkipGateEngine
+
+
+class TestRecursiveReduction:
+    def test_chain_of_garbled_gates_collapses(self):
+        """A chain of ANDs feeding a gate that collapses to a constant
+        is filtered end to end, as in Figure 3."""
+        b = CircuitBuilder()
+        a = b.alice_input(4)
+        bob = b.bob_input(4)
+        p = b.public_input(1)
+        t = b.and_(a[0], bob[0])
+        for i in range(1, 4):
+            t = b.and_(t, b.and_(a[i], bob[i]))
+        out = b.net.add_gate(G.GateType.AND, p[0], t)
+        b.set_outputs([out])
+        eng = SkipGateEngine(b.build(), CountingBackend())
+        eng.step([0])
+        stats = eng.stats
+        assert stats.cat_iv_garbled == 7
+        assert stats.tables_filtered == 7
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [0]
+
+    def test_shared_subcircuit_survives_partial_kill(self):
+        """A gate consumed by both a killed branch and a live branch
+        keeps its table (fanout drops to 1, not 0)."""
+        b = CircuitBuilder()
+        a = b.alice_input(1)
+        bob = b.bob_input(1)
+        p = b.public_input(1)
+        shared = b.and_(a[0], bob[0])
+        killed = b.net.add_gate(G.GateType.AND, p[0], shared)  # p=0 -> 0
+        live = b.not_(shared)
+        b.set_outputs([killed, live])
+        eng = SkipGateEngine(b.build(), CountingBackend())
+        eng.step([0])
+        assert eng.stats.cat_iv_garbled == 1
+        assert eng.stats.tables_filtered == 0
+        assert eng.stats.garbled_nonxor == 1
+
+    def test_reduction_passes_through_free_xor_gates(self):
+        """Killing an XOR's only consumer propagates through the XOR
+        into both garbled producers."""
+        b = CircuitBuilder()
+        a = b.alice_input(2)
+        bob = b.bob_input(2)
+        p = b.public_input(1)
+        g0 = b.and_(a[0], bob[0])
+        g1 = b.and_(a[1], bob[1])
+        x = b.xor_(g0, g1)
+        out = b.net.add_gate(G.GateType.AND, p[0], x)
+        b.set_outputs([out])
+        eng = SkipGateEngine(b.build(), CountingBackend())
+        eng.step([0])
+        assert eng.stats.cat_iv_garbled == 2
+        assert eng.stats.tables_filtered == 2
+        assert eng.stats.garbled_nonxor == 0
+
+    def test_diamond_fanout_counts_pins_not_wires(self):
+        """A producer feeding two pins of the same dead consumer is
+        decremented twice (Algorithm 6 recurses per input pin)."""
+        b = CircuitBuilder()
+        a = b.alice_input(1)
+        bob = b.bob_input(1)
+        p = b.public_input(1)
+        g = b.and_(a[0], bob[0])
+        inv = b.not_(g)
+        dead = b.net.add_gate(G.GateType.XOR, g, inv)  # == public 1
+        out = b.net.add_gate(G.GateType.AND, p[0], dead)
+        b.set_outputs([out])
+        eng = SkipGateEngine(b.build(), CountingBackend())
+        eng.step([1])
+        # XOR(x, ~x) resolves to public 1 in category iii, releasing
+        # both of its pins; g's fanout (2 pins) reaches 0.
+        assert eng.stats.cat_iv_garbled == 1
+        assert eng.stats.tables_filtered == 1
+        assert eng.stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [1]
+
+
+def random_dag_circuit(rng, n_gates, width=8):
+    """Random combinational DAG over alice/bob/public inputs."""
+    b = CircuitBuilder()
+    wires = list(b.alice_input(width)) + list(b.bob_input(width))
+    wires += list(b.public_input(width))
+    tts = [
+        G.GateType.AND,
+        G.GateType.OR,
+        G.GateType.XOR,
+        G.GateType.NAND,
+        G.GateType.NOR,
+        G.GateType.XNOR,
+        G.GateType.ANDNB,
+        G.GateType.ORNA,
+    ]
+    for _ in range(n_gates):
+        x = rng.choice(wires)
+        y = rng.choice(wires)
+        out = b.gate(rng.choice(tts), x, y)
+        wires.append(out)
+    outs = [rng.choice(wires) for _ in range(4)]
+    b.set_outputs(outs)
+    return b.build()
+
+
+class TestComplexityBound:
+    """Section 3.4: the number of recursive_reduction invocations is
+    bounded by the total initialized fanout F <= 2n - m + q."""
+
+    @given(st.integers(0, 2**32 - 1), st.integers(20, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_calls_bounded_by_total_fanout(self, seed, n_gates):
+        rng = random.Random(seed)
+        net = random_dag_circuit(rng, n_gates)
+        total_fanout = sum(net.static_fanout())
+        n = net.n_gates
+        m = (
+            len(net.inputs["alice"])
+            + len(net.inputs["bob"])
+            + len(net.inputs["public"])
+        )
+        q = len(net.outputs)
+        assert total_fanout <= 2 * n + q
+        eng = SkipGateEngine(net, CountingBackend())
+        eng.step([rng.randint(0, 1) for _ in range(8)])
+        # Every reduction call decrements some fanout or hits zero once
+        # per dead edge; bounded by total fanout plus one stop-visit
+        # per edge of a dead gate (2 per gate).
+        assert eng.stats.reduction_calls <= total_fanout + 2 * n
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_no_record_goes_negative(self, seed):
+        rng = random.Random(seed)
+        net = random_dag_circuit(rng, 80)
+        eng = SkipGateEngine(net, CountingBackend())
+        eng.step([rng.randint(0, 1) for _ in range(8)])
+        assert all(f >= 0 for f in eng._rec_fanout)
+
+
+class TestCostIndependence:
+    """Security-relevant invariant (Section 3.5): the set of garbled
+    gates depends only on public information, never on private inputs.
+
+    Our engine enforces this by construction — it is never given the
+    private bits — so the meaningful property is determinism across
+    runs and backend seeds: identical public inputs produce identical
+    garbling decisions."""
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_stats_deterministic_across_label_seeds(self, seed, pub):
+        rng = random.Random(seed)
+        net = random_dag_circuit(rng, 60)
+        pub_bits = [(pub >> i) & 1 for i in range(8)]
+        results = []
+        for label_seed in (1, 2, 3):
+            eng = SkipGateEngine(net, CountingBackend(seed=label_seed))
+            eng.step(pub_bits)
+            s = eng.stats
+            results.append(
+                (s.garbled_nonxor, s.cat_i, s.cat_ii, s.cat_iii, s.cat_iv_xor)
+            )
+        assert results[0] == results[1] == results[2]
+
+    def test_cost_changes_with_public_inputs_only(self):
+        b = CircuitBuilder()
+        a = b.alice_input(1)
+        bob = b.bob_input(1)
+        p = b.public_input(1)
+        g = b.and_(a[0], bob[0])
+        out = b.net.add_gate(G.GateType.AND, p[0], g)
+        b.set_outputs([out])
+        net = b.build()
+        eng0 = SkipGateEngine(net, CountingBackend())
+        eng0.step([0])
+        eng1 = SkipGateEngine(net, CountingBackend())
+        eng1.step([1])
+        assert eng0.stats.garbled_nonxor == 0  # killed by public 0
+        assert eng1.stats.garbled_nonxor == 1  # kept by public 1

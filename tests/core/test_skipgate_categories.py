@@ -1,0 +1,286 @@
+"""SkipGate category behaviour on micro-circuits (Figures 1 and 2)."""
+
+from repro.circuit import CircuitBuilder
+from repro.circuit import gates as G
+from repro.core import CountingBackend, SkipGateEngine, evaluate_with_stats
+
+
+def run_counts(build, public=(), cycles=1):
+    """Build a circuit, run the engine, return (engine, stats)."""
+    b = CircuitBuilder()
+    build(b)
+    net = b.build()
+    eng = SkipGateEngine(net, CountingBackend())
+    for _ in range(cycles):
+        eng.step(public)
+    return eng, eng.stats
+
+
+class TestCategoryI:
+    def test_public_gates_cost_nothing(self):
+        def build(b):
+            p = b.public_input(2)
+            out = b.net.add_gate(G.GateType.AND, p[0], p[1])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[1, 1])
+        assert stats.garbled_nonxor == 0
+        assert stats.cat_i == 1
+        assert eng.public_output_bits() == [1]
+
+
+class TestCategoryII:
+    """Figure 1: gates replaced by zero, one, wire, or inverter."""
+
+    def test_and_with_public_zero_becomes_constant(self):
+        def build(b):
+            p = b.public_input(1)
+            a = b.alice_input(1)
+            out = b.net.add_gate(G.GateType.AND, p[0], a[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[0])
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [0]
+        assert stats.cat_ii == 1
+
+    def test_or_with_public_one_becomes_constant_one(self):
+        def build(b):
+            p = b.public_input(1)
+            a = b.alice_input(1)
+            out = b.net.add_gate(G.GateType.OR, a[0], p[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[1])
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [1]
+
+    def test_and_with_public_one_acts_as_wire(self):
+        def build(b):
+            p = b.public_input(1)
+            a = b.alice_input(1)
+            out = b.net.add_gate(G.GateType.AND, p[0], a[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[1])
+        assert stats.garbled_nonxor == 0
+        # Output stays secret: it carries Alice's input label.
+        assert eng.public_output_bits() == [None]
+        out_state = eng.output_states()[0]
+        in_label = eng.backend.secret_label(("in", "alice", 0, 0))
+        assert out_state[0] == in_label
+        assert out_state[1] == 0  # no flip
+
+    def test_nand_with_public_one_acts_as_inverter(self):
+        def build(b):
+            p = b.public_input(1)
+            a = b.alice_input(1)
+            out = b.net.add_gate(G.GateType.NAND, p[0], a[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[1])
+        assert stats.garbled_nonxor == 0
+        out_state = eng.output_states()[0]
+        in_label = eng.backend.secret_label(("in", "alice", 0, 0))
+        assert out_state[0] == in_label
+        assert out_state[1] == 1  # flip bit set: inverted wire
+
+    def test_zero_kills_upstream_garbled_gate(self):
+        """Category-ii constant output reduces the producing gate's
+        label_fanout; its garbled table is filtered (Figure 1)."""
+
+        def build(b):
+            a = b.alice_input(1)
+            bb = b.bob_input(1)
+            p = b.public_input(1)
+            secret = b.net.add_gate(G.GateType.AND, a[0], bb[0])  # garbled
+            out = b.net.add_gate(G.GateType.AND, p[0], secret)
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build, public=[0])
+        assert stats.cat_iv_garbled == 1  # the AND was garbled...
+        assert stats.tables_filtered == 1  # ...but its table was dropped
+        assert stats.garbled_nonxor == 0  # nothing is communicated
+        assert eng.public_output_bits() == [0]
+
+
+class TestCategoryIII:
+    """Figure 2: identical/inverted labels resolved locally."""
+
+    def test_xor_of_identical_labels_is_public_zero(self):
+        def build(b):
+            a = b.alice_input(1)
+            # Route the same secret wire into both XOR inputs through
+            # two separate buffers so the builder doesn't fold it.
+            w1 = b.net.add_gate(G.GateType.AND, a[0], 1)  # wire via AND 1
+            w2 = b.net.add_gate(G.GateType.OR, a[0], 0)  # wire via OR 0
+            out = b.net.add_gate(G.GateType.XOR, w1, w2)
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [0]
+        assert stats.cat_iii >= 1
+
+    def test_xor_of_inverted_labels_is_public_one(self):
+        def build(b):
+            a = b.alice_input(1)
+            inv = b.not_(a[0])
+            out = b.net.add_gate(G.GateType.XOR, a[0], inv)
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [1]
+
+    def test_and_of_inverted_labels_is_public_zero(self):
+        def build(b):
+            a = b.alice_input(1)
+            inv = b.not_(a[0])
+            out = b.net.add_gate(G.GateType.AND, a[0], inv)
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [0]
+
+    def test_and_of_identical_labels_passes_label(self):
+        def build(b):
+            a = b.alice_input(1)
+            w1 = b.net.add_gate(G.GateType.AND, a[0], 1)
+            w2 = b.net.add_gate(G.GateType.OR, a[0], 0)
+            out = b.net.add_gate(G.GateType.AND, w1, w2)
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        out_state = eng.output_states()[0]
+        in_label = eng.backend.secret_label(("in", "alice", 0, 0))
+        assert out_state[0] == in_label
+
+    def test_identical_label_via_input_reuse_across_gates(self):
+        """x ^ x computed through a long free-XOR chain still cancels:
+        (a ^ b) ^ a carries exactly b's label."""
+
+        def build(b):
+            a = b.alice_input(1)
+            bb = b.bob_input(1)
+            t = b.xor_(a[0], bb[0])
+            out = b.xor_(t, a[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        out_state = eng.output_states()[0]
+        bob_label = eng.backend.secret_label(("in", "bob", 0, 0))
+        assert out_state[0] == bob_label
+
+
+class TestCategoryIV:
+    def test_unrelated_secrets_cost_one_table(self):
+        def build(b):
+            a = b.alice_input(1)
+            bb = b.bob_input(1)
+            out = b.and_(a[0], bb[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 1
+        assert stats.cat_iv_garbled == 1
+
+    def test_xor_of_unrelated_secrets_is_free(self):
+        def build(b):
+            a = b.alice_input(1)
+            bb = b.bob_input(1)
+            out = b.xor_(a[0], bb[0])
+            b.set_outputs([out])
+
+        eng, stats = run_counts(build)
+        assert stats.garbled_nonxor == 0
+        assert stats.cat_iv_xor == 1
+
+    def test_dead_garbled_gate_is_filtered(self):
+        """A garbled gate whose output feeds only a gate that collapses
+        to a constant later in the pass has its table removed."""
+
+        def build(b):
+            a = b.alice_input(1)
+            bb = b.bob_input(1)
+            dead = b.and_(a[0], bb[0])  # garbled, then orphaned
+            inv = b.not_(dead)
+            killer = b.net.add_gate(G.GateType.AND, dead, inv)  # x & ~x = 0
+            b.set_outputs([killer])
+
+        eng, stats = run_counts(build)
+        assert stats.cat_iv_garbled == 1
+        assert stats.tables_filtered == 1
+        assert stats.garbled_nonxor == 0
+        assert eng.public_output_bits() == [0]
+
+
+class TestMuxScenario:
+    """The illustrative example of Section 3: a MUX with a public
+    select skips the unconnected sub-circuit entirely.
+
+    The skipping behaviour requires the AND-OR MUX shape synthesis
+    tools emit (``mux_kill``); the XOR-trick MUX is cheaper under a
+    secret select but keeps the deselected sub-circuit alive because
+    the evaluator still needs its label to cancel it.  Both facts are
+    pinned down here.
+    """
+
+    def _build(self, b, mux):
+        a = b.alice_input(2)
+        bob = b.bob_input(2)
+        p = b.public_input(1)
+        # Two sub-circuits, each one garbled AND.
+        f0 = b.and_(a[0], bob[0])
+        f1 = b.or_(a[1], bob[1])
+        out = mux(b)(p[0], f0, f1)
+        b.set_outputs([out])
+
+    def test_select_one_skips_f0(self):
+        eng, stats = run_counts(
+            lambda b: self._build(b, lambda b: b.mux_kill), public=[1]
+        )
+        # Only f1's OR gate is communicated; f0's AND is filtered and
+        # the MUX gates act as wires.
+        assert stats.cat_iv_garbled == 2
+        assert stats.tables_filtered == 1
+        assert stats.garbled_nonxor == 1
+
+    def test_select_zero_skips_f1(self):
+        eng, stats = run_counts(
+            lambda b: self._build(b, lambda b: b.mux_kill), public=[0]
+        )
+        assert stats.garbled_nonxor == 1
+
+    def test_xor_mux_cannot_skip_deselected_input(self):
+        """The 1-table XOR MUX keeps both sub-circuits garbled even
+        with a public select: the labels algebraically cancel but the
+        evaluator still needs them."""
+        eng, stats = run_counts(
+            lambda b: self._build(b, lambda b: b.mux), public=[1]
+        )
+        assert stats.garbled_nonxor == 2
+        assert stats.tables_filtered == 0
+
+    def test_secret_select_costs(self):
+        def build(mux_name):
+            def inner(b):
+                a = b.alice_input(2)
+                bob = b.bob_input(2)
+                s = b.bob_input(1)
+                f0 = b.and_(a[0], bob[0])
+                f1 = b.or_(a[1], bob[1])
+                out = getattr(b, mux_name)(s[0], f0, f1)
+                b.set_outputs([out])
+
+            return inner
+
+        # XOR MUX: f0 + f1 + one MUX AND = 3 tables.
+        eng, stats = run_counts(build("mux"))
+        assert stats.garbled_nonxor == 3
+        # AND-OR MUX: f0 + f1 + three MUX gates = 5 tables.
+        eng, stats = run_counts(build("mux_kill"))
+        assert stats.garbled_nonxor == 5

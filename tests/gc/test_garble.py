@@ -1,0 +1,111 @@
+"""Unit tests for half-gate garbling, hashing and free-XOR algebra."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import gates as G
+from repro.gc.garble import (
+    GarbledTable,
+    evaluate_and,
+    evaluate_gate,
+    garble_and,
+    garble_gate,
+    random_delta,
+    random_label,
+)
+from repro.gc.hashing import LABEL_MASK, hash_label
+
+
+class TestHash:
+    def test_hash_is_128_bit(self):
+        assert 0 <= hash_label(12345, 7) <= LABEL_MASK
+
+    def test_hash_depends_on_label_and_tweak(self):
+        assert hash_label(1, 0) != hash_label(2, 0)
+        assert hash_label(1, 0) != hash_label(1, 1)
+
+    def test_hash_deterministic(self):
+        assert hash_label(99, 3) == hash_label(99, 3)
+
+
+class TestLabels:
+    def test_delta_has_permute_bit_set(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            assert random_delta(rng) & 1 == 1
+
+    def test_labels_are_128_bit(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            assert 0 <= random_label(rng) <= LABEL_MASK
+
+
+class TestGarbleAnd:
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_and_correct_for_all_input_combinations(self, seed):
+        rng = random.Random(seed)
+        delta = random_delta(rng)
+        a0, b0 = random_label(rng), random_label(rng)
+        out0, table = garble_and(a0, b0, delta, gid=seed % 1000)
+        for a, b in itertools.product((0, 1), repeat=2):
+            la = a0 ^ (delta if a else 0)
+            lb = b0 ^ (delta if b else 0)
+            w = evaluate_and(la, lb, table, seed % 1000)
+            assert w in (out0, out0 ^ delta)
+            assert (w != out0) == bool(a & b)
+
+    def test_two_ciphertexts_per_gate(self):
+        assert GarbledTable.SIZE_BYTES == 32
+
+
+class TestGarbleArbitraryGate:
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_all_and_like_types(self, seed):
+        rng = random.Random(seed)
+        delta = random_delta(rng)
+        for tt in G.AND_TYPES:
+            a0, b0 = random_label(rng), random_label(rng)
+            out0, table = garble_gate(tt, a0, b0, delta, gid=7)
+            for a, b in itertools.product((0, 1), repeat=2):
+                la = a0 ^ (delta if a else 0)
+                lb = b0 ^ (delta if b else 0)
+                w = evaluate_gate(tt, la, lb, table, 7)
+                expect = G.evaluate(tt, a, b)
+                got = 0 if w == out0 else 1
+                assert w in (out0, out0 ^ delta)
+                assert got == expect, G.gate_name(tt)
+
+    def test_xor_like_types_rejected(self):
+        rng = random.Random(1)
+        delta = random_delta(rng)
+        with pytest.raises(ValueError):
+            garble_gate(G.GateType.XOR, 1, 2, delta, 0)
+        with pytest.raises(ValueError):
+            evaluate_gate(G.GateType.XNOR, 1, 2, GarbledTable(0, 0), 0)
+
+    def test_free_xor_invariant(self):
+        """XOR needs no table: out labels are the XOR of input labels
+        under a shared delta."""
+        rng = random.Random(3)
+        delta = random_delta(rng)
+        a0, b0 = random_label(rng), random_label(rng)
+        out0 = a0 ^ b0
+        for a, b in itertools.product((0, 1), repeat=2):
+            la = a0 ^ (delta if a else 0)
+            lb = b0 ^ (delta if b else 0)
+            w = la ^ lb
+            assert (w != out0) == bool(a ^ b)
+
+    def test_different_gids_give_different_tables(self):
+        rng = random.Random(4)
+        delta = random_delta(rng)
+        a0, b0 = random_label(rng), random_label(rng)
+        _, t1 = garble_and(a0, b0, delta, gid=1)
+        _, t2 = garble_and(a0, b0, delta, gid=2)
+        assert (t1.tg, t1.te) != (t2.tg, t2.te)

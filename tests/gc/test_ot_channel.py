@@ -1,0 +1,155 @@
+"""Tests for the oblivious transfer and channel layers."""
+
+import threading
+
+import pytest
+
+from repro.gc.channel import ChannelClosed, channel_pair
+from repro.gc.ot import OTReceiver, OTSender
+
+
+class TestChannel:
+    def test_send_recv_round_trip(self):
+        a, b = channel_pair()
+        a.send("x", 123, 16)
+        assert b.recv("x") == 123
+
+    def test_byte_accounting(self):
+        a, b = channel_pair()
+        a.send("x", b"....", 4)
+        a.send("y", b"........", 8)
+        assert a.sent.payload_bytes == 12
+        assert a.sent.messages == 2
+
+    def test_tag_mismatch_raises(self):
+        a, b = channel_pair()
+        a.send("x", 1, 1)
+        with pytest.raises(ChannelClosed):
+            b.recv("y")
+
+    def test_abort_wakes_peer(self):
+        a, b = channel_pair()
+        a.abort()
+        with pytest.raises(ChannelClosed):
+            b.recv("x")
+
+    def test_recv_timeout(self):
+        a, b = channel_pair()
+        with pytest.raises(ChannelClosed):
+            b.recv("x", timeout=0.05)
+
+
+def run_ots(choices, m_pairs, group="modp512"):
+    """Run len(choices) sequential OTs between two threads."""
+    a_end, b_end = channel_pair()
+    received = []
+
+    def bob():
+        rx = OTReceiver(b_end, group=group)
+        for c in choices:
+            received.append(rx.receive(c))
+
+    t = threading.Thread(target=bob, daemon=True)
+    t.start()
+    tx = OTSender(a_end, group=group)
+    for m0, m1 in m_pairs:
+        tx.send(m0, m1)
+    t.join(timeout=30)
+    assert not t.is_alive()
+    return received
+
+
+class TestOT:
+    def test_receiver_gets_chosen_message(self):
+        pairs = [(111, 222), (333, 444), (555, 666)]
+        got = run_ots([0, 1, 0], pairs)
+        assert got == [111, 444, 555]
+
+    def test_receiver_does_not_get_other_message(self):
+        pairs = [(0xAAAA, 0xBBBB)]
+        got = run_ots([1], pairs)
+        assert got == [0xBBBB]
+        assert got != [0xAAAA]
+
+    def test_many_sequential_ots_stay_in_sync(self):
+        pairs = [(i, i + 1000) for i in range(16)]
+        choices = [i % 2 for i in range(16)]
+        got = run_ots(choices, pairs)
+        expect = [i + 1000 if i % 2 else i for i in range(16)]
+        assert got == expect
+
+    def test_realistic_group_works(self):
+        got = run_ots([1], [(123456789, 987654321)], group="modp2048")
+        assert got == [987654321]
+
+    def test_invalid_receiver_element_rejected(self):
+        a_end, b_end = channel_pair()
+
+        def bob():
+            b_end.recv("ot-setup")
+            b_end.send("ot-b", 0, 64)  # invalid group element
+
+        t = threading.Thread(target=bob, daemon=True)
+        t.start()
+        tx = OTSender(a_end, group="modp512")
+        with pytest.raises(ValueError):
+            tx.send(1, 2)
+        t.join(timeout=5)
+
+
+def run_ext_ots(choices, m_pairs, pool_size=32):
+    """Run OT-extension transfers between two threads."""
+    from repro.gc.ot_extension import OTExtensionReceiver, OTExtensionSender
+
+    a_end, b_end = channel_pair()
+    received = []
+
+    def bob():
+        rx = OTExtensionReceiver(b_end, pool_size=pool_size)
+        for c in choices:
+            received.append(rx.receive(c))
+
+    t = threading.Thread(target=bob, daemon=True)
+    t.start()
+    tx = OTExtensionSender(a_end, pool_size=pool_size)
+    for m0, m1 in m_pairs:
+        tx.send(m0, m1)
+    t.join(timeout=60)
+    assert not t.is_alive()
+    return received
+
+
+class TestOTExtension:
+    def test_chosen_messages(self):
+        pairs = [(100 + i, 200 + i) for i in range(10)]
+        choices = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        got = run_ext_ots(choices, pairs)
+        assert got == [p[c] for p, c in zip(pairs, choices)]
+
+    def test_pool_refill_across_batches(self):
+        """More transfers than one pool batch: the extension re-runs
+        transparently (fresh PRG salt per batch)."""
+        n = 70  # pool_size=32 -> three batches
+        pairs = [(i, i + 1000) for i in range(n)]
+        choices = [(i * 7) % 2 for i in range(n)]
+        got = run_ext_ots(choices, pairs, pool_size=32)
+        assert got == [p[c] for p, c in zip(pairs, choices)]
+
+    def test_extension_inside_protocol(self):
+        """The full two-party protocol with ot='extension' produces the
+        same result and table count as with the base OT."""
+        from repro.circuit import CircuitBuilder
+        from repro.circuit import modules as M
+        from repro.circuit.bits import int_to_bits
+        from repro.core.protocol import run_protocol
+
+        b = CircuitBuilder()
+        x = b.alice_input(16)
+        y = b.bob_input(16)
+        b.set_outputs(M.ripple_add(b, x, y))
+        net = b.build()
+        kw = dict(alice=int_to_bits(1234, 16), bob=int_to_bits(4321, 16))
+        base = run_protocol(net, 1, ot="simplest", **kw)
+        ext = run_protocol(net, 1, ot="extension", **kw)
+        assert base.value == ext.value == 5555
+        assert base.tables_sent == ext.tables_sent

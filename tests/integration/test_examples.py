@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as documentation; this keeps them from rotting.
+Scripts are executed in-process (imported as __main__-style modules)
+so failures surface as ordinary test failures with tracebacks.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "private_auction.py",
+    "biometric_match.py",
+    "skipgate_anatomy.py",
+    "conditional_execution.py",
+    "secure_sort.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
