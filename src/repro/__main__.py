@@ -27,6 +27,30 @@ def _parse_words(text: str) -> List[int]:
     return [int(x, 0) & 0xFFFFFFFF for x in text.split(",")]
 
 
+def _make_obs(args):
+    """Build an Obs from --profile/--trace flags (None when neither)."""
+    if not (getattr(args, "profile", False) or getattr(args, "trace", None)):
+        return None
+    from .obs import JsonlSink, Obs
+
+    sink = JsonlSink(args.trace) if args.trace else None
+    return Obs(sink=sink)
+
+
+def _finish_obs(obs, args) -> None:
+    """Close the sink and print the profile report."""
+    if obs is None:
+        return
+    obs.close()
+    if args.trace:
+        print(f"trace written      : {args.trace}")
+    if args.profile:
+        from .obs import render_profile
+
+        print()
+        print(render_profile(obs))
+
+
 def _load_program(path: str):
     from .arm.assembler import assemble
     from .cc import compile_c
@@ -53,7 +77,8 @@ def cmd_run(args) -> int:
         data_words=args.data_words,
         imem_words=max(32, 1 << (len(words) - 1).bit_length()),
     )
-    result = machine.run(alice=alice, bob=bob, cycles=args.cycles)
+    obs = _make_obs(args)
+    result = machine.run(alice=alice, bob=bob, cycles=args.cycles, obs=obs)
     print(f"output memory      : {result.output_words}")
     print(f"cycles garbled     : {result.cycles:,}")
     print(f"garbled non-XOR    : {result.garbled_nonxor:,}")
@@ -63,6 +88,7 @@ def cmd_run(args) -> int:
         print(f"SkipGate advantage : "
               f"{result.conventional_nonxor / result.garbled_nonxor:,.0f}x")
     print(f"input-independent flow: {result.input_independent_flow}")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -87,13 +113,16 @@ def cmd_bench(args) -> int:
     if not names:
         print("available benchmarks:", ", ".join(REGISTRY))
         return 0
+    obs = _make_obs(args)
     for name in names:
-        entry = run_processor_benchmark(name, force=args.force)
+        entry = run_processor_benchmark(name, force=args.force, obs=obs)
         print(
             f"{name:16s} garbled={entry['garbled_nonxor']:>10,} "
             f"cycles={entry['cycles']:>7,} "
+            f"seconds={entry['seconds']:>7.2f} "
             f"({entry['paper_key'] or '-'})"
         )
+    _finish_obs(obs, args)
     return 0
 
 
@@ -172,6 +201,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--data-words", type=int, default=128)
     p_run.add_argument("--cycles", type=int, default=None,
                        help="explicit cycle count (secret-PC programs)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-clock breakdown")
+    p_run.add_argument("--trace", metavar="PATH", default=None,
+                       help="write per-cycle JSON-lines trace events")
     p_run.set_defaults(func=cmd_run)
 
     p_asm = sub.add_parser("asm", help="show compiled assembly")
@@ -184,6 +217,11 @@ def main(argv=None) -> int:
     p_bench.add_argument("--all", action="store_true")
     p_bench.add_argument("--force", action="store_true",
                          help="ignore the result cache")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="re-measure with instrumentation and print "
+                              "a per-phase wall-clock breakdown")
+    p_bench.add_argument("--trace", metavar="PATH", default=None,
+                         help="write per-cycle JSON-lines trace events")
     p_bench.set_defaults(func=cmd_bench)
 
     p_an = sub.add_parser("anatomy", help="per-cycle garbling cost trace")

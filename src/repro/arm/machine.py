@@ -62,6 +62,8 @@ class MachineResult:
     #: Whether the cycle count is independent of the private inputs
     #: (False means the program has secret-PC regions).
     input_independent_flow: bool
+    #: Phase name -> seconds when the run was profiled (else None).
+    timing: Optional[Dict[str, float]] = None
 
     @property
     def garbled_nonxor(self) -> int:
@@ -148,13 +150,15 @@ class GarbledMachine:
         cycles: Optional[int] = None,
         check: bool = True,
         max_cycles: int = 200_000,
+        obs=None,
     ) -> MachineResult:
         """Garble/evaluate the processor on the parties' inputs.
 
         ``cycles`` overrides the emulator-derived count (needed for
         programs whose control flow depends on secret data; pass the
         public worst case).  With ``check`` the output memory is
-        compared against the reference emulator.
+        compared against the reference emulator.  ``obs`` enables
+        per-phase timing and per-cycle trace events.
         """
         alice = list(alice)
         bob = list(bob)
@@ -181,6 +185,7 @@ class GarbledMachine:
             alice_init=pack_words(alice_padded, 32),
             bob_init=pack_words(bob_padded, 32),
             public_init=pack_words(imem, 32),
+            obs=obs,
         )
         output_words = unpack_words(result.outputs, 32)
 
@@ -199,4 +204,5 @@ class GarbledMachine:
             cycles=cycles,
             stats=result.stats,
             input_independent_flow=flow_independent,
+            timing=result.timing,
         )

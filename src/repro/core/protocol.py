@@ -39,9 +39,10 @@ from ..gc.garble import (
     random_delta,
     random_label,
 )
-from ..gc.hashing import LABEL_BYTES
+from ..gc.hashing import HASH_STATS, LABEL_BYTES
 from ..gc.ot import OTReceiver, OTSender
 from ..gc.ot_extension import OTExtensionReceiver, OTExtensionSender
+from ..obs import NULL_OBS, timing_summary
 from .backend import Backend
 from .engine import SkipGateEngine
 from .stats import RunStats
@@ -49,6 +50,8 @@ from .stats import RunStats
 
 class GarblerBackend(Backend):
     """Alice: creates labels, garbles, transfers inputs, sends tables."""
+
+    PROFILE_PHASE = "garble"
 
     def __init__(
         self,
@@ -109,6 +112,8 @@ class GarblerBackend(Backend):
 
 class EvaluatorBackend(Backend):
     """Bob: receives labels/tables, evaluates, flags dummy labels."""
+
+    PROFILE_PHASE = "eval"
 
     def __init__(
         self,
@@ -177,6 +182,11 @@ class ProtocolResult:
     tables_sent: int
     alice_sent_bytes: int
     bob_sent_bytes: int
+    #: Seconds each party spent blocked on ``recv`` (pipelining slack).
+    alice_wait_seconds: float = 0.0
+    bob_wait_seconds: float = 0.0
+    #: Phase name -> seconds when the run was profiled (else None).
+    timing: Optional[Dict[str, float]] = None
 
 
 def _expand_bits(
@@ -207,7 +217,8 @@ def run_protocol(
     public_init: Sequence[int] = (),
     ot_group: str = "modp512",
     ot: str = "simplest",
-    timeout: float = 120.0,
+    timeout: Optional[float] = None,
+    obs=None,
 ) -> ProtocolResult:
     """Run the full two-party protocol and return the decoded output.
 
@@ -219,8 +230,19 @@ def run_protocol(
     ``ot`` selects the input-label transfer: ``"simplest"`` (one DH OT
     per bit) or ``"extension"`` (IKNP: kappa base OTs amortized over
     all of Bob's input bits).
+
+    ``timeout`` is the channel receive deadline; the default ``None``
+    blocks until the peer delivers or aborts (large circuits exceed
+    any fixed deadline).  Any failure on either side — including a
+    :class:`~repro.gc.channel.ProtocolDesync` — aborts the peer so
+    neither party is left blocked.  ``obs`` enables per-phase timing
+    (garble / eval / channel-wait / reduce) and per-cycle trace events
+    for both parties.
     """
-    a_end, b_end = channel_pair()
+    obs = NULL_OBS if obs is None else obs
+    obs.set_thread_label("alice")
+    hash_calls0 = HASH_STATS.calls if obs.enabled else 0
+    a_end, b_end = channel_pair(timeout=timeout, obs=obs)
     alice_bits = _expand_bits(net, "alice", alice, alice_init, cycles)
     bob_bits = _expand_bits(net, "bob", bob, bob_init, cycles)
 
@@ -228,10 +250,13 @@ def run_protocol(
 
     def bob_main() -> None:
         try:
+            obs.set_thread_label("bob")
             backend = EvaluatorBackend(
                 b_end, bob_bits, ot_group=ot_group, ot=ot
             )
-            engine = SkipGateEngine(net, backend, public_init=public_init)
+            engine = SkipGateEngine(
+                net, backend, public_init=public_init, obs=obs
+            )
             for i in range(cycles):
                 row = public(engine.cycle) if callable(public) else public
                 engine.step(row, final=(i == cycles - 1))
@@ -259,7 +284,7 @@ def run_protocol(
 
     try:
         backend = GarblerBackend(a_end, alice_bits, ot_group=ot_group, ot=ot)
-        engine = SkipGateEngine(net, backend, public_init=public_init)
+        engine = SkipGateEngine(net, backend, public_init=public_init, obs=obs)
         for i in range(cycles):
             row = public(engine.cycle) if callable(public) else public
             engine.step(row, final=(i == cycles - 1))
@@ -296,6 +321,8 @@ def run_protocol(
     if "error" in bob_box:
         raise bob_box["error"]
 
+    if obs.enabled:
+        obs.inc("hash.calls", HASH_STATS.calls - hash_calls0)
     return ProtocolResult(
         outputs=outputs,
         value=bits_to_int(outputs),
@@ -304,4 +331,7 @@ def run_protocol(
         tables_sent=backend.tables_sent,
         alice_sent_bytes=a_end.sent.payload_bytes,
         bob_sent_bytes=b_end.sent.payload_bytes,
+        alice_wait_seconds=a_end.received.wait_seconds,
+        bob_wait_seconds=b_end.received.wait_seconds,
+        timing=timing_summary(obs) if obs.enabled else None,
     )

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..circuit.bits import bits_to_int
 from ..circuit.netlist import ALICE, BOB, Netlist, PUBLIC
 from ..circuit.simulate import PlainSimulator
+from ..obs import timing_summary
 from .backend import CountingBackend
 from .engine import SkipGateEngine
 from .stats import RunStats
@@ -46,6 +47,8 @@ class RunResult:
     value: int
     #: SkipGate cost statistics (the paper's metric lives here).
     stats: RunStats
+    #: Phase name -> seconds when the run was profiled (else None).
+    timing: Optional[Dict[str, float]] = None
 
     @property
     def garbled_nonxor(self) -> int:
@@ -64,6 +67,7 @@ def evaluate_with_stats(
     public_init: Sequence[int] = (),
     seed: int = 0x5EED,
     check_consistency: bool = True,
+    obs=None,
 ) -> RunResult:
     """Evaluate ``net`` for ``cycles`` and return outputs plus stats.
 
@@ -78,8 +82,13 @@ def evaluate_with_stats(
         seed: deterministic label seed for the counting backend.
         check_consistency: verify that every output wire the engine
             resolved as public matches the reference simulation.
+        obs: optional :class:`repro.obs.Obs` for per-phase timing and
+            per-cycle trace events; the default adds no overhead and
+            leaves gate counts bit-identical.
     """
-    engine = SkipGateEngine(net, CountingBackend(seed), public_init=public_init)
+    engine = SkipGateEngine(
+        net, CountingBackend(seed), public_init=public_init, obs=obs
+    )
     for i in range(cycles):
         engine.step(_per_cycle(public, engine.cycle), final=(i == cycles - 1))
 
@@ -105,4 +114,9 @@ def evaluate_with_stats(
                     f"reference simulation {outputs[i]}"
                 )
 
-    return RunResult(outputs=outputs, value=bits_to_int(outputs), stats=engine.stats)
+    return RunResult(
+        outputs=outputs,
+        value=bits_to_int(outputs),
+        stats=engine.stats,
+        timing=timing_summary(obs) if obs is not None and obs.enabled else None,
+    )

@@ -5,7 +5,15 @@ garbling hash, 1-out-of-2 oblivious transfer, and the byte-counted
 in-memory channel the two-party protocol runs over.
 """
 
-from .channel import ChannelClosed, ChannelStats, Endpoint, channel_pair
+from .channel import (
+    ChannelClosed,
+    ChannelError,
+    ChannelStats,
+    ChannelTimeout,
+    Endpoint,
+    ProtocolDesync,
+    channel_pair,
+)
 from .garble import GarbledTable, evaluate_gate, garble_gate, random_delta, random_label
 from .hashing import LABEL_BITS, LABEL_BYTES, hash_label
 from .ot import OTReceiver, OTSender
@@ -13,7 +21,9 @@ from .ot_extension import OTExtensionReceiver, OTExtensionSender
 
 __all__ = [
     "ChannelClosed",
+    "ChannelError",
     "ChannelStats",
+    "ChannelTimeout",
     "Endpoint",
     "GarbledTable",
     "LABEL_BITS",
@@ -22,6 +32,7 @@ __all__ = [
     "OTExtensionSender",
     "OTReceiver",
     "OTSender",
+    "ProtocolDesync",
     "channel_pair",
     "evaluate_gate",
     "garble_gate",

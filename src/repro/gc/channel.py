@@ -1,66 +1,154 @@
-"""In-memory duplex channel with byte accounting.
+"""In-memory duplex channel with byte and wait-time accounting.
 
 The two parties of the protocol (threads in the same process) exchange
 messages through a pair of unbounded queues.  Every message declares
 its wire size so the harness can report communication — the GC
-bottleneck [7] — in bytes, not just in garbled-table counts.
+bottleneck [7] — in bytes, not just in garbled-table counts; the
+receive path additionally accounts the time spent blocked on the peer
+(``channel.wait``), which is where pipelining wins show up.
+
+Failure modes are distinguished by exception type:
+
+* :class:`ChannelClosed` — the peer aborted (or, with an opt-in
+  timeout, is presumed dead): :class:`ChannelTimeout` narrows it.
+* :class:`ProtocolDesync` — a message arrived with the wrong tag: the
+  two state machines disagree.  This is a protocol *bug*, not a peer
+  failure; the receiver aborts the peer before raising so the other
+  side does not stay blocked forever.
+
+By default ``recv`` blocks indefinitely: the channel is in-process and
+the abort mechanism (not a timer) unblocks the survivor on failure.
+Large circuits (the AES/SHA3 benches) legitimately exceed any fixed
+deadline, so timeouts are opt-in, per endpoint or per call.
 """
 
 from __future__ import annotations
 
 import queue
-import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from ..obs import NULL_OBS
 
-class ChannelClosed(Exception):
+
+class ChannelError(Exception):
+    """Base class for channel failures."""
+
+
+class ChannelClosed(ChannelError):
     """Raised when receiving from a channel whose peer has aborted."""
 
 
+class ChannelTimeout(ChannelClosed):
+    """Raised when an opt-in receive timeout expires."""
+
+
+class ProtocolDesync(ChannelError):
+    """Raised when a message's tag does not match the expected one.
+
+    Distinct from :class:`ChannelClosed` so callers can tell "peer
+    aborted" (expected under failure injection) from "the two protocol
+    state machines disagree" (a bug to fix).
+    """
+
+
 _SENTINEL = object()
+_UNSET = object()
 
 
 @dataclass
 class ChannelStats:
-    """Bytes and message counts in one direction."""
+    """Traffic in one direction plus receive-side wait time."""
 
     messages: int = 0
     payload_bytes: int = 0
+    #: Seconds the receiver spent blocked waiting for these messages.
+    wait_seconds: float = 0.0
 
     def record(self, nbytes: int) -> None:
         self.messages += 1
         self.payload_bytes += nbytes
 
+    def record_wait(self, seconds: float) -> None:
+        self.wait_seconds += seconds
+
 
 class Endpoint:
-    """One side of a duplex channel."""
+    """One side of a duplex channel.
 
-    def __init__(self, out_q: "queue.Queue", in_q: "queue.Queue", sent: ChannelStats) -> None:
+    Args:
+        out_q / in_q: the underlying queues.
+        sent: stats for the sending direction.
+        timeout: default receive timeout in seconds; ``None`` (the
+            default) blocks until a message or an abort arrives.
+        obs: optional :class:`repro.obs.Obs`; receive waits are
+            attributed to the ``channel.wait`` phase when enabled.
+    """
+
+    def __init__(
+        self,
+        out_q: "queue.Queue",
+        in_q: "queue.Queue",
+        sent: ChannelStats,
+        timeout: Optional[float] = None,
+        obs=NULL_OBS,
+    ) -> None:
         self._out = out_q
         self._in = in_q
         self.sent = sent
+        self.received = ChannelStats()
+        self.timeout = timeout
+        self.obs = obs
 
     def send(self, tag: str, payload: Any, nbytes: int) -> None:
-        """Send a message; ``nbytes`` is its declared wire size."""
-        self.sent.record(nbytes)
-        self._out.put((tag, payload))
+        """Send a message; ``nbytes`` is its declared wire size.
 
-    def recv(self, expected_tag: str, timeout: Optional[float] = 60.0) -> Any:
-        """Receive the next message, asserting its tag matches."""
+        For raw byte payloads the declared size must equal the actual
+        size, so communication reports cannot silently drift from the
+        data on the wire.  Structured payloads (label ints, table
+        batches) declare their encoded wire size, which the channel
+        cannot independently check.
+        """
+        if isinstance(payload, (bytes, bytearray)) and len(payload) != nbytes:
+            raise ValueError(
+                f"declared size {nbytes} != actual payload size "
+                f"{len(payload)} for tag {tag!r}"
+            )
+        self.sent.record(nbytes)
+        self._out.put((tag, payload, nbytes))
+
+    def recv(self, expected_tag: str, timeout: Any = _UNSET) -> Any:
+        """Receive the next message, asserting its tag matches.
+
+        ``timeout`` overrides the endpoint default for this call;
+        ``None`` blocks forever.
+        """
+        if timeout is _UNSET:
+            timeout = self.timeout
+        t0 = time.perf_counter()
         try:
             item = self._in.get(timeout=timeout)
         except queue.Empty as exc:
-            raise ChannelClosed(
-                f"timed out waiting for {expected_tag!r}"
+            raise ChannelTimeout(
+                f"timed out after {timeout}s waiting for {expected_tag!r}"
             ) from exc
+        finally:
+            waited = time.perf_counter() - t0
+            self.received.record_wait(waited)
+            if self.obs.enabled:
+                self.obs.add_time("channel.wait", waited)
         if item is _SENTINEL:
             raise ChannelClosed("peer aborted")
-        tag, payload = item
+        tag, payload, nbytes = item
         if tag != expected_tag:
-            raise ChannelClosed(
-                f"protocol desync: expected {expected_tag!r}, got {tag!r}"
+            # Abort the peer: a desync means both state machines are
+            # wrong, and the other side would otherwise block forever.
+            self.abort()
+            raise ProtocolDesync(
+                f"expected {expected_tag!r}, got {tag!r}"
             )
+        self.received.record(nbytes)
         return payload
 
     def abort(self) -> None:
@@ -68,10 +156,16 @@ class Endpoint:
         self._out.put(_SENTINEL)
 
 
-def channel_pair() -> Tuple[Endpoint, Endpoint]:
-    """Create the two connected endpoints (alice_end, bob_end)."""
+def channel_pair(
+    timeout: Optional[float] = None, obs=NULL_OBS
+) -> Tuple[Endpoint, Endpoint]:
+    """Create the two connected endpoints (alice_end, bob_end).
+
+    ``timeout`` is the default receive timeout for both endpoints
+    (``None`` blocks forever; tests opt into short deadlines).
+    """
     a2b: "queue.Queue" = queue.Queue()
     b2a: "queue.Queue" = queue.Queue()
-    alice = Endpoint(a2b, b2a, ChannelStats())
-    bob = Endpoint(b2a, a2b, ChannelStats())
+    alice = Endpoint(a2b, b2a, ChannelStats(), timeout=timeout, obs=obs)
+    bob = Endpoint(b2a, a2b, ChannelStats(), timeout=timeout, obs=obs)
     return alice, bob

@@ -18,12 +18,35 @@ LABEL_BYTES = LABEL_BITS // 8
 LABEL_MASK = (1 << LABEL_BITS) - 1
 
 
+class HashStats:
+    """Cumulative garbling-hash invocation count.
+
+    Hashing is one of the three cost centres (garbling, hashing,
+    communication) the obs layer separates; each call costs one
+    SHA-256 compression, so the count times a constant is the hash
+    budget.  The counter is a plain attribute increment — cheap next
+    to the hash itself — and approximate under concurrent garble/eval
+    threads (each party's calls may interleave); profilers snapshot
+    it before/after a run (see ``repro.core.protocol``).
+    """
+
+    __slots__ = ("calls",)
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+
+#: Process-wide hash call counter (monotonic; snapshot and diff).
+HASH_STATS = HashStats()
+
+
 def hash_label(label: int, tweak: int) -> int:
     """H(label, tweak) -> 128-bit integer.
 
     ``tweak`` is the unique per-half-gate index that makes the hash
     usable across gates (the ``j``/``j'`` of the half-gate scheme).
     """
+    HASH_STATS.calls += 1
     data = label.to_bytes(LABEL_BYTES, "little") + (tweak & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
     return int.from_bytes(hashlib.sha256(data).digest()[:LABEL_BYTES], "little")
 

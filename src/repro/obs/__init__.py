@@ -1,0 +1,35 @@
+"""Observability layer: wall-clock spans, counters and trace events.
+
+See :mod:`repro.obs.core` for the model.  Typical use::
+
+    from repro.obs import Obs, JsonlSink
+    from repro.obs.report import render_profile
+
+    obs = Obs(sink=JsonlSink("trace.jsonl"))
+    result = machine.run(alice=a, bob=b, obs=obs)
+    obs.close()
+    print(render_profile(obs))
+
+Everything accepts :data:`NULL_OBS` (the default) at the cost of one
+attribute check per instrumented site.
+"""
+
+from .core import NULL_OBS, NullObs, Obs, PhaseTotal, SpanNode
+from .report import CANONICAL_PHASES, render_profile, render_tree, timing_summary
+from .sinks import JsonlSink, ListSink, NullSink, TraceSink
+
+__all__ = [
+    "CANONICAL_PHASES",
+    "JsonlSink",
+    "ListSink",
+    "NULL_OBS",
+    "NullObs",
+    "NullSink",
+    "Obs",
+    "PhaseTotal",
+    "SpanNode",
+    "TraceSink",
+    "render_profile",
+    "render_tree",
+    "timing_summary",
+]

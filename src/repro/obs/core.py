@@ -1,0 +1,252 @@
+"""Hierarchical wall-clock instrumentation (spans, counters, events).
+
+The paper's sole cost metric is garbled non-XOR gates, but making the
+implementation *fast* requires knowing where wall-clock time goes:
+garbling vs. hashing vs. channel waits vs. fanout reduction.  This
+module provides that visibility without taxing the counting-only
+benchmark paths:
+
+* :class:`Obs` — the live instrumentation object.  It keeps one span
+  tree **per thread** (Alice and Bob each get their own tree in the
+  two-party protocol), flat named counters, and forwards structured
+  events to a :class:`~repro.obs.sinks.TraceSink`.
+* :data:`NULL_OBS` — the shared disabled instance.  Every hot path
+  guards its instrumentation with a single ``obs.enabled`` attribute
+  check, so runs without profiling pay one attribute load per guarded
+  site and nothing else.
+
+All timing uses :func:`time.perf_counter` — a monotonic clock immune
+to NTP steps, unlike ``time.time()``.
+
+Span trees are per-thread by construction (a ``threading.local``
+holds the active stack), so ``span``/``add_time`` need no locking on
+the hot path; only tree registration and counters take the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from .sinks import NullSink, TraceSink
+
+
+class PhaseTotal(NamedTuple):
+    """Aggregated time attributed to one phase name."""
+
+    seconds: float
+    calls: int
+
+
+class SpanNode:
+    """One node of a per-thread span tree."""
+
+    __slots__ = ("name", "seconds", "calls", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanNode"]]:
+        """Yield ``(depth, node)`` pairs in pre-order."""
+        yield depth, self
+        for child in self.children.values():
+            yield from child.walk(depth + 1)
+
+
+class _Span:
+    """Context manager pushing one node onto the thread's span stack."""
+
+    __slots__ = ("_obs", "_name", "_node", "_t0")
+
+    def __init__(self, obs: "Obs", name: str) -> None:
+        self._obs = obs
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._obs._stack()
+        self._node = stack[-1].child(self._name)
+        stack.append(self._node)
+        self._t0 = self._obs._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        node = self._node
+        node.seconds += self._obs._clock() - self._t0
+        node.calls += 1
+        self._obs._stack().pop()
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op context manager (the disabled-span singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObs:
+    """Disabled instrumentation: every operation is a no-op.
+
+    Hot paths hold a reference to either this or a live :class:`Obs`
+    and branch on ``obs.enabled``; with this instance the cost of the
+    instrumentation is exactly that attribute check.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def set_thread_label(self, label: str) -> None:
+        pass
+
+    def phase_totals(self) -> Dict[str, PhaseTotal]:
+        return {}
+
+    def counters(self) -> Dict[str, int]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled instance used as the default everywhere.
+NULL_OBS = NullObs()
+
+
+class Obs:
+    """Live instrumentation: span trees, counters and a trace sink.
+
+    Args:
+        sink: where structured events go; ``None`` discards them.
+        clock: timer returning seconds; tests inject a fake clock.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, sink: Optional[TraceSink] = None, clock=time.perf_counter
+    ) -> None:
+        self._clock = clock
+        self.sink: TraceSink = sink if sink is not None else NullSink()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        #: label -> per-thread span tree root (one tree per thread).
+        self.trees: Dict[str, SpanNode] = {}
+        self._counters: Dict[str, int] = {}
+        self._t_start = clock()
+
+    # -- per-thread plumbing -------------------------------------------------
+
+    def set_thread_label(self, label: str) -> None:
+        """Name the calling thread's span tree (e.g. "alice"/"bob").
+
+        Must be called before the thread's first span to take effect;
+        by default the tree is named after the thread itself.
+        """
+        if getattr(self._tls, "stack", None) is None:
+            self._tls.label = label
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            label = getattr(
+                self._tls, "label", None
+            ) or threading.current_thread().name
+            with self._lock:
+                root = self.trees.setdefault(label, SpanNode(label))
+            stack = [root]
+            self._tls.stack = stack
+        return stack
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """Open a nested timed span: ``with obs.span("garble"): ...``."""
+        return _Span(self, name)
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Attribute pre-measured time to ``name`` under the open span.
+
+        Used by hot loops that accumulate a ``perf_counter`` delta
+        locally and flush once per cycle instead of opening a span per
+        call.
+        """
+        node = self._stack()[-1].child(name)
+        node.seconds += seconds
+        node.calls += calls
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment a named counter (thread-safe)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit one structured trace event to the sink."""
+        record = {
+            "event": kind,
+            "t": round(self._clock() - self._t_start, 6),
+            "thread": getattr(
+                self._tls, "label", None
+            ) or threading.current_thread().name,
+        }
+        record.update(fields)
+        self.sink.emit(record)
+
+    def close(self) -> None:
+        """Flush and close the sink."""
+        self.sink.close()
+
+    # -- reading back --------------------------------------------------------
+
+    def phase_totals(self) -> Dict[str, PhaseTotal]:
+        """Total time per span name, summed across every thread's tree.
+
+        Totals are *inclusive*: a span's time contains its children's.
+        """
+        totals: Dict[str, List[float]] = {}
+        with self._lock:
+            trees = list(self.trees.values())
+        for root in trees:
+            for depth, node in root.walk():
+                if depth == 0:
+                    continue  # the root is the thread label, not a phase
+                acc = totals.setdefault(node.name, [0.0, 0])
+                acc[0] += node.seconds
+                acc[1] += node.calls
+        return {k: PhaseTotal(v[0], v[1]) for k, v in totals.items()}
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the named counters."""
+        with self._lock:
+            return dict(self._counters)

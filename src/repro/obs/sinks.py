@@ -1,0 +1,62 @@
+"""Trace sinks: where structured instrumentation events go.
+
+Events are flat dicts (JSON-serializable by construction of the
+emitters).  The JSON-lines format was chosen so a multi-hour run can
+be tailed and post-processed incrementally — one event per line, no
+enclosing array.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List
+
+
+class TraceSink:
+    """Interface: receives structured events; must be thread-safe."""
+
+    def emit(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(TraceSink):
+    """Discards every event (the default sink)."""
+
+    def emit(self, record: Dict) -> None:
+        pass
+
+
+class ListSink(TraceSink):
+    """Collects events in memory; used by tests and small analyses."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict) -> None:
+        with self._lock:
+            self.events.append(record)
+
+
+class JsonlSink(TraceSink):
+    """Appends one compact JSON object per event to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()

@@ -13,8 +13,9 @@ import hashlib
 import json
 import os
 import random
-import time
 from typing import Dict, Optional
+
+from ..obs import Obs, timing_summary
 
 CACHE_FILE = os.environ.get("REPRO_BENCH_CACHE", ".bench_cache.json")
 
@@ -44,14 +45,17 @@ def _save_cache(cache: Dict[str, dict]) -> None:
 
 
 def run_processor_benchmark(
-    name: str, seed: int = 42, force: bool = False
+    name: str, seed: int = 42, force: bool = False, obs=None
 ) -> dict:
     """Run one registry program on the garbled processor (cached).
 
     Returns a dict with ``garbled_nonxor``, ``conventional_nonxor``,
     ``cycles``, ``correct`` and timing.  The run cross-checks the
     output memory against the program's oracle and the reference
-    emulator.
+    emulator.  Passing an enabled ``obs`` instruments the engine
+    (per-phase timing, per-cycle trace events) and adds a ``timing``
+    breakdown to the entry; it also bypasses the cache, since a cached
+    entry carries no fresh measurements.
     """
     from ..arm import GarbledMachine
     from ..arm.assembler import assemble
@@ -68,9 +72,10 @@ def run_processor_benchmark(
               prog.data_words, prog.imem_words, seed)).encode()
     ).hexdigest()[:16]
 
+    profiled = obs is not None and obs.enabled
     cache = _load_cache()
     hit = cache.get(name)
-    if hit and hit.get("digest") == digest and not force:
+    if hit and hit.get("digest") == digest and not force and not profiled:
         return hit
 
     rng = random.Random(seed)
@@ -83,9 +88,13 @@ def run_processor_benchmark(
         data_words=prog.data_words,
         imem_words=prog.imem_words,
     )
-    t0 = time.time()
-    result = machine.run(alice=alice, bob=bob)
-    elapsed = time.time() - t0
+    # The stopwatch is a local obs span (monotonic perf_counter, not
+    # the NTP-steppable wall clock); engine instrumentation stays off
+    # unless the caller passed an enabled obs.
+    watch = Obs()
+    with watch.span("bench"):
+        result = machine.run(alice=alice, bob=bob, obs=obs)
+    elapsed = watch.phase_totals()["bench"].seconds
     expect = prog.oracle(alice, bob)
     correct = result.output_words[: len(expect)] == expect
 
@@ -104,6 +113,10 @@ def run_processor_benchmark(
         "seconds": round(elapsed, 2),
         "program_words": len(words),
     }
+    if profiled:
+        entry["timing"] = {
+            k: round(v, 4) for k, v in timing_summary(obs).items()
+        }
     cache = _load_cache()
     cache[name] = entry
     _save_cache(cache)
@@ -192,15 +205,16 @@ def run_circuit_benchmark(name: str, force: bool = False) -> dict:
     hit = cache.get(key)
     if hit and not force:
         return hit
-    t0 = time.time()
-    result = builders[name]()
+    watch = Obs()
+    with watch.span("bench"):
+        result = builders[name]()
     entry = {
         "name": name,
         "garbled_nonxor": result.stats.garbled_nonxor,
         "conventional_nonxor": result.stats.conventional_nonxor,
         "skipped": result.stats.skipped,
         "cycles": result.stats.cycles,
-        "seconds": round(time.time() - t0, 2),
+        "seconds": round(watch.phase_totals()["bench"].seconds, 2),
     }
     cache = _load_cache()
     cache[key] = entry

@@ -19,7 +19,7 @@ from repro.core.protocol import (
     run_protocol,
 )
 from repro.core import SkipGateEngine
-from repro.gc.channel import ChannelClosed, channel_pair
+from repro.gc.channel import ChannelClosed, ProtocolDesync, channel_pair
 
 
 def adder_net(width=8):
@@ -99,8 +99,11 @@ class TestTampering:
     def test_channel_tag_mismatch_raises(self):
         a, b = channel_pair()
         a.send("tables", [], 0)
-        with pytest.raises(ChannelClosed, match="desync"):
+        with pytest.raises(ProtocolDesync, match="expected 'alice-label'"):
             b.recv("alice-label")
+        # The desync aborted the peer so it cannot block forever.
+        with pytest.raises(ChannelClosed):
+            a.recv("outputs")
 
     def test_peer_abort_unblocks(self):
         a, b = channel_pair()

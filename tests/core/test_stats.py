@@ -1,0 +1,86 @@
+"""Tests for RunStats aggregation and the paper's derived metrics.
+
+The improvement properties divide by measured counts, so the zero
+cases (empty circuits, fully-skipped runs) must be pinned down: a run
+that garbles nothing out of nothing is a 1x improvement, not a crash.
+"""
+
+import pytest
+
+from repro.core.stats import CycleStats, RunStats
+
+
+def _cs(**kw):
+    return CycleStats(**kw)
+
+
+class TestAddCycle:
+    def test_aggregates_every_field(self):
+        rs = RunStats(conventional_nonxor_per_cycle=10)
+        rs.add_cycle(
+            _cs(
+                cycle=0,
+                cat_i=1,
+                cat_ii=2,
+                cat_iii=3,
+                cat_iv_xor=4,
+                cat_iv_garbled=5,
+                tables_filtered=1,
+                tables_sent=4,
+                reduction_calls=6,
+                dynamic_gates=7,
+                dead_skipped=8,
+            )
+        )
+        rs.add_cycle(_cs(cycle=1, cat_i=10, cat_iv_garbled=2, tables_sent=2))
+        assert rs.cycles == 2
+        assert len(rs.per_cycle) == 2
+        assert rs.cat_i == 11
+        assert rs.cat_ii == 2
+        assert rs.cat_iii == 3
+        assert rs.cat_iv_xor == 4
+        assert rs.cat_iv_garbled == 7
+        assert rs.tables_filtered == 1
+        assert rs.tables_sent == 6
+        assert rs.reduction_calls == 6
+        assert rs.dynamic_gates == 7
+        assert rs.dead_skipped == 8
+
+    def test_headline_numbers(self):
+        rs = RunStats(conventional_nonxor_per_cycle=100)
+        rs.add_cycle(_cs(tables_sent=30))
+        rs.add_cycle(_cs(tables_sent=10))
+        assert rs.garbled_nonxor == 40
+        assert rs.conventional_nonxor == 200
+        assert rs.skipped == 160
+        assert rs.improvement_pct == pytest.approx(80.0)
+        assert rs.improvement_factor == pytest.approx(5.0)
+
+
+class TestImprovementEdgeCases:
+    def test_zero_conventional_zero_garbled(self):
+        """An empty run is a neutral 1x improvement, not 0/0."""
+        rs = RunStats(conventional_nonxor_per_cycle=0)
+        rs.add_cycle(_cs())
+        assert rs.improvement_pct == 0.0
+        assert rs.improvement_factor == 1.0
+
+    def test_zero_garbled_nonzero_conventional(self):
+        """Everything skipped: infinite factor, 100% improvement."""
+        rs = RunStats(conventional_nonxor_per_cycle=50)
+        rs.add_cycle(_cs(tables_sent=0))
+        assert rs.improvement_factor == float("inf")
+        assert rs.improvement_pct == pytest.approx(100.0)
+
+    def test_no_cycles_at_all(self):
+        rs = RunStats(conventional_nonxor_per_cycle=50)
+        assert rs.conventional_nonxor == 0
+        assert rs.improvement_pct == 0.0
+        assert rs.improvement_factor == 1.0
+
+    def test_summary_renders(self):
+        rs = RunStats(conventional_nonxor_per_cycle=5)
+        rs.add_cycle(_cs(cat_i=1, tables_sent=2, cat_iv_garbled=2))
+        text = rs.summary()
+        assert "cycles=1" in text
+        assert "garbled_nonxor=2" in text

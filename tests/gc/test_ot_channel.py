@@ -1,10 +1,16 @@
 """Tests for the oblivious transfer and channel layers."""
 
 import threading
+import time
 
 import pytest
 
-from repro.gc.channel import ChannelClosed, channel_pair
+from repro.gc.channel import (
+    ChannelClosed,
+    ChannelTimeout,
+    ProtocolDesync,
+    channel_pair,
+)
 from repro.gc.ot import OTReceiver, OTSender
 
 
@@ -21,11 +27,50 @@ class TestChannel:
         assert a.sent.payload_bytes == 12
         assert a.sent.messages == 2
 
-    def test_tag_mismatch_raises(self):
+    def test_recv_byte_accounting(self):
+        a, b = channel_pair()
+        a.send("x", b"....", 4)
+        b.recv("x")
+        assert b.received.payload_bytes == 4
+        assert b.received.messages == 1
+
+    def test_declared_size_must_match_bytes_payload(self):
+        a, _ = channel_pair()
+        with pytest.raises(ValueError, match="declared size"):
+            a.send("x", b"....", 5)
+        with pytest.raises(ValueError, match="declared size"):
+            a.send("x", bytearray(b"abc"), 2)
+        assert a.sent.messages == 0  # nothing was recorded or queued
+
+    def test_structured_payloads_are_not_size_checked(self):
+        a, b = channel_pair()
+        a.send("x", [1, 2, 3], 96)  # declared wire size, not len()
+        assert b.recv("x") == [1, 2, 3]
+
+    def test_tag_mismatch_raises_desync(self):
         a, b = channel_pair()
         a.send("x", 1, 1)
-        with pytest.raises(ChannelClosed):
+        with pytest.raises(ProtocolDesync):
             b.recv("y")
+
+    def test_tag_mismatch_aborts_peer(self):
+        a, b = channel_pair()
+        a.send("x", 1, 1)
+        with pytest.raises(ProtocolDesync):
+            b.recv("y")
+        # Bob's desync must unblock Alice rather than leave her hung.
+        with pytest.raises(ChannelClosed):
+            a.recv("z")
+
+    def test_desync_is_not_channel_closed(self):
+        a, b = channel_pair()
+        a.send("x", 1, 1)
+        try:
+            b.recv("y")
+        except ChannelClosed:  # pragma: no cover - the bug under test
+            pytest.fail("tag mismatch must not look like a peer abort")
+        except ProtocolDesync:
+            pass
 
     def test_abort_wakes_peer(self):
         a, b = channel_pair()
@@ -33,10 +78,34 @@ class TestChannel:
         with pytest.raises(ChannelClosed):
             b.recv("x")
 
-    def test_recv_timeout(self):
+    def test_recv_blocks_by_default(self):
+        """The default deadline is None: block until data arrives."""
         a, b = channel_pair()
-        with pytest.raises(ChannelClosed):
+        assert b.timeout is None
+
+        def alice():
+            time.sleep(0.05)
+            a.send("x", 7, 1)
+
+        t = threading.Thread(target=alice, daemon=True)
+        t.start()
+        assert b.recv("x") == 7  # would die spuriously with a 0s default
+        t.join(timeout=5)
+        assert b.received.wait_seconds > 0.0
+
+    def test_recv_timeout_opt_in_per_call(self):
+        a, b = channel_pair()
+        with pytest.raises(ChannelTimeout):
             b.recv("x", timeout=0.05)
+
+    def test_recv_timeout_opt_in_per_endpoint(self):
+        a, b = channel_pair(timeout=0.05)
+        with pytest.raises(ChannelTimeout):
+            b.recv("x")
+
+    def test_timeout_is_a_channel_closed(self):
+        """Opt-in timeouts still satisfy except-ChannelClosed callers."""
+        assert issubclass(ChannelTimeout, ChannelClosed)
 
 
 def run_ots(choices, m_pairs, group="modp512"):
