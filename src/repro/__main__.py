@@ -7,6 +7,8 @@ Usage::
     python -m repro bench sum32 mult32         # registry benchmarks
     python -m repro bench --all
     python -m repro anatomy program.c --alice 5 --bob 9   # cost breakdown
+    python -m repro party garbler --circuit sum32 --value 1234 \
+        --listen 127.0.0.1:9100            # two-process TCP deployment
 
 ``run`` compiles the C file (or assembles a ``.s`` file), executes it
 on the garbled processor with the given private inputs, and prints the
@@ -236,6 +238,10 @@ def main(argv=None) -> int:
 
     p_rep = sub.add_parser("report", help="print the rendered paper tables")
     p_rep.set_defaults(func=cmd_report)
+
+    from .net.cli import add_party_parser
+
+    add_party_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

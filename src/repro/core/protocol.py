@@ -6,10 +6,27 @@ tables travel over a byte-counted channel, and the SkipGate engine on
 each side independently decides — from public information and label
 identity only — which gates to garble, compute locally, or skip.
 
-The parties run in two threads; because Alice sends each cycle's
+The protocol logic lives in two *party* objects —
+:class:`GarblerParty` and :class:`EvaluatorParty` — that are agnostic
+about what carries their messages: :func:`run_protocol` runs them in
+two threads over the in-memory channel (Alice sends each cycle's
 surviving tables at the end of her cycle while Bob blocks for them at
-the start of his, Alice is naturally garbling cycle ``c+1`` while Bob
-evaluates cycle ``c``, the pipelining described in Section 3.2.
+the start of his, so Alice is naturally garbling cycle ``c+1`` while
+Bob evaluates cycle ``c`` — the pipelining of Section 3.2), and
+:class:`repro.net.session.ResumableSession` runs one party per OS
+process over TCP with cycle-level checkpoint/resume.
+
+Parties expose three resume hooks: :meth:`attach` binds (or re-binds,
+after a reconnect) the transport, :meth:`snapshot` freezes engine +
+backend + OT progress at a cycle boundary, and :meth:`restore` rolls
+back to a snapshot so the replayed cycles regenerate fresh labels on
+both sides consistently.
+
+Wire formats are deterministic and fixed-width for label material
+(every label is exactly :data:`~repro.gc.hashing.LABEL_BYTES` bytes on
+the wire) so communication totals cannot wobble with random label
+values; a cycle's surviving tables travel as one ``(keys, blob)``
+batch costing ``32`` bytes per table plus a few bytes of keys.
 
 Synchronization argument (why the two engines agree): every decision
 the engine takes depends only on (a) public inputs, which both have,
@@ -26,8 +43,8 @@ absent from Bob's batch and he substitutes a flagged dummy label
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.bits import bits_to_int
 from ..circuit.netlist import Netlist
@@ -46,6 +63,8 @@ from ..obs import NULL_OBS, timing_summary
 from .backend import Backend
 from .engine import SkipGateEngine
 from .stats import RunStats
+
+BitSource = Union[Sequence[int], "callable"]
 
 
 class GarblerBackend(Backend):
@@ -83,7 +102,8 @@ class GarblerBackend(Backend):
         owner = key[1]
         if owner == "alice":
             bit = self._alice_bits[key]
-            self.chan.send("alice-label", zero ^ (self.delta if bit else 0), LABEL_BYTES)
+            held = zero ^ (self.delta if bit else 0)
+            self.chan.send("alice-label", held.to_bytes(LABEL_BYTES, "little"))
         elif owner == "bob":
             self._ot.send(zero, zero ^ self.delta)
         else:  # pragma: no cover - defensive
@@ -103,11 +123,37 @@ class GarblerBackend(Backend):
         self._pending = {}
 
     def end_cycle(self, kept_keys: List[int], dropped_keys: List[int]) -> None:
-        batch = [(k, self._pending[k].tg, self._pending[k].te) for k in kept_keys]
-        self.tables_sent += len(batch)
-        # Wire size: table payload only; the key tags are bookkeeping
-        # both parties could derive (they are deterministic).
-        self.chan.send("tables", batch, len(batch) * GarbledTable.SIZE_BYTES)
+        # One batch per cycle: the kept keys (small deterministic ints
+        # both parties could derive) plus one fixed-width blob of
+        # 2 x 16-byte ciphertexts per surviving table.
+        blob_parts = []
+        for k in kept_keys:
+            t = self._pending[k]
+            blob_parts.append(t.tg.to_bytes(LABEL_BYTES, "little"))
+            blob_parts.append(t.te.to_bytes(LABEL_BYTES, "little"))
+        self.tables_sent += len(kept_keys)
+        self.chan.send("tables", (list(kept_keys), b"".join(blob_parts)))
+
+    # -- resume hooks --------------------------------------------------------
+
+    def rebind(self, chan: Endpoint) -> None:
+        self.chan = chan
+        self._ot.rebind(chan)
+
+    def snapshot(self) -> dict:
+        return {
+            "memo": dict(self._memo),
+            "gid": self._gid,
+            "tables_sent": self.tables_sent,
+            "ot": self._ot.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._memo = dict(snap["memo"])
+        self._gid = snap["gid"]
+        self.tables_sent = snap["tables_sent"]
+        self._pending = {}
+        self._ot.restore(snap["ot"])
 
 
 class EvaluatorBackend(Backend):
@@ -143,7 +189,7 @@ class EvaluatorBackend(Backend):
             return label
         owner = key[1]
         if owner == "alice":
-            label = self.chan.recv("alice-label")
+            label = int.from_bytes(self.chan.recv("alice-label"), "little")
         elif owner == "bob":
             label = self._ot.receive(self._bob_bits[key])
         else:  # pragma: no cover - defensive
@@ -167,8 +213,223 @@ class EvaluatorBackend(Backend):
         return evaluate_gate(tt, la, lb, table, gid)
 
     def begin_cycle(self, cycle: int) -> None:
-        batch = self.chan.recv("tables")
-        self._tables = {k: GarbledTable(tg, te) for k, tg, te in batch}
+        keys, blob = self.chan.recv("tables")
+        if len(blob) != 2 * LABEL_BYTES * len(keys):
+            from ..gc.channel import FrameCorruption
+
+            raise FrameCorruption(
+                f"table batch blob of {len(blob)} bytes does not match "
+                f"{len(keys)} keys"
+            )
+        self._tables = {}
+        for i, k in enumerate(keys):
+            off = 2 * LABEL_BYTES * i
+            tg = int.from_bytes(blob[off : off + LABEL_BYTES], "little")
+            te = int.from_bytes(
+                blob[off + LABEL_BYTES : off + 2 * LABEL_BYTES], "little"
+            )
+            self._tables[k] = GarbledTable(tg, te)
+
+    # -- resume hooks --------------------------------------------------------
+
+    def rebind(self, chan: Endpoint) -> None:
+        self.chan = chan
+        self._ot.rebind(chan)
+
+    def snapshot(self) -> dict:
+        return {
+            "memo": dict(self._memo),
+            "gid": self._gid,
+            "tables": dict(self._tables),
+            "invalid": set(self.invalid_labels),
+            "ot": self._ot.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._memo = dict(snap["memo"])
+        self._gid = snap["gid"]
+        self._tables = dict(snap["tables"])
+        self.invalid_labels = set(snap["invalid"])
+        self._ot.restore(snap["ot"])
+
+
+# ---------------------------------------------------------------------------
+# Parties: transport-agnostic protocol state machines.
+# ---------------------------------------------------------------------------
+
+
+class _Party:
+    """Shared plumbing of the two protocol parties."""
+
+    role = "?"
+
+    def __init__(
+        self,
+        net: Netlist,
+        cycles: int,
+        bits: Dict[Hashable, int],
+        public: BitSource = (),
+        public_init: Sequence[int] = (),
+        ot_group: str = "modp2048",
+        ot: str = "simplest",
+        rng=None,
+        obs=None,
+    ) -> None:
+        self.net = net
+        self.cycles = cycles
+        self._bits = bits
+        self._public = public
+        self._public_init = public_init
+        self._ot_group = ot_group
+        self._ot_kind = ot
+        self._rng = rng
+        self.obs = NULL_OBS if obs is None else obs
+        self.chan: Optional[Endpoint] = None
+        self.backend = None
+        self.engine: Optional[SkipGateEngine] = None
+
+    def _make_backend(self, chan: Endpoint):
+        raise NotImplementedError
+
+    def attach(self, chan: Endpoint) -> None:
+        """Bind (or re-bind, after a reconnect) the transport."""
+        self.chan = chan
+        if self.backend is None:
+            self.backend = self._make_backend(chan)
+            self.engine = SkipGateEngine(
+                self.net,
+                self.backend,
+                public_init=self._public_init,
+                obs=self.obs,
+            )
+        else:
+            self.backend.rebind(chan)
+
+    @property
+    def cycle(self) -> int:
+        """Number of completed cycles."""
+        return 0 if self.engine is None else self.engine.cycle
+
+    def _public_row(self, cycle: int) -> Sequence[int]:
+        p = self._public
+        return p(cycle) if callable(p) else p
+
+    def step_cycle(self) -> None:
+        """Run one protocol cycle (Algorithms 1-2 loop body)."""
+        engine = self.engine
+        i = engine.cycle
+        engine.step(self._public_row(i), final=(i == self.cycles - 1))
+
+    def run_cycles(self, on_boundary=None) -> None:
+        """Run all remaining cycles; ``on_boundary(completed_cycles)``
+        fires after each one (the session checkpoints there)."""
+        while self.engine.cycle < self.cycles:
+            self.step_cycle()
+            if on_boundary is not None:
+                on_boundary(self.engine.cycle)
+
+    # -- resume hooks --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Freeze protocol state at a cycle boundary."""
+        return {
+            "engine": self.engine.snapshot(),
+            "backend": self.backend.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll back to a snapshot (after :meth:`attach`)."""
+        self.engine.restore(snap["engine"])
+        self.backend.restore(snap["backend"])
+
+    def finish(self) -> List[int]:
+        raise NotImplementedError
+
+
+class GarblerParty(_Party):
+    """Alice: garbles, decodes Bob's output labels, shares the result."""
+
+    role = "garbler"
+
+    def _make_backend(self, chan: Endpoint) -> GarblerBackend:
+        return GarblerBackend(
+            chan,
+            self._bits,
+            ot_group=self._ot_group,
+            ot=self._ot_kind,
+            rng=self._rng,
+        )
+
+    def finish(self) -> List[int]:
+        """Receive Bob's output labels, decode, share the cleartext
+        (Algorithm 1 lines 16-17) and wait for Bob's goodbye."""
+        chan = self.chan
+        payload = chan.recv("outputs")
+        out_states = self.engine.output_states()
+        if len(payload) != len(out_states):
+            raise AssertionError("output arity desync between parties")
+        outputs: List[int] = []
+        delta = self.backend.delta
+        for got, s in zip(payload, out_states):
+            if got[0] == "pub":
+                if type(s) is not int or s != got[1]:
+                    raise AssertionError("public output desync between parties")
+                outputs.append(s)
+            else:
+                _, label_raw, bob_flip = got
+                bob_label = int.from_bytes(label_raw, "little")
+                zero, flip, _ = s
+                if bob_flip != flip:
+                    raise AssertionError("flip-bit desync between parties")
+                if bob_label == zero:
+                    raw = 0
+                elif bob_label == zero ^ delta:
+                    raw = 1
+                else:
+                    raise AssertionError("Bob returned an unknown output label")
+                outputs.append(raw ^ flip)
+        chan.send("result", outputs)
+        # Bob acknowledges receipt so a lost result frame is detected
+        # here (and replayed by the resume layer) instead of leaving
+        # Bob hanging after Alice declared victory.
+        chan.recv("bye")
+        return outputs
+
+
+class EvaluatorParty(_Party):
+    """Bob: evaluates, returns his output labels, learns the result."""
+
+    role = "evaluator"
+
+    def _make_backend(self, chan: Endpoint) -> EvaluatorBackend:
+        return EvaluatorBackend(
+            chan,
+            self._bits,
+            ot_group=self._ot_group,
+            ot=self._ot_kind,
+            rng=self._rng,
+        )
+
+    def finish(self) -> List[int]:
+        """Send output labels to Alice; receive the decoded result."""
+        chan = self.chan
+        backend = self.backend
+        payload = []
+        for s in self.engine.output_states():
+            if type(s) is int:
+                payload.append(("pub", s))
+            else:
+                if s[0] in backend.invalid_labels:
+                    raise AssertionError(
+                        "a dummy label for a filtered gate reached an output"
+                    )
+                payload.append(
+                    ("lbl", s[0].to_bytes(LABEL_BYTES, "little"), s[1])
+                )
+        chan.send("outputs", payload)
+        result = chan.recv("result")
+        chan.send("bye", None)
+        return result
 
 
 @dataclass
@@ -204,6 +465,49 @@ def _expand_bits(
     for i, bit in enumerate(init):
         bits[("init", role, i)] = bit & 1
     return bits
+
+
+def make_parties(
+    net: Netlist,
+    cycles: int,
+    alice: Sequence[int] = (),
+    bob: Sequence[int] = (),
+    public: Sequence[int] = (),
+    alice_init: Sequence[int] = (),
+    bob_init: Sequence[int] = (),
+    public_init: Sequence[int] = (),
+    ot_group: str = "modp512",
+    ot: str = "simplest",
+    obs=None,
+) -> Tuple[GarblerParty, EvaluatorParty]:
+    """Build the two party objects for one protocol run.
+
+    Convenience used by :func:`run_protocol` and the tests; real
+    two-process deployments construct only their own side (each party
+    needs only its own private bits).
+    """
+    return (
+        GarblerParty(
+            net,
+            cycles,
+            _expand_bits(net, "alice", alice, alice_init, cycles),
+            public=public,
+            public_init=public_init,
+            ot_group=ot_group,
+            ot=ot,
+            obs=obs,
+        ),
+        EvaluatorParty(
+            net,
+            cycles,
+            _expand_bits(net, "bob", bob, bob_init, cycles),
+            public=public,
+            public_init=public_init,
+            ot_group=ot_group,
+            ot=ot,
+            obs=obs,
+        ),
+    )
 
 
 def run_protocol(
@@ -243,38 +547,29 @@ def run_protocol(
     obs.set_thread_label("alice")
     hash_calls0 = HASH_STATS.calls if obs.enabled else 0
     a_end, b_end = channel_pair(timeout=timeout, obs=obs)
-    alice_bits = _expand_bits(net, "alice", alice, alice_init, cycles)
-    bob_bits = _expand_bits(net, "bob", bob, bob_init, cycles)
+    a_party, b_party = make_parties(
+        net,
+        cycles,
+        alice=alice,
+        bob=bob,
+        public=public,
+        alice_init=alice_init,
+        bob_init=bob_init,
+        public_init=public_init,
+        ot_group=ot_group,
+        ot=ot,
+        obs=obs,
+    )
 
     bob_box: dict = {}
 
     def bob_main() -> None:
         try:
             obs.set_thread_label("bob")
-            backend = EvaluatorBackend(
-                b_end, bob_bits, ot_group=ot_group, ot=ot
-            )
-            engine = SkipGateEngine(
-                net, backend, public_init=public_init, obs=obs
-            )
-            for i in range(cycles):
-                row = public(engine.cycle) if callable(public) else public
-                engine.step(row, final=(i == cycles - 1))
-            out_states = engine.output_states()
-            payload = []
-            for s in out_states:
-                if type(s) is int:
-                    payload.append(("pub", s))
-                else:
-                    if s[0] in backend.invalid_labels:
-                        raise AssertionError(
-                            "a dummy label for a filtered gate reached an output"
-                        )
-                    payload.append(("lbl", s[0], s[1]))
-            b_end.send("outputs", payload, LABEL_BYTES * len(payload))
-            result = b_end.recv("result", timeout=timeout)
-            bob_box["outputs"] = result
-            bob_box["stats"] = engine.stats
+            b_party.attach(b_end)
+            b_party.run_cycles()
+            bob_box["outputs"] = b_party.finish()
+            bob_box["stats"] = b_party.engine.stats
         except BaseException as exc:  # pragma: no cover - error plumbing
             bob_box["error"] = exc
             b_end.abort()
@@ -283,35 +578,10 @@ def run_protocol(
     bob_thread.start()
 
     try:
-        backend = GarblerBackend(a_end, alice_bits, ot_group=ot_group, ot=ot)
-        engine = SkipGateEngine(net, backend, public_init=public_init, obs=obs)
-        for i in range(cycles):
-            row = public(engine.cycle) if callable(public) else public
-            engine.step(row, final=(i == cycles - 1))
-        payload = a_end.recv("outputs", timeout=timeout)
-        out_states = engine.output_states()
-        if len(payload) != len(out_states):
-            raise AssertionError("output arity desync between parties")
-        outputs: List[int] = []
-        for got, s in zip(payload, out_states):
-            if got[0] == "pub":
-                if type(s) is not int or s != got[1]:
-                    raise AssertionError("public output desync between parties")
-                outputs.append(s)
-            else:
-                _, bob_label, bob_flip = got
-                zero, flip, _ = s
-                if bob_flip != flip:
-                    raise AssertionError("flip-bit desync between parties")
-                if bob_label == zero:
-                    raw = 0
-                elif bob_label == zero ^ backend.delta:
-                    raw = 1
-                else:
-                    raise AssertionError("Bob returned an unknown output label")
-                outputs.append(raw ^ flip)
-        a_end.send("result", outputs, len(outputs))
-        alice_stats = engine.stats
+        a_party.attach(a_end)
+        a_party.run_cycles()
+        outputs = a_party.finish()
+        alice_stats = a_party.engine.stats
     except BaseException:
         a_end.abort()
         bob_thread.join(timeout=5.0)
@@ -328,7 +598,7 @@ def run_protocol(
         value=bits_to_int(outputs),
         alice_stats=alice_stats,
         bob_stats=bob_box["stats"],
-        tables_sent=backend.tables_sent,
+        tables_sent=a_party.backend.tables_sent,
         alice_sent_bytes=a_end.sent.payload_bytes,
         bob_sent_bytes=b_end.sent.payload_bytes,
         alice_wait_seconds=a_end.received.wait_seconds,

@@ -68,6 +68,7 @@ def evaluate_with_stats(
     seed: int = 0x5EED,
     check_consistency: bool = True,
     obs=None,
+    on_cycle: Optional[Callable[[int], None]] = None,
 ) -> RunResult:
     """Evaluate ``net`` for ``cycles`` and return outputs plus stats.
 
@@ -85,12 +86,19 @@ def evaluate_with_stats(
         obs: optional :class:`repro.obs.Obs` for per-phase timing and
             per-cycle trace events; the default adds no overhead and
             leaves gate counts bit-identical.
+        on_cycle: optional callback fired with the number of completed
+            cycles after each engine cycle — the same boundary grid the
+            two-party protocol checkpoints on (:mod:`repro.net.session`),
+            so progress reporting and checkpoint cadence line up across
+            the ideal and real models.
     """
     engine = SkipGateEngine(
         net, CountingBackend(seed), public_init=public_init, obs=obs
     )
     for i in range(cycles):
         engine.step(_per_cycle(public, engine.cycle), final=(i == cycles - 1))
+        if on_cycle is not None:
+            on_cycle(engine.cycle)
 
     sim = PlainSimulator(
         net,

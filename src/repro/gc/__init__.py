@@ -11,8 +11,11 @@ from .channel import (
     ChannelStats,
     ChannelTimeout,
     Endpoint,
+    FrameCorruption,
+    InMemoryEndpoint,
     ProtocolDesync,
     channel_pair,
+    payload_wire_size,
 )
 from .garble import GarbledTable, evaluate_gate, garble_gate, random_delta, random_label
 from .hashing import LABEL_BITS, LABEL_BYTES, hash_label
@@ -25,7 +28,9 @@ __all__ = [
     "ChannelStats",
     "ChannelTimeout",
     "Endpoint",
+    "FrameCorruption",
     "GarbledTable",
+    "InMemoryEndpoint",
     "LABEL_BITS",
     "LABEL_BYTES",
     "OTExtensionReceiver",
@@ -34,6 +39,7 @@ __all__ = [
     "OTSender",
     "ProtocolDesync",
     "channel_pair",
+    "payload_wire_size",
     "evaluate_gate",
     "garble_gate",
     "hash_label",

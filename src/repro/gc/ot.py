@@ -11,9 +11,15 @@ Two parameter sets are provided:
 * ``modp512``  — a small prime for fast unit tests (not secure).
 
 The transfer of Bob's GC input labels (Algorithms 1-2 lines 3-4) runs
-one OT per input bit.  OT extension is intentionally out of scope: it
-reduces OT *computation*, not the garbled-table communication the
-paper measures.
+one OT per input bit.  Group elements cross the channel as
+**fixed-width** little-endian byte strings (the group size in bytes),
+so communication totals are deterministic and independent of the
+random element values.
+
+Both sides expose ``snapshot`` / ``restore`` / ``rebind``: the resume
+layer (:mod:`repro.net.session`) checkpoints OT progress at cycle
+boundaries and, after a reconnect, rolls the transfer counters back so
+a replay re-runs exactly the transfers the peer also rolled back.
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ class OTSender:
 
     def __init__(self, chan: Endpoint, group: str = "modp2048") -> None:
         self.p, self.g = GROUPS[group]
+        self.group_bytes = (self.p.bit_length() + 7) // 8
         self.chan = chan
         self._a = secrets.randbelow(self.p - 2) + 1
         self._big_a = pow(self.g, self._a, self.p)
@@ -78,24 +85,41 @@ class OTSender:
 
     def _ensure_setup(self) -> None:
         if not self._setup_sent:
-            self.chan.send("ot-setup", self._big_a, (self.p.bit_length() + 7) // 8)
+            self.chan.send(
+                "ot-setup", self._big_a.to_bytes(self.group_bytes, "little")
+            )
             self._setup_sent = True
 
     def send(self, m0: int, m1: int) -> None:
         """Obliviously transfer one of two 128-bit messages."""
         self._ensure_setup()
-        big_b = self.chan.recv("ot-b")
+        big_b = int.from_bytes(self.chan.recv("ot-b"), "little")
         if not 1 < big_b < self.p:
             raise ValueError("OT receiver sent an invalid group element")
-        group_bytes = (self.p.bit_length() + 7) // 8
+        group_bytes = self.group_bytes
         k0 = pow(big_b, self._a, self.p).to_bytes(group_bytes, "little")
         k1 = pow(big_b * self._big_a_inv % self.p, self._a, self.p).to_bytes(
             group_bytes, "little"
         )
         e0 = _encrypt(k0, m0, self.count)
         e1 = _encrypt(k1, m1, self.count)
-        self.chan.send("ot-e", (e0, e1), 2 * LABEL_BYTES)
+        self.chan.send("ot-e", (e0, e1))
         self.count += 1
+
+    # -- resume hooks --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Progress marker for cycle-level checkpoints (the key ``_a``
+        is generated once and never rolled back)."""
+        return {"setup_sent": self._setup_sent, "count": self.count}
+
+    def restore(self, snap: dict) -> None:
+        self._setup_sent = snap["setup_sent"]
+        self.count = snap["count"]
+
+    def rebind(self, chan: Endpoint) -> None:
+        """Point at a fresh transport after a reconnect."""
+        self.chan = chan
 
 
 class OTReceiver:
@@ -103,13 +127,14 @@ class OTReceiver:
 
     def __init__(self, chan: Endpoint, group: str = "modp2048") -> None:
         self.p, self.g = GROUPS[group]
+        self.group_bytes = (self.p.bit_length() + 7) // 8
         self.chan = chan
         self._big_a = None
         self.count = 0
 
     def _ensure_setup(self) -> None:
         if self._big_a is None:
-            self._big_a = self.chan.recv("ot-setup")
+            self._big_a = int.from_bytes(self.chan.recv("ot-setup"), "little")
             if not 1 < self._big_a < self.p:
                 raise ValueError("OT sender sent an invalid group element")
 
@@ -120,8 +145,8 @@ class OTReceiver:
         big_b = pow(self.g, b, self.p)
         if choice:
             big_b = big_b * self._big_a % self.p
-        group_bytes = (self.p.bit_length() + 7) // 8
-        self.chan.send("ot-b", big_b, group_bytes)
+        group_bytes = self.group_bytes
+        self.chan.send("ot-b", big_b.to_bytes(group_bytes, "little"))
         key = pow(self._big_a, b, self.p).to_bytes(group_bytes, "little")
         e0, e1 = self.chan.recv("ot-e")
         return _decrypt(key, e1 if choice else e0, self.count_and_bump())
@@ -130,3 +155,15 @@ class OTReceiver:
         c = self.count
         self.count += 1
         return c
+
+    # -- resume hooks --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {"big_a": self._big_a, "count": self.count}
+
+    def restore(self, snap: dict) -> None:
+        self._big_a = snap["big_a"]
+        self.count = snap["count"]
+
+    def rebind(self, chan: Endpoint) -> None:
+        self.chan = chan

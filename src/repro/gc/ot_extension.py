@@ -86,9 +86,15 @@ class OTExtensionSender:
         if self._seeds is None:
             self._base_phase()
         m = self.pool_size
+        col_bytes = (m + 7) // 8
         salt = b"iknp%d" % self._batch
         self._batch += 1
-        us = self.chan.recv("otx-u")
+        # One fixed-width blob: KAPPA columns of (m+7)//8 bytes each.
+        u_blob = self.chan.recv("otx-u")
+        us = [
+            int.from_bytes(u_blob[i * col_bytes : (i + 1) * col_bytes], "little")
+            for i in range(KAPPA)
+        ]
         cols = []
         for i in range(KAPPA):
             g = _prg(self._seeds[i], m, salt)
@@ -119,8 +125,37 @@ class OTExtensionSender:
             x0, x1 = x1, x0
         e0 = (m0 ^ x0) & LABEL_MASK
         e1 = (m1 ^ x1) & LABEL_MASK
-        self.chan.send("otx-e", (e0, e1), 2 * LABEL_BYTES)
+        self.chan.send(
+            "otx-e",
+            (
+                e0.to_bytes(LABEL_BYTES, "little"),
+                e1.to_bytes(LABEL_BYTES, "little"),
+            ),
+        )
         self.count += 1
+
+    # -- resume hooks --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint the extension progress (pool, batch, counters)."""
+        return {
+            "seeds": None if self._seeds is None else list(self._seeds),
+            "pool": list(self._pool),
+            "batch": self._batch,
+            "count": self.count,
+            "base": self._base.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._seeds = None if snap["seeds"] is None else list(snap["seeds"])
+        self._pool = list(snap["pool"])
+        self._batch = snap["batch"]
+        self.count = snap["count"]
+        self._base.restore(snap["base"])
+
+    def rebind(self, chan) -> None:
+        self.chan = chan
+        self._base.rebind(chan)
 
 
 class OTExtensionReceiver:
@@ -156,14 +191,15 @@ class OTExtensionReceiver:
         salt = b"iknp%d" % self._batch
         self._batch += 1
         r = self._rand(m)  # random choice bits for the pool
+        col_bytes = (m + 7) // 8
         t_cols = []
-        us = []
+        u_parts = []
         for k0, k1 in self._seed_pairs:
             t = _prg(k0, m, salt)
             u = t ^ _prg(k1, m, salt) ^ r
             t_cols.append(t)
-            us.append(u)
-        self.chan.send("otx-u", us, KAPPA * ((m + 7) // 8))
+            u_parts.append(u.to_bytes(col_bytes, "little"))
+        self.chan.send("otx-u", b"".join(u_parts))
         rows = _transpose_columns(t_cols, m)
         base = self.count
         self._pool = [
@@ -180,7 +216,34 @@ class OTExtensionReceiver:
             self._extend()
         c, xc = self._pool.pop()
         d = (choice ^ c) & 1
-        self.chan.send("otx-d", d, 1)
+        self.chan.send("otx-d", d)
         e0, e1 = self.chan.recv("otx-e")
+        e = int.from_bytes(e1 if choice else e0, "little")
         self.count += 1
-        return ((e1 if choice else e0) ^ xc) & LABEL_MASK
+        return (e ^ xc) & LABEL_MASK
+
+    # -- resume hooks --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "seed_pairs": (
+                None if self._seed_pairs is None else list(self._seed_pairs)
+            ),
+            "pool": list(self._pool),
+            "batch": self._batch,
+            "count": self.count,
+            "base": self._base.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._seed_pairs = (
+            None if snap["seed_pairs"] is None else list(snap["seed_pairs"])
+        )
+        self._pool = list(snap["pool"])
+        self._batch = snap["batch"]
+        self.count = snap["count"]
+        self._base.restore(snap["base"])
+
+    def rebind(self, chan) -> None:
+        self.chan = chan
+        self._base.rebind(chan)

@@ -1,0 +1,76 @@
+"""Real-network substrate for the two-party protocol.
+
+The in-memory channel of :mod:`repro.gc.channel` is perfect for
+single-process experiments but hides everything a deployment has to
+survive: serialization, partial reads, corruption, disconnects.  This
+package makes the protocol network-real:
+
+* :mod:`repro.net.codec` — deterministic binary encoding for every
+  payload that crosses the channel, so communication statistics count
+  actual wire bytes.
+* :mod:`repro.net.frame` — length-prefixed frames with a tag header,
+  per-direction sequence numbers and a CRC32 trailer.
+* :mod:`repro.net.links` — the byte-pipe abstraction frames travel
+  over (in-memory queues for tests, TCP sockets for deployments).
+* :mod:`repro.net.transport` — :class:`FramedEndpoint`, the
+  :class:`repro.gc.channel.Endpoint` implementation speaking the frame
+  protocol, with optional keepalive heartbeats.
+* :mod:`repro.net.tcp` — dialing with retry/backoff/jitter and a
+  reusable listener for the garbler side.
+* :mod:`repro.net.fault` — :class:`FaultyTransport`, a deterministic
+  seeded fault injector (drop / corrupt / duplicate / delay / split /
+  disconnect) used by the robustness tests.
+* :mod:`repro.net.session` — cycle-level checkpoint/resume: a
+  :class:`ResumableSession` reconnects after transient failures,
+  negotiates the last mutually-held checkpoint and replays.
+"""
+
+from .codec import CodecError, decode, encode, encoded_size
+from .fault import FaultPlan, FaultRule, FaultyTransport, InjectedFault
+from .frame import (
+    FRAME_ABORT,
+    FRAME_DATA,
+    FRAME_HEARTBEAT,
+    Frame,
+    FrameCorruption,
+    FrameDecoder,
+    encode_frame,
+    frame_tag,
+)
+from .links import Link, LinkClosed, LinkTimeout, MemoryRendezvous, memory_link_pair
+from .session import ResumableSession, SessionResult, net_digest, run_resumable_pair
+from .tcp import TcpDialer, TcpListener, connect_with_backoff
+from .transport import FramedEndpoint, framed_memory_pair
+
+__all__ = [
+    "CodecError",
+    "FRAME_ABORT",
+    "FRAME_DATA",
+    "FRAME_HEARTBEAT",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyTransport",
+    "Frame",
+    "FrameCorruption",
+    "FrameDecoder",
+    "FramedEndpoint",
+    "InjectedFault",
+    "Link",
+    "LinkClosed",
+    "LinkTimeout",
+    "MemoryRendezvous",
+    "ResumableSession",
+    "SessionResult",
+    "TcpDialer",
+    "TcpListener",
+    "connect_with_backoff",
+    "decode",
+    "encode",
+    "encode_frame",
+    "encoded_size",
+    "frame_tag",
+    "framed_memory_pair",
+    "memory_link_pair",
+    "net_digest",
+    "run_resumable_pair",
+]

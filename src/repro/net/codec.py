@@ -1,0 +1,182 @@
+"""Deterministic binary codec for channel payloads.
+
+Every message of the two-party protocol is built from a small set of
+shapes — label bytes, garbled-table batches, OT ciphertexts, control
+records — and this module gives each a canonical binary form so that
+
+* :class:`~repro.gc.channel.ChannelStats` can count **actual encoded
+  bytes** instead of trusting a declared size, and
+* the TCP transport ships the exact same bytes the in-memory channel
+  accounts, making the two interchangeable.
+
+The format is a minimal tagged encoding (one type byte per value,
+varint lengths) over the closed type set the protocol uses:
+
+=========  ====  =======================================================
+type       byte  encoding
+=========  ====  =======================================================
+None       `N`   nothing
+False      `F`   nothing
+True       `T`   nothing
+int        `i`   varint(len) + two's-complement little-endian bytes
+bytes      `b`   varint(len) + raw bytes
+str        `s`   varint(len) + UTF-8 bytes
+list       `l`   varint(n) + encoded items
+tuple      `t`   varint(n) + encoded items
+dict       `d`   varint(n) + sorted (str key, value) pairs
+=========  ====  =======================================================
+
+Encoding is deterministic: equal values produce identical bytes (dict
+entries are sorted by key), so communication totals are reproducible
+run to run.  Protocol code keeps label material as fixed-width
+``bytes`` on the wire precisely so that sizes cannot leak or wobble
+with the random label values (a 128-bit label always costs 18 encoded
+bytes regardless of leading zeros).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class CodecError(ValueError):
+    """Raised when a payload cannot be encoded or decoded."""
+
+
+def _write_varint(out: List[bytes], n: int) -> None:
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(bytes((b | 0x80,)))
+        else:
+            out.append(bytes((b,)))
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        b = data[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def _encode_into(out: List[bytes], obj: Any) -> None:
+    if obj is None:
+        out.append(b"N")
+    elif obj is True:
+        out.append(b"T")
+    elif obj is False:
+        out.append(b"F")
+    elif type(obj) is int:
+        raw = obj.to_bytes((obj.bit_length() + 8) // 8, "little", signed=True)
+        out.append(b"i")
+        _write_varint(out, len(raw))
+        out.append(raw)
+    elif type(obj) in (bytes, bytearray):
+        out.append(b"b")
+        _write_varint(out, len(obj))
+        out.append(bytes(obj))
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        out.append(b"s")
+        _write_varint(out, len(raw))
+        out.append(raw)
+    elif type(obj) is list:
+        out.append(b"l")
+        _write_varint(out, len(obj))
+        for item in obj:
+            _encode_into(out, item)
+    elif type(obj) is tuple:
+        out.append(b"t")
+        _write_varint(out, len(obj))
+        for item in obj:
+            _encode_into(out, item)
+    elif type(obj) is dict:
+        out.append(b"d")
+        _write_varint(out, len(obj))
+        try:
+            keys = sorted(obj)
+        except TypeError as exc:
+            raise CodecError("dict keys must be sortable strings") from exc
+        for key in keys:
+            if type(key) is not str:
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_into(out, key)
+            _encode_into(out, obj[key])
+    else:
+        raise CodecError(f"cannot encode {type(obj).__name__} values")
+
+
+def encode(obj: Any) -> bytes:
+    """Encode a payload into its canonical binary form."""
+    out: List[bytes] = []
+    _encode_into(out, obj)
+    return b"".join(out)
+
+
+def encoded_size(obj: Any) -> int:
+    """Wire size of ``obj`` under :func:`encode`."""
+    return len(encode(obj))
+
+
+def _decode_at(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise CodecError("truncated value")
+    kind = data[pos : pos + 1]
+    pos += 1
+    if kind == b"N":
+        return None, pos
+    if kind == b"T":
+        return True, pos
+    if kind == b"F":
+        return False, pos
+    if kind in (b"i", b"b", b"s"):
+        n, pos = _read_varint(data, pos)
+        end = pos + n
+        if end > len(data):
+            raise CodecError("truncated payload body")
+        raw = data[pos:end]
+        if kind == b"i":
+            return int.from_bytes(raw, "little", signed=True), end
+        if kind == b"b":
+            return raw, end
+        try:
+            return raw.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise CodecError("invalid UTF-8 string") from exc
+    if kind in (b"l", b"t"):
+        n, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return (items if kind == b"l" else tuple(items)), pos
+    if kind == b"d":
+        n, pos = _read_varint(data, pos)
+        result = {}
+        for _ in range(n):
+            key, pos = _decode_at(data, pos)
+            if type(key) is not str:
+                raise CodecError("dict keys must decode to str")
+            value, pos = _decode_at(data, pos)
+            result[key] = value
+        return result, pos
+    raise CodecError(f"unknown type byte {kind!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one payload; rejects trailing garbage."""
+    obj, pos = _decode_at(data, 0)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after payload")
+    return obj

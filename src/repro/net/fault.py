@@ -1,0 +1,191 @@
+"""Deterministic fault injection at frame granularity.
+
+:class:`FaultyTransport` wraps a :class:`~repro.net.links.Link` and
+perturbs the *send* path.  The framed transport writes exactly one
+frame per ``send_bytes`` call, so rules can target an individual
+protocol message — "drop the 3rd ``tables`` frame", "corrupt the
+first ``otx-e``" — via the cheap :func:`~repro.net.frame.frame_tag`
+peek, without decoding payloads.
+
+Supported actions and what the receiver observes:
+
+=============  ==========================================================
+``drop``       frame never arrives; the receiver times out
+               (:class:`~repro.gc.channel.ChannelTimeout`)
+``corrupt``    CRC fails -> :class:`~repro.gc.channel.FrameCorruption`
+``duplicate``  second copy repeats a sequence number -> sequence gap ->
+               :class:`FrameCorruption`
+``reorder``    frame held back and sent after its successor -> sequence
+               gap -> :class:`FrameCorruption`
+``delay``      frame arrives late; harmless unless a deadline expires
+``split``      frame delivered as two chunks; the decoder reassembles —
+               always harmless (exercises the reassembly path)
+``disconnect`` the link is closed mid-stream; the receiver sees EOF
+               (:class:`~repro.gc.channel.ChannelClosed`)
+=============  ==========================================================
+
+Every fired fault is recorded in ``.injected`` so tests can assert the
+schedule actually executed.  Schedules are deterministic: explicit
+:class:`FaultRule` lists, or :meth:`FaultPlan.random` which derives
+rules from a seed (same seed -> same faults, run after run).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .frame import frame_tag
+from .links import Link, LinkClosed
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault.
+
+    Matches either by global frame index (``frame_index``) or by
+    protocol tag plus occurrence (``tag``/``occurrence``: the Nth
+    frame carrying that tag, 0-based).  Each rule fires exactly once.
+    """
+
+    action: str
+    tag: Optional[str] = None
+    occurrence: int = 0
+    frame_index: Optional[int] = None
+    #: Seconds to sleep for ``delay``.
+    delay: float = 0.05
+
+    _ACTIONS = (
+        "drop",
+        "corrupt",
+        "duplicate",
+        "reorder",
+        "delay",
+        "split",
+        "disconnect",
+    )
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    def matches(self, index: int, tag: str, occurrence: int) -> bool:
+        if self.frame_index is not None:
+            return index == self.frame_index
+        if self.tag is not None:
+            return tag == self.tag and occurrence == self.occurrence
+        return occurrence == self.occurrence  # any tag
+
+
+@dataclass
+class InjectedFault:
+    """Record of one fault that actually fired."""
+
+    action: str
+    frame_index: int
+    tag: str
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults for one connection."""
+
+    rules: List[FaultRule] = field(default_factory=list)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_faults: int = 3,
+        actions: Sequence[str] = ("delay", "split", "duplicate", "corrupt", "drop"),
+        max_frame: int = 60,
+    ) -> "FaultPlan":
+        """Derive a reproducible schedule from a seed: same seed, same
+        faults, run after run (frame emission is deterministic)."""
+        rng = random.Random(seed)
+        indices = rng.sample(range(max_frame), min(n_faults, max_frame))
+        return cls(
+            rules=[
+                FaultRule(action=rng.choice(list(actions)), frame_index=i)
+                for i in sorted(indices)
+            ]
+        )
+
+
+class FaultyTransport(Link):
+    """A link whose send path misbehaves on schedule.
+
+    Wraps the *sender's* link half: the framed transport emits one
+    frame per ``send_bytes`` call, so this is exactly frame
+    granularity.  Consumed rules are recorded in ``.injected``.
+    """
+
+    def __init__(self, inner: Link, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._rules = list(plan.rules)
+        self.injected: List[InjectedFault] = []
+        self._frame_index = 0
+        self._tag_counts: dict = {}
+        #: Frame parked by a ``reorder`` rule, sent after its successor.
+        self._held: Optional[Tuple[bytes, int, str]] = None
+
+    def _take_rule(self, index: int, tag: str, occ: int) -> Optional[FaultRule]:
+        for i, rule in enumerate(self._rules):
+            if rule.matches(index, tag, occ):
+                return self._rules.pop(i)
+        return None
+
+    def send_bytes(self, data: bytes) -> None:
+        tag = frame_tag(data)
+        index = self._frame_index
+        self._frame_index += 1
+        occ = self._tag_counts.get(tag, 0)
+        self._tag_counts[tag] = occ + 1
+
+        rule = self._take_rule(index, tag, occ)
+        if rule is None:
+            self._inner.send_bytes(data)
+            self._release_held()
+            return
+
+        self.injected.append(InjectedFault(rule.action, index, tag))
+        if rule.action == "drop":
+            self._release_held()
+        elif rule.action == "corrupt":
+            # Flip one bit in the CRC trailer: the receiver's integrity
+            # check fails deterministically, whatever the payload.
+            self._inner.send_bytes(data[:-1] + bytes([data[-1] ^ 0x01]))
+            self._release_held()
+        elif rule.action == "duplicate":
+            self._inner.send_bytes(data)
+            self._inner.send_bytes(data)
+            self._release_held()
+        elif rule.action == "reorder":
+            self._held = (data, index, tag)
+        elif rule.action == "delay":
+            time.sleep(rule.delay)
+            self._inner.send_bytes(data)
+            self._release_held()
+        elif rule.action == "split":
+            cut = max(1, len(data) // 2)
+            self._inner.send_bytes(data[:cut])
+            self._inner.send_bytes(data[cut:])
+            self._release_held()
+        elif rule.action == "disconnect":
+            self._inner.close()
+            self._release_held()
+            raise LinkClosed("fault injection: forced disconnect")
+
+    def _release_held(self) -> None:
+        if self._held is not None:
+            held, _, _ = self._held
+            self._held = None
+            self._inner.send_bytes(held)
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        return self._inner.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        self._inner.close()

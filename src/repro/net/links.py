@@ -1,0 +1,138 @@
+"""Byte pipes the framed transport runs over.
+
+A *link* is a bidirectional, ordered, unreliable-at-the-edges byte
+pipe: ``send_bytes`` pushes a chunk toward the peer, ``recv_bytes``
+blocks for the next chunk (any size, any split), ``close`` tears the
+pipe down and wakes a blocked peer with EOF.  TCP sockets are the real
+implementation (:mod:`repro.net.tcp`); the in-memory queue pair here
+lets tests exercise the full frame protocol — including fault
+injection and reconnects — without opening sockets.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional, Tuple
+
+
+class LinkTimeout(Exception):
+    """``recv_bytes`` deadline expired with no data."""
+
+
+class LinkClosed(Exception):
+    """The link was closed locally; no further sends are possible."""
+
+
+class Link:
+    """Abstract byte pipe."""
+
+    def send_bytes(self, data: bytes) -> None:
+        """Push one chunk toward the peer; raises :class:`LinkClosed`
+        after :meth:`close`."""
+        raise NotImplementedError
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        """Next chunk from the peer; ``b""`` means EOF (peer closed).
+
+        Raises :class:`LinkTimeout` when ``timeout`` seconds elapse
+        first.  ``None`` blocks indefinitely.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down; idempotent.  The peer's next recv sees EOF."""
+        raise NotImplementedError
+
+
+_EOF = object()
+
+
+class QueueLink(Link):
+    """In-memory link half built on a pair of chunk queues."""
+
+    def __init__(self, out_q: "queue.Queue", in_q: "queue.Queue") -> None:
+        self._out = out_q
+        self._in = in_q
+        self._closed = False
+        self._peer_eof = False
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._closed:
+            raise LinkClosed("link is closed")
+        self._out.put(bytes(data))
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        if self._closed or self._peer_eof:
+            return b""
+        try:
+            item = self._in.get(timeout=timeout)
+        except queue.Empty:
+            raise LinkTimeout(f"no data within {timeout}s") from None
+        if item is _EOF:
+            self._peer_eof = True
+            return b""
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            # Wake a peer blocked on recv with EOF.
+            self._out.put(_EOF)
+            # Wake ourselves if blocked in another thread.
+            self._in.put(_EOF)
+
+
+def memory_link_pair() -> Tuple[QueueLink, QueueLink]:
+    """Two connected in-memory links (left, right)."""
+    a2b: "queue.Queue" = queue.Queue()
+    b2a: "queue.Queue" = queue.Queue()
+    return QueueLink(a2b, b2a), QueueLink(b2a, a2b)
+
+
+class MemoryRendezvous:
+    """Reconnectable in-memory 'network' for two-party resume tests.
+
+    Mirrors what a TCP listener/dialer pair provides: each side calls
+    :meth:`connect` with its role whenever it (re)connects; the call
+    blocks until the other side arrives, then both get fresh link
+    halves of a new pair.  ``wrap`` optionally decorates each side's
+    link per attempt — this is where tests splice in a
+    :class:`~repro.net.fault.FaultyTransport` for a specific
+    connection attempt.
+    """
+
+    def __init__(self, wrap=None) -> None:
+        #: ``wrap(role, attempt, link) -> link`` decorator or None.
+        self._wrap = wrap
+        self._lock = threading.Condition()
+        self._waiting: dict = {}
+        self.attempts = 0
+
+    def connect(self, role: str, timeout: float = 30.0) -> Link:
+        """Block until the peer also connects; returns this side's link."""
+        with self._lock:
+            if role in self._waiting:
+                raise RuntimeError(f"{role!r} is already waiting to connect")
+            if self._waiting:
+                # Peer is waiting: create the pair and hand both out.
+                (peer_role,) = self._waiting
+                attempt = self.attempts
+                self.attempts += 1
+                left, right = memory_link_pair()
+                mine, theirs = (left, right)
+                if self._wrap is not None:
+                    mine = self._wrap(role, attempt, mine)
+                    theirs = self._wrap(peer_role, attempt, theirs)
+                self._waiting[peer_role] = (attempt, theirs)
+                self._lock.notify_all()
+                return mine
+            self._waiting[role] = None
+            deadline_ok = self._lock.wait_for(
+                lambda: self._waiting.get(role) is not None, timeout=timeout
+            )
+            if not deadline_ok:
+                del self._waiting[role]
+                raise LinkTimeout(f"peer did not connect within {timeout}s")
+            _, link = self._waiting.pop(role)
+            return link

@@ -38,20 +38,21 @@ class TamperingEndpoint:
         self._tag = corrupt_tag
         self.sent = inner.sent
 
-    def send(self, tag, payload, nbytes):
-        if tag == self._tag and tag == "tables" and payload:
+    def send(self, tag, payload):
+        if tag == self._tag and tag == "tables" and payload[0]:
             # Corrupt both halves of every table: the evaluator only
             # consumes a half when the matching permute bit is set, so
             # corrupting one half of one table would go unnoticed with
             # probability 1/2.
-            payload = [
-                (key, tg ^ 0xDEADBEEF, te ^ 0xFEEDFACE)
-                for key, tg, te in payload
-            ]
-        self._inner.send(tag, payload, nbytes)
+            keys, blob = payload
+            payload = (keys, bytes(b ^ 0xA5 for b in blob))
+        self._inner.send(tag, payload)
 
-    def recv(self, tag, timeout=60.0):
-        return self._inner.recv(tag, timeout=timeout)
+    def recv(self, tag, **kw):
+        # Forward the caller's timeout (or absence thereof) unchanged:
+        # imposing our own default here silently overrode the channel's
+        # timeout discipline.
+        return self._inner.recv(tag, **kw)
 
     def abort(self):
         self._inner.abort()
@@ -77,7 +78,7 @@ class TestTampering:
                 payload.append(
                     ("pub", s) if type(s) is int else ("lbl", s[0], s[1])
                 )
-            b_end.send("outputs", payload, 16 * len(payload))
+            b_end.send("outputs", payload)
 
         t = threading.Thread(target=bob_main, daemon=True)
         t.start()
@@ -98,7 +99,7 @@ class TestTampering:
 
     def test_channel_tag_mismatch_raises(self):
         a, b = channel_pair()
-        a.send("tables", [], 0)
+        a.send("tables", ([], b""))
         with pytest.raises(ProtocolDesync, match="expected 'alice-label'"):
             b.recv("alice-label")
         # The desync aborted the peer so it cannot block forever.

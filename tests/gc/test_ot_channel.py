@@ -7,9 +7,11 @@ import pytest
 
 from repro.gc.channel import (
     ChannelClosed,
+    ChannelError,
     ChannelTimeout,
     ProtocolDesync,
     channel_pair,
+    payload_wire_size,
 )
 from repro.gc.ot import OTReceiver, OTSender
 
@@ -17,45 +19,50 @@ from repro.gc.ot import OTReceiver, OTSender
 class TestChannel:
     def test_send_recv_round_trip(self):
         a, b = channel_pair()
-        a.send("x", 123, 16)
+        a.send("x", 123)
         assert b.recv("x") == 123
 
-    def test_byte_accounting(self):
+    def test_byte_accounting_uses_codec_sizes(self):
+        """Counts are the actual encoded size, not a declared one."""
         a, b = channel_pair()
-        a.send("x", b"....", 4)
-        a.send("y", b"........", 8)
-        assert a.sent.payload_bytes == 12
+        a.send("x", b"....")
+        a.send("y", b"........")
+        expect = payload_wire_size(b"....") + payload_wire_size(b"........")
+        assert a.sent.payload_bytes == expect
         assert a.sent.messages == 2
 
     def test_recv_byte_accounting(self):
         a, b = channel_pair()
-        a.send("x", b"....", 4)
+        a.send("x", b"....")
         b.recv("x")
-        assert b.received.payload_bytes == 4
+        assert b.received.payload_bytes == payload_wire_size(b"....")
         assert b.received.messages == 1
 
-    def test_declared_size_must_match_bytes_payload(self):
-        a, _ = channel_pair()
-        with pytest.raises(ValueError, match="declared size"):
-            a.send("x", b"....", 5)
-        with pytest.raises(ValueError, match="declared size"):
-            a.send("x", bytearray(b"abc"), 2)
-        assert a.sent.messages == 0  # nothing was recorded or queued
-
-    def test_structured_payloads_are_not_size_checked(self):
+    def test_structured_payloads_are_priced(self):
+        """Structured payloads cost their encoded size — no declared
+        numbers anywhere, so totals cannot lie."""
         a, b = channel_pair()
-        a.send("x", [1, 2, 3], 96)  # declared wire size, not len()
+        payload = [1, 2, 3]
+        a.send("x", payload)
         assert b.recv("x") == [1, 2, 3]
+        assert a.sent.payload_bytes == payload_wire_size(payload)
+        assert a.sent.payload_bytes > 0
+
+    def test_wire_size_is_deterministic(self):
+        """Same payload, same size — the property the communication
+        benchmarks rely on."""
+        assert payload_wire_size((123, b"ab")) == payload_wire_size((123, b"ab"))
+        assert payload_wire_size(b"\x00" * 16) == payload_wire_size(b"\xff" * 16)
 
     def test_tag_mismatch_raises_desync(self):
         a, b = channel_pair()
-        a.send("x", 1, 1)
+        a.send("x", 1)
         with pytest.raises(ProtocolDesync):
             b.recv("y")
 
     def test_tag_mismatch_aborts_peer(self):
         a, b = channel_pair()
-        a.send("x", 1, 1)
+        a.send("x", 1)
         with pytest.raises(ProtocolDesync):
             b.recv("y")
         # Bob's desync must unblock Alice rather than leave her hung.
@@ -64,7 +71,7 @@ class TestChannel:
 
     def test_desync_is_not_channel_closed(self):
         a, b = channel_pair()
-        a.send("x", 1, 1)
+        a.send("x", 1)
         try:
             b.recv("y")
         except ChannelClosed:  # pragma: no cover - the bug under test
@@ -85,7 +92,7 @@ class TestChannel:
 
         def alice():
             time.sleep(0.05)
-            a.send("x", 7, 1)
+            a.send("x", 7)
 
         t = threading.Thread(target=alice, daemon=True)
         t.start()
@@ -103,9 +110,13 @@ class TestChannel:
         with pytest.raises(ChannelTimeout):
             b.recv("x")
 
-    def test_timeout_is_a_channel_closed(self):
-        """Opt-in timeouts still satisfy except-ChannelClosed callers."""
-        assert issubclass(ChannelTimeout, ChannelClosed)
+    def test_timeout_is_not_a_channel_closed(self):
+        """A timeout means the peer is *late*, not gone: handlers for
+        "peer aborted" must not silently swallow it.  Both remain
+        ChannelErrors for catch-all callers."""
+        assert not issubclass(ChannelTimeout, ChannelClosed)
+        assert issubclass(ChannelTimeout, ChannelError)
+        assert issubclass(ChannelClosed, ChannelError)
 
 
 def run_ots(choices, m_pairs, group="modp512"):
@@ -156,7 +167,7 @@ class TestOT:
 
         def bob():
             b_end.recv("ot-setup")
-            b_end.send("ot-b", 0, 64)  # invalid group element
+            b_end.send("ot-b", bytes(64))  # invalid group element (0)
 
         t = threading.Thread(target=bob, daemon=True)
         t.start()
@@ -164,6 +175,24 @@ class TestOT:
         with pytest.raises(ValueError):
             tx.send(1, 2)
         t.join(timeout=5)
+
+    def test_group_elements_cross_wire_fixed_width(self):
+        """OT traffic must cost the same whatever the random element
+        values — communication totals are part of the benchmark."""
+        a_end, b_end = channel_pair()
+
+        def bob():
+            rx = OTReceiver(b_end, group="modp512")
+            rx.receive(0)
+
+        t = threading.Thread(target=bob, daemon=True)
+        t.start()
+        tx = OTSender(a_end, group="modp512")
+        tx.send(1, 2)
+        t.join(timeout=30)
+        assert not t.is_alive()
+        # setup (64B element) + encrypted pair; b-side: one 64B element.
+        assert b_end.sent.payload_bytes == payload_wire_size(bytes(64))
 
 
 def run_ext_ots(choices, m_pairs, pool_size=32):

@@ -1,0 +1,122 @@
+"""``python -m repro party``: the deployment CLI end to end."""
+
+import json
+import socket
+import threading
+
+from repro.__main__ import main
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _records(captured: str):
+    return [json.loads(line) for line in captured.splitlines() if line.strip()]
+
+
+class TestPartyCli:
+    def test_missing_circuit_lists_registry(self, capsys):
+        assert main(["party", "both", "--transport", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "sum32" in out and "mult8-seq" in out
+
+    def test_memory_transport_runs_both_parties(self, capsys):
+        rc = main(
+            [
+                "party",
+                "both",
+                "--transport",
+                "memory",
+                "--circuit",
+                "sum32",
+                "--value",
+                "1234",
+                "--peer-value",
+                "4321",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        (record,) = _records(capsys.readouterr().out)
+        assert record["value"] == 5555
+        assert record["reconnects"] == 0
+        assert record["garbled_nonxor"] > 0
+
+    def test_role_both_requires_memory_transport(self, capsys):
+        rc = main(["party", "both", "--circuit", "sum32", "--transport", "tcp"])
+        assert rc == 2
+
+    def test_two_tcp_endpoints_agree_with_memory_run(self, capsys):
+        """The README deployment example, in-process: garbler listens,
+        evaluator dials, both print the same decoded value."""
+        port = _free_port()
+        addr = f"127.0.0.1:{port}"
+        box = {}
+
+        def garbler():
+            box["rc"] = main(
+                [
+                    "party",
+                    "garbler",
+                    "--circuit",
+                    "sum32",
+                    "--value",
+                    "1234",
+                    "--listen",
+                    addr,
+                    "--timeout",
+                    "20",
+                    "--json",
+                ]
+            )
+
+        t = threading.Thread(target=garbler, daemon=True)
+        t.start()
+        rc = main(
+            [
+                "party",
+                "evaluator",
+                "--circuit",
+                "sum32",
+                "--value",
+                "4321",
+                "--connect",
+                addr,
+                "--timeout",
+                "20",
+                "--json",
+            ]
+        )
+        t.join(timeout=30)
+        assert rc == 0 and box["rc"] == 0
+
+        by_role = {r["role"]: r for r in _records(capsys.readouterr().out)}
+        assert set(by_role) == {"garbler", "evaluator"}
+        g, e = by_role["garbler"], by_role["evaluator"]
+        assert g["value"] == e["value"] == 5555
+        assert g["outputs"] == e["outputs"]
+        assert g["garbled_nonxor"] == e["garbled_nonxor"]
+        # Matches the in-memory run of the same circuit/inputs.
+        memory_rc = main(
+            [
+                "party",
+                "both",
+                "--transport",
+                "memory",
+                "--circuit",
+                "sum32",
+                "--value",
+                "1234",
+                "--peer-value",
+                "4321",
+                "--json",
+            ]
+        )
+        assert memory_rc == 0
+        (mem,) = _records(capsys.readouterr().out)
+        assert mem["value"] == g["value"]
+        assert mem["garbled_nonxor"] == g["garbled_nonxor"]

@@ -1,0 +1,89 @@
+"""The deterministic binary codec: round trips, sizes, rejection."""
+
+import pytest
+
+from repro.net.codec import CodecError, decode, encode, encoded_size
+
+ROUND_TRIP_CASES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    -128,
+    2**128 - 1,
+    -(2**128),
+    b"",
+    b"\x00" * 16,
+    b"\xff" * 64,
+    "",
+    "tables",
+    "café",
+    [],
+    [1, 2, 3],
+    (0, b"ab", "x"),
+    {"a": 1, "b": [True, None]},
+    [("pub", 1), ("lbl", b"\x01" * 16, 0)],
+    ([3, 7, 11], b"\xab" * 96),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", ROUND_TRIP_CASES, ids=repr)
+    def test_round_trip(self, value):
+        blob = encode(value)
+        assert decode(blob) == value
+
+    def test_nested_structures(self):
+        value = {"k": [(1, b"xy"), (2, b"zw")], "n": None}
+        assert decode(encode(value)) == value
+
+
+class TestDeterminism:
+    def test_same_value_same_bytes(self):
+        v = {"b": [1, b"\x00\x01"], "a": (7, "x")}
+        assert encode(v) == encode(v)
+
+    def test_encoded_size_matches_encode(self):
+        for v in ROUND_TRIP_CASES:
+            assert encoded_size(v) == len(encode(v))
+
+    def test_fixed_width_bytes_cost_is_value_independent(self):
+        """Label material crosses the wire as fixed-width bytes; its
+        cost must not depend on the (random) value."""
+        assert encoded_size(b"\x00" * 16) == encoded_size(b"\xff" * 16)
+
+    def test_int_size_grows_with_magnitude(self):
+        assert encoded_size(1) < encoded_size(2**64) < encoded_size(2**256)
+
+
+class TestRejection:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_input_rejected(self):
+        blob = encode([1, 2, b"abcdef"])
+        with pytest.raises(CodecError):
+            decode(blob[:-3])
+
+    def test_unknown_type_byte_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b"\xfe")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+    def test_unsupported_python_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode(object())
+        with pytest.raises(CodecError):
+            encode(1.5)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(CodecError):
+            encode({1: "x"})

@@ -1,0 +1,253 @@
+"""Cycle-level checkpoint/resume: the session survives mid-run faults
+and reproduces the uninterrupted run bit for bit."""
+
+import threading
+
+import pytest
+
+from repro.bench_circuits import sum_combinational, sum_sequential
+from repro.circuit.bits import int_to_bits
+from repro.core.protocol import (
+    EvaluatorParty,
+    GarblerParty,
+    _expand_bits,
+    run_protocol,
+)
+from repro.gc.channel import ProtocolDesync
+from repro.net.fault import FaultPlan, FaultRule, FaultyTransport
+from repro.net.links import MemoryRendezvous
+from repro.net.session import ResumableSession, net_digest, run_resumable_pair
+
+X, Y = 1234, 4321
+
+
+def _stream(value):
+    return lambda c: [(value >> c) & 1]
+
+
+class TestCleanRun:
+    def test_matches_run_protocol(self):
+        net, cycles = sum_sequential(32)
+        base = run_protocol(net, cycles, alice=_stream(X), bob=_stream(Y))
+        net2, _ = sum_sequential(32)
+        a_res, b_res = run_resumable_pair(
+            net2, cycles, alice=_stream(X), bob=_stream(Y), checkpoint_every=8
+        )
+        assert a_res.value == b_res.value == base.value == (X + Y) & 0xFFFFFFFF
+        assert a_res.outputs == base.outputs
+        assert a_res.stats.garbled_nonxor == base.alice_stats.garbled_nonxor
+        assert a_res.tables_sent == base.tables_sent
+        assert a_res.reconnects == 0 and b_res.reconnects == 0
+
+    def test_checkpoints_land_on_the_grid(self):
+        net, cycles = sum_sequential(32)
+        a_res, _ = run_resumable_pair(
+            net, cycles, alice=_stream(X), bob=_stream(Y), checkpoint_every=8
+        )
+        assert a_res.checkpoint_cycles == [0, 8, 16, 24, 32]
+
+    def test_final_cycle_is_always_checkpointed(self):
+        """A cadence that does not divide the cycle count still
+        checkpoints completion, so finish() is replayable."""
+        net, cycles = sum_sequential(32)
+        a_res, _ = run_resumable_pair(
+            net, cycles, alice=_stream(X), bob=_stream(Y), checkpoint_every=7
+        )
+        assert a_res.checkpoint_cycles[-1] == cycles
+        assert 7 in a_res.checkpoint_cycles
+
+
+class TestMidRunRecovery:
+    def test_seeded_disconnect_resumes_bit_identically(self):
+        """The acceptance scenario: a multi-cycle run, checkpoints
+        every 8 cycles, connection killed mid-stream on a seeded
+        schedule; the parties reconnect, negotiate the last common
+        checkpoint, replay, and finish with the uninterrupted run's
+        outputs and gate counts."""
+        net, cycles = sum_sequential(32)
+        base = run_protocol(net, cycles, alice=_stream(X), bob=_stream(Y))
+
+        net2, _ = sum_sequential(32)
+        wrapped = []
+
+        def wrap(role, attempt, link):
+            # Kill the garbler's 60th frame of the first connection:
+            # deep enough that several checkpoints exist, far from done.
+            if role == "garbler" and attempt == 0:
+                faulty = FaultyTransport(
+                    link, FaultPlan([FaultRule("disconnect", frame_index=60)])
+                )
+                wrapped.append(faulty)
+                return faulty
+            return link
+
+        a_res, b_res = run_resumable_pair(
+            net2,
+            cycles,
+            alice=_stream(X),
+            bob=_stream(Y),
+            checkpoint_every=8,
+            timeout=2.0,
+            wrap=wrap,
+        )
+        assert [f.action for ft in wrapped for f in ft.injected] == ["disconnect"]
+        assert a_res.reconnects + b_res.reconnects >= 1
+
+        assert a_res.value == b_res.value == base.value
+        assert a_res.outputs == base.outputs == b_res.outputs
+        assert a_res.stats.garbled_nonxor == base.alice_stats.garbled_nonxor
+        assert a_res.stats.skipped == base.alice_stats.skipped
+        assert b_res.stats.garbled_nonxor == base.bob_stats.garbled_nonxor
+        assert a_res.tables_sent == base.tables_sent
+        assert a_res.checkpoint_cycles == [0, 8, 16, 24, 32]
+        # Retransmitted traffic is real traffic: byte totals may only
+        # exceed the uninterrupted run's, never shrink.
+        assert a_res.sent.payload_bytes >= base.alice_sent_bytes
+
+    def test_disconnect_on_every_early_attempt_still_finishes(self):
+        """Repeated failures: the first two connections both die; the
+        third completes from the latest surviving checkpoint."""
+        net, cycles = sum_sequential(32)
+        base = run_protocol(net, cycles, alice=_stream(X), bob=_stream(Y))
+
+        net2, _ = sum_sequential(32)
+
+        def wrap(role, attempt, link):
+            if role == "garbler" and attempt < 2:
+                return FaultyTransport(
+                    link,
+                    FaultPlan([FaultRule("disconnect", frame_index=30 + 10 * attempt)]),
+                )
+            return link
+
+        a_res, b_res = run_resumable_pair(
+            net2,
+            cycles,
+            alice=_stream(X),
+            bob=_stream(Y),
+            checkpoint_every=4,
+            timeout=2.0,
+            wrap=wrap,
+        )
+        assert a_res.reconnects >= 2
+        assert a_res.value == base.value
+        assert a_res.stats.garbled_nonxor == base.alice_stats.garbled_nonxor
+
+    def test_exhausted_attempts_propagate_the_failure(self):
+        """When every connection dies, the session gives up loudly
+        instead of looping forever."""
+        from repro.gc.channel import ChannelError
+        from repro.net.links import LinkClosed, LinkTimeout
+
+        net, cycles = sum_combinational(32)
+
+        def wrap(role, attempt, link):
+            if role == "garbler":
+                return FaultyTransport(
+                    link, FaultPlan([FaultRule("disconnect", frame_index=2)])
+                )
+            return link
+
+        with pytest.raises((ChannelError, LinkClosed, LinkTimeout)):
+            run_resumable_pair(
+                net,
+                cycles,
+                alice=int_to_bits(X, 32),
+                bob=int_to_bits(Y, 32),
+                timeout=0.5,
+                max_attempts=2,
+                wrap=wrap,
+            )
+
+
+class TestHandshake:
+    def _sessions(self, a_every=1, b_every=1, b_circuit=None):
+        net_a, cycles = sum_combinational(32)
+        net_b, _ = b_circuit() if b_circuit else sum_combinational(32)
+        garbler = GarblerParty(
+            net_a, cycles, _expand_bits(net_a, "alice", int_to_bits(X, 32), (), cycles)
+        )
+        evaluator = EvaluatorParty(
+            net_b, cycles, _expand_bits(net_b, "bob", int_to_bits(Y, 32), (), cycles)
+        )
+        rv = MemoryRendezvous()
+        a_sess = ResumableSession(
+            garbler,
+            connect=lambda: rv.connect("garbler", timeout=5.0),
+            checkpoint_every=a_every,
+            timeout=2.0,
+            max_attempts=1,
+        )
+        b_sess = ResumableSession(
+            evaluator,
+            connect=lambda: rv.connect("evaluator", timeout=5.0),
+            checkpoint_every=b_every,
+            timeout=2.0,
+            max_attempts=1,
+        )
+        return a_sess, b_sess
+
+    def _run_expect_alice_failure(self, a_sess, b_sess, match):
+        box = {}
+
+        def bob_main():
+            try:
+                box["result"] = b_sess.run()
+            except BaseException as exc:
+                box["error"] = exc
+
+        t = threading.Thread(target=bob_main, daemon=True)
+        t.start()
+        with pytest.raises(ProtocolDesync, match=match):
+            a_sess.run()
+        t.join(timeout=10)
+        assert "result" not in box  # bob must not think it succeeded
+
+    def test_checkpoint_cadence_mismatch_is_fatal(self):
+        """A disagreeing resume grid cannot be reconciled later; it
+        must fail at hello, not desync mid-resume."""
+        a_sess, b_sess = self._sessions(a_every=1, b_every=4)
+        self._run_expect_alice_failure(a_sess, b_sess, "cadence")
+
+    def test_circuit_mismatch_is_fatal(self):
+        from repro.bench_circuits import compare_combinational
+
+        a_sess, b_sess = self._sessions(
+            b_circuit=lambda: compare_combinational(32)
+        )
+        self._run_expect_alice_failure(a_sess, b_sess, "different circuits")
+
+    def test_mismatch_is_not_retried(self):
+        """ProtocolDesync is fatal by design: no reconnect attempts."""
+        a_sess, b_sess = self._sessions(a_every=1, b_every=2)
+        a_sess.max_attempts = 5
+        b_sess.max_attempts = 1
+        box = {}
+
+        def bob_main():
+            try:
+                b_sess.run()
+            except BaseException as exc:
+                box["error"] = exc
+
+        t = threading.Thread(target=bob_main, daemon=True)
+        t.start()
+        with pytest.raises(ProtocolDesync):
+            a_sess.run()
+        t.join(timeout=10)
+        assert a_sess.reconnects == 0
+
+
+class TestNetDigest:
+    def test_digest_separates_circuits_and_cycle_counts(self):
+        from repro.bench_circuits import compare_combinational
+
+        sum_net, sum_cycles = sum_combinational(32)
+        cmp_net, cmp_cycles = compare_combinational(32)
+        assert net_digest(sum_net, sum_cycles) != net_digest(cmp_net, cmp_cycles)
+        assert net_digest(sum_net, sum_cycles) != net_digest(sum_net, sum_cycles + 1)
+
+    def test_digest_is_stable_across_builds(self):
+        n1, c1 = sum_combinational(32)
+        n2, c2 = sum_combinational(32)
+        assert net_digest(n1, c1) == net_digest(n2, c2)
