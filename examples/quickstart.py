@@ -8,19 +8,18 @@ becomes the public input p; the SkipGate engine garbles the processor
 — and because only the addition touches private data, exactly 31
 non-XOR gates are garbled (the paper's Sum 32 result).
 
-The script runs the computation twice:
+The script runs the computation twice through the one front door,
+``repro.api.run``:
 1. count mode — the cost-accounting engine used by the benchmarks;
 2. crypto mode — the *real* two-party protocol (half-gate garbling,
-   oblivious transfers, byte-counted channel) on the same netlist,
+   oblivious transfers, byte-counted channel) on the same program,
    with the two parties in separate threads.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.arm import GarbledMachine
+import repro.api
 from repro.cc import compile_c
-from repro.circuit.bits import pack_words
-from repro.core.protocol import run_protocol
 
 C_SOURCE = """
 void gc_main(const int *a, const int *b, int *c) {
@@ -41,14 +40,12 @@ def main() -> None:
     print("Compiled ARM assembly (the public input p):")
     print(program.asm)
 
-    machine = GarbledMachine(
-        program.words,
-        alice_words=1, bob_words=1, output_words=1, data_words=8,
-        imem_words=32,
-    )
+    inputs = {"alice": [alice_secret], "bob": [bob_secret]}
+    layout = dict(alice_words=1, bob_words=1, output_words=1,
+                  data_words=8, imem_words=32)
 
     # --- count mode -------------------------------------------------------
-    result = machine.run(alice=[alice_secret], bob=[bob_secret])
+    result = repro.api.run(program.words, inputs, machine_config=layout)
     print(f"count mode: c[0] = {result.output_words[0]:,}")
     print(f"  clock cycles garbled : {result.cycles}")
     print(f"  garbled non-XOR gates: {result.garbled_nonxor} "
@@ -58,15 +55,9 @@ def main() -> None:
     assert result.output_words[0] == alice_secret + bob_secret
     assert result.garbled_nonxor == 31
 
-    # --- crypto mode ------------------------------------------------------
-    imem = machine.program + [0] * (32 - len(machine.program))
-    proto = run_protocol(
-        machine.net,
-        cycles=result.cycles,
-        alice_init=pack_words([alice_secret], 32),
-        bob_init=pack_words([bob_secret], 32),
-        public_init=pack_words(imem, 32),
-    )
+    # --- crypto mode: same program, one keyword ---------------------------
+    proto = repro.api.run(program.words, inputs, mode="protocol",
+                          machine_config=layout)
     output = proto.value & 0xFFFFFFFF
     print(f"crypto mode: c[0] = {output:,}")
     print(f"  garbled tables sent  : {proto.tables_sent} "

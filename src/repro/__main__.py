@@ -80,7 +80,8 @@ def cmd_run(args) -> int:
         imem_words=max(32, 1 << (len(words) - 1).bit_length()),
     )
     obs = _make_obs(args)
-    result = machine.run(alice=alice, bob=bob, cycles=args.cycles, obs=obs)
+    result = machine.run(alice=alice, bob=bob, cycles=args.cycles, obs=obs,
+                         engine=args.engine)
     print(f"output memory      : {result.output_words}")
     print(f"cycles garbled     : {result.cycles:,}")
     print(f"garbled non-XOR    : {result.garbled_nonxor:,}")
@@ -133,7 +134,7 @@ def cmd_anatomy(args) -> int:
     from .arm import GarbledMachine
     from .arm.assembler import disassemble_word
     from .circuit.bits import pack_words
-    from .core import CountingBackend, SkipGateEngine
+    from .core import CountingBackend, make_engine
 
     _, words, _ = _load_program(args.program)
     alice = _parse_words(args.alice)
@@ -150,7 +151,7 @@ def cmd_anatomy(args) -> int:
     imem = machine.program + [0] * (
         machine.config.imem_words - len(machine.program)
     )
-    engine = SkipGateEngine(
+    engine = make_engine(
         machine.net, CountingBackend(), public_init=pack_words(imem, 32)
     )
     from .arm.emulator import Emulator
@@ -203,6 +204,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--data-words", type=int, default=128)
     p_run.add_argument("--cycles", type=int, default=None,
                        help="explicit cycle count (secret-PC programs)")
+    p_run.add_argument("--engine", choices=("compiled", "reference"),
+                       default="compiled",
+                       help="SkipGate execution strategy (bit-identical; "
+                            "'reference' is the interpreted engine)")
     p_run.add_argument("--profile", action="store_true",
                        help="print a per-phase wall-clock breakdown")
     p_run.add_argument("--trace", metavar="PATH", default=None,

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.bits import pack_words, unpack_words
-from ..core.run import RunResult, evaluate_with_stats
+from ..core.results import BaseResult
+from ..core.run import RunResult, _evaluate
 from ..core.stats import RunStats
 from .assembler import assemble
 from .cpu import build_cpu
@@ -49,25 +50,24 @@ def _cpu_for(config: MachineConfig):
     return _CPU_CACHE[key]
 
 
-@dataclass
-class MachineResult:
-    """Result of one garbled-processor run."""
+@dataclass(kw_only=True)
+class MachineResult(BaseResult):
+    """Result of one garbled-processor run.
+
+    The shared surface (``outputs``, ``value``, ``stats``, ``timing``,
+    ``garbled_nonxor``) comes from
+    :class:`~repro.core.results.BaseResult`; ``outputs`` are the output
+    memory bits LSB-first and ``value`` their integer recomposition
+    (``output_words`` is the same data as 32-bit words).
+    """
 
     #: Output memory contents (32-bit words).
     output_words: List[int]
     #: Clock cycles garbled.
     cycles: int
-    #: SkipGate statistics; ``stats.garbled_nonxor`` is the paper metric.
-    stats: RunStats
     #: Whether the cycle count is independent of the private inputs
     #: (False means the program has secret-PC regions).
     input_independent_flow: bool
-    #: Phase name -> seconds when the run was profiled (else None).
-    timing: Optional[Dict[str, float]] = None
-
-    @property
-    def garbled_nonxor(self) -> int:
-        return self.stats.garbled_nonxor
 
     @property
     def conventional_nonxor(self) -> int:
@@ -151,6 +151,7 @@ class GarbledMachine:
         check: bool = True,
         max_cycles: int = 200_000,
         obs=None,
+        engine: str = "compiled",
     ) -> MachineResult:
         """Garble/evaluate the processor on the parties' inputs.
 
@@ -158,7 +159,9 @@ class GarbledMachine:
         programs whose control flow depends on secret data; pass the
         public worst case).  With ``check`` the output memory is
         compared against the reference emulator.  ``obs`` enables
-        per-phase timing and per-cycle trace events.
+        per-phase timing and per-cycle trace events.  ``engine``
+        selects the cycle-plan kernel (``"compiled"``, default) or the
+        interpreted engine (``"reference"``); both are bit-identical.
         """
         alice = list(alice)
         bob = list(bob)
@@ -179,13 +182,14 @@ class GarbledMachine:
             self.config.imem_words - len(self.program)
         )
 
-        result: RunResult = evaluate_with_stats(
+        result: RunResult = _evaluate(
             self.net,
             cycles,
             alice_init=pack_words(alice_padded, 32),
             bob_init=pack_words(bob_padded, 32),
             public_init=pack_words(imem, 32),
             obs=obs,
+            engine=engine,
         )
         output_words = unpack_words(result.outputs, 32)
 
@@ -200,6 +204,8 @@ class GarbledMachine:
                 )
 
         return MachineResult(
+            outputs=result.outputs,
+            value=result.value,
             output_words=output_words,
             cycles=cycles,
             stats=result.stats,

@@ -6,16 +6,23 @@ cost statistics and the two-party protocol wrapper.
 
 from .backend import Backend, CountingBackend
 from .engine import MacroContext, SkipGateEngine
+from .plan import CompiledSkipGateEngine, CyclePlan, compile_plan, make_engine
+from .results import BaseResult
 from .run import RunResult, evaluate_with_stats
 from .stats import CycleStats, RunStats
 
 __all__ = [
     "Backend",
+    "BaseResult",
+    "CompiledSkipGateEngine",
     "CountingBackend",
+    "CyclePlan",
     "CycleStats",
     "MacroContext",
     "RunResult",
     "RunStats",
     "SkipGateEngine",
+    "compile_plan",
     "evaluate_with_stats",
+    "make_engine",
 ]

@@ -15,6 +15,12 @@ label algebra:
   :mod:`repro.core.protocol`; they share this interface and run the
   real half-gate protocol over a channel.
 
+Backends are engine-agnostic: the interpreted reference engine and
+the compiled cycle-plan engine (:mod:`repro.core.plan`) issue exactly
+the same ``secret_label`` / ``xor`` / ``garble`` / ``begin_cycle`` /
+``end_cycle`` sequence, so any backend works under either without
+change — the differential tests pin this call-order equivalence.
+
 Free-XOR is modelled exactly: a wire label is the XOR of the base
 labels on its structural path, so two wires carry identical labels if
 and only if the real protocol would produce bit-identical key material

@@ -181,6 +181,10 @@ class SkipGateEngine:
             attribute checks per cycle.
     """
 
+    #: Execution-strategy discriminator (``repro.api`` reports it);
+    #: the cycle-plan subclass overrides with ``"compiled"``.
+    engine_name = "reference"
+
     def __init__(
         self,
         net: Netlist,

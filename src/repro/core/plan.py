@@ -1,0 +1,932 @@
+"""Cycle-plan compiler and batched execution kernel for SkipGate.
+
+The paper's premise is that the *same* processor netlist is garbled
+every clock cycle with only the gate categories changing, yet the
+reference :class:`~repro.core.engine.SkipGateEngine` re-walks Python
+gate objects and re-dispatches per gate every cycle.  This module
+compiles a netlist **once** into a :class:`CyclePlan` — dense parallel
+row arrays (truth table, input indices, output index, fanout) chunked
+into the segments between macro ports, plus per-port static pin
+structure — and runs it with :class:`CompiledSkipGateEngine`, whose
+per-cycle sweep is a tight loop over the preallocated rows.
+
+Three representation changes carry the speedup:
+
+* **Interned wire states.**  The compiled engine's ``state`` list holds
+  only ints: ``>= 0`` is a public bit, ``< 0`` encodes an index into
+  the per-cycle ``_sec`` side table of secret ``(label, flip, origin)``
+  tuples.  The Category-i test for a gate collapses to one branch,
+  ``sa | sb >= 0`` (the sign bit ORs through), instead of two
+  ``type(...) is int`` checks.
+* **Write-time pending pin lists.**  A lazy selector with public select
+  bits must release every statically counted entry pin (the recursive
+  skipping of the paper's Section 3 example); the reference engine
+  re-scans all ``entries x width`` pins per port per cycle.  The plan
+  precomputes, for every wire that feeds selector entry pins, which
+  pending list (and with what pin multiplicity) a secret label landing
+  on that wire must be pushed to.  The per-cycle release scan then
+  touches only the secret pins that actually exist this cycle —
+  usually none — instead of every pin.
+* **Specialized public fast paths** for the macro ports (selector /
+  unit / shifter / memory read / memory write), operating directly on
+  the interned store.  Any case a fast path does not replicate exactly
+  falls back to the *original* ``port.engine_step`` running against a
+  shim that presents the reference engine's attribute surface over the
+  interned store, so secret-path behaviour (dynamic gate records,
+  reduction order, backend call order) is reference-identical by
+  construction.
+
+Statistics, backend call order, garbled-table keys and snapshots are
+bit-identical to the reference engine: snapshots are serialized in the
+reference tuple dialect, so a checkpoint taken by one engine can be
+restored by the other (``repro.net`` sessions rely on this).
+Differential equivalence over every bench circuit and the ARM machine
+is pinned by ``tests/core/test_cycle_plan.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from operator import itemgetter
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.lazy import LazySelectorPort, LazyShifterPort, LazyUnitPort
+from ..circuit.macros import MemReadPort, MemWritePort
+from ..circuit.netlist import ALICE, BOB, Netlist, PUBLIC
+from .engine import MacroContext, SkipGateEngine, WireState
+from .stats import CycleStats
+
+__all__ = ["CyclePlan", "compile_plan", "CompiledSkipGateEngine", "make_engine"]
+
+
+# ---------------------------------------------------------------------------
+# Plan IR
+# ---------------------------------------------------------------------------
+
+
+class _PortPlan:
+    """Static per-port structure shared by every engine instance."""
+
+    __slots__ = ("port", "index", "entry_pin_mult", "out_src_pairs")
+
+    def __init__(self, port, index: int) -> None:
+        self.port = port
+        self.index = index
+        #: Selector only: flattened entry-pin wire -> pin multiplicity.
+        self.entry_pin_mult: Dict[int, int] = {}
+        #: Selector only: per select value, the (out, src) copy pairs.
+        self.out_src_pairs: List[List[Tuple[int, int]]] = []
+        if isinstance(port, LazySelectorPort):
+            for entry in port.entries:
+                for w in entry:
+                    self.entry_pin_mult[w] = self.entry_pin_mult.get(w, 0) + 1
+            self.out_src_pairs = [
+                list(zip(port.out, entry)) for entry in port.entries
+            ]
+
+
+class CyclePlan:
+    """Flattened execution plan of one netlist (immutable, shareable).
+
+    ``pairs`` / ``pairs_final`` are lists of ``(rows, port_plan)``
+    pairs: run the gate rows, then (if not ``None``) the port.  A row
+    is the 5-tuple ``(tt, a, b, out, fanout)``; the ``_final`` variant
+    bakes in the final-cycle fanouts (dead-store elimination).
+
+    ``sweep_fn`` is the generated specialized sweep (built lazily by
+    the first engine over this plan; see :func:`_compile_sweep`).
+    """
+
+    __slots__ = (
+        "net", "pairs", "pairs_final", "n_static_gates", "port_plans",
+        "sweep_fn", "sweep_source",
+    )
+
+    def __init__(self, net: Netlist, static_fanout, final_fanout) -> None:
+        self.net = net
+        self.port_plans = [
+            _PortPlan(p, i) for i, p in enumerate(net.macro_ports)
+        ]
+        tts, gas, gbs, gouts = net.gate_tt, net.gate_a, net.gate_b, net.gate_out
+
+        def build(fanouts):
+            pairs: List[Tuple[list, Optional[_PortPlan]]] = []
+            rows: list = []
+            for entry in net.schedule:
+                if entry >= 0:
+                    rows.append(
+                        (tts[entry], gas[entry], gbs[entry],
+                         gouts[entry], fanouts[entry])
+                    )
+                else:
+                    pairs.append((rows, self.port_plans[-entry - 1]))
+                    rows = []
+            pairs.append((rows, None))
+            return pairs
+
+        self.pairs = build(static_fanout)
+        self.pairs_final = build(final_fanout)
+        self.n_static_gates = net.n_gates
+        self.sweep_fn = None
+        self.sweep_source = None
+
+
+#: One compiled plan per live netlist; netlists are immutable after
+#: validate() so the plan can be shared by every engine over them.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Netlist, CyclePlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _tuple_getter(wires: Sequence[int]):
+    """An ``itemgetter`` that always returns a tuple (width-1 safe)."""
+    if len(wires) == 1:
+        w = wires[0]
+        return lambda seq: (seq[w],)
+    return itemgetter(*wires)
+
+
+def compile_plan(net: Netlist) -> CyclePlan:
+    """Compile (or fetch the cached) :class:`CyclePlan` for ``net``."""
+    plan = _PLAN_CACHE.get(net)
+    if plan is None:
+        net.validate()
+        probe = object.__new__(SkipGateEngine)
+        probe.net = net
+        static = net.static_fanout()
+        final, _ = SkipGateEngine._final_cycle_fanout(probe)
+        plan = CyclePlan(net, static, final)
+        _PLAN_CACHE[net] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Specialized sweep codegen
+# ---------------------------------------------------------------------------
+
+#: Straight-line expression per truth table for known-0/1 operands
+#: (the generic ``(tt >> (a + 2*b)) & 1`` works for all; these are
+#: just faster).  Bit index of a truth table is ``a + 2*b``.
+_TT_EXPR = {
+    0b0000: lambda a, b: "0",
+    0b1111: lambda a, b: "1",
+    0b0110: lambda a, b: f"{a} ^ {b}",            # XOR
+    0b1001: lambda a, b: f"1 ^ {a} ^ {b}",        # XNOR
+    0b1000: lambda a, b: f"{a} & {b}",            # AND
+    0b0111: lambda a, b: f"1 ^ ({a} & {b})",      # NAND
+    0b1110: lambda a, b: f"{a} | {b}",            # OR
+    0b0001: lambda a, b: f"1 ^ ({a} | {b})",      # NOR
+    0b0010: lambda a, b: f"{a} & (1 ^ {b})",      # a AND NOT b
+    0b0100: lambda a, b: f"(1 ^ {a}) & {b}",      # NOT a AND b
+    0b1101: lambda a, b: f"1 ^ ({a} & (1 ^ {b}))",
+    0b1011: lambda a, b: f"1 ^ ((1 ^ {a}) & {b})",
+    0b1010: lambda a, b: f"{a}",                  # BUF a
+    0b0101: lambda a, b: f"1 ^ {a}",              # NOT a
+    0b1100: lambda a, b: f"{b}",                  # BUF b
+    0b0011: lambda a, b: f"1 ^ {b}",              # NOT b
+}
+
+#: Netlists above this gate count keep the interpreted row loop
+#: (codegen compile time would dominate one-shot runs).
+_CODEGEN_GATE_LIMIT = 50_000
+
+
+def _compile_sweep(plan: CyclePlan):
+    """Generate the specialized per-cycle sweep for a plan.
+
+    One straight-line function, one block per plan segment: load the
+    segment's external operands into locals, OR them together — the
+    sign bit survives the OR, so the test ``... >= 0`` holds iff every
+    operand is public — and if so run the whole segment as plain bit
+    arithmetic on locals (every gate is Category i; the generic loop
+    would conclude the same thing one gate at a time).  Any secret
+    operand sends the *whole segment* through ``generic`` (the
+    interpreted row loop), keeping semantics reference-identical.
+
+    Public computation never touches fanout, records or the backend,
+    so the generated body is valid for normal and final cycles alike;
+    the ``pairs`` argument only feeds the generic fallback (whose rows
+    carry the variant's fanouts).
+    """
+    src: List[str] = [
+        "def _sweep(S, pairs, handlers, generic):",
+        "    nsec = 0",
+        "    ndead = 0",
+    ]
+    A = src.append
+    for k, (rows, pp) in enumerate(plan.pairs):
+        if rows:
+            seg_outs = {r[3] for r in rows}
+            loads: List[int] = []
+            seen = set()
+            for tt, a, b, o, f in rows:
+                for w in (a, b):
+                    if w not in seg_outs and w not in seen:
+                        seen.add(w)
+                        loads.append(w)
+            names = {w: f"a{k}_{w}" for w in loads}
+            for i in range(0, len(loads), 8):
+                A("    " + "; ".join(
+                    f"{names[w]} = S[{w}]" for w in loads[i:i + 8]
+                ))
+            if loads:
+                A("    if " + " | ".join(names[w] for w in loads) + " >= 0:")
+            else:  # pragma: no cover - segment reading no wires
+                A("    if 1:")
+            for tt, a, b, o, f in rows:
+                na = names.get(a, f"t{k}_{a}")
+                nb = names.get(b, f"t{k}_{b}")
+                expr = _TT_EXPR[tt](na, nb)
+                A(f"        S[{o}] = t{k}_{o} = {expr}")
+            A("    else:")
+            A(f"        _r = generic(pairs[{k}][0])")
+            A("        nsec += _r[0]; ndead += _r[1]")
+        if pp is not None:
+            A(f"    handlers[{pp.index}]()")
+    A("    return nsec, ndead")
+    source = "\n".join(src)
+    ns: dict = {}
+    exec(compile(source, f"<cycle-plan {plan.net.name}>", "exec"), ns)
+    plan.sweep_source = source
+    plan.sweep_fn = ns["_sweep"]
+    return plan.sweep_fn
+
+
+# ---------------------------------------------------------------------------
+# Shim: reference attribute surface over the interned store
+# ---------------------------------------------------------------------------
+
+
+class _StateProxy:
+    """List-like view of the interned store in the tuple dialect.
+
+    ``__getitem__`` decodes (public int or secret tuple), matching
+    ``SkipGateEngine.state[w]``; ``__setitem__`` encodes and performs
+    the pending-pin pushes the compiled write sites owe.  Original
+    ``engine_step`` code runs unchanged against this view.
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, eng: "CompiledSkipGateEngine") -> None:
+        self._c = eng
+
+    def __getitem__(self, w: int) -> WireState:
+        s = self._c.state[w]
+        return s if s >= 0 else self._c._sec[-s - 1]
+
+    def __setitem__(self, w: int, value: WireState) -> None:
+        eng = self._c
+        if type(value) is int:
+            eng.state[w] = value
+            return
+        sec = eng._sec
+        sec.append(value)
+        eng.state[w] = -len(sec)
+        if value[2] >= 0:
+            pm = eng._push_map[w]
+            if pm is not None:
+                for lst, mult in pm:
+                    if mult == 1:
+                        lst.append(value)
+                    else:
+                        lst.extend((value,) * mult)
+
+
+class _ShimEngine:
+    """What ``MacroContext`` and port code expect an engine to look like.
+
+    Forwards every attribute the macro layer touches to the compiled
+    engine, presenting ``state`` through :class:`_StateProxy`.  This is
+    the correctness anchor of the compiled engine: any port case the
+    specialized handlers decline runs the reference code verbatim here.
+    """
+
+    __slots__ = ("_c", "state")
+
+    def __init__(self, eng: "CompiledSkipGateEngine") -> None:
+        self._c = eng
+        self.state = _StateProxy(eng)
+
+    @property
+    def backend(self):
+        return self._c.backend
+
+    @property
+    def in_final_cycle(self):
+        return self._c.in_final_cycle
+
+    @property
+    def _cs(self):
+        return self._c._cs
+
+    @property
+    def _rec_fanout(self):
+        return self._c._rec_fanout
+
+    @property
+    def _wire_consumers(self):
+        return self._c._wire_consumers
+
+    @property
+    def _final_consumers(self):
+        return self._c._final_consumers
+
+    @property
+    def _deferred(self):
+        return self._c._deferred
+
+    def _reduce(self, origin: int) -> None:
+        self._c._reduce(origin)
+
+    def _process(self, tt, sa, sb, fanout):
+        return self._c._process(tt, sa, sb, fanout)
+
+    def _resolve_init(self, init):
+        return self._c._resolve_init(init)
+
+    def macro_storage(self, macro: object) -> object:
+        return self._c.macro_storage(macro)
+
+
+# ---------------------------------------------------------------------------
+# The compiled engine
+# ---------------------------------------------------------------------------
+
+
+class CompiledSkipGateEngine(SkipGateEngine):
+    """Plan-driven SkipGate engine (drop-in for the reference engine).
+
+    Same constructor, same observable behaviour: outputs, statistics,
+    backend call order, garbled-table keys and snapshots are
+    bit-identical to :class:`~repro.core.engine.SkipGateEngine` on any
+    netlist (pinned by the differential tests).  Only the per-cycle
+    execution strategy differs — see the module docstring.
+    """
+
+    engine_name = "compiled"
+
+    def __init__(self, net, backend=None, public_init=(), obs=None) -> None:
+        super().__init__(net, backend, public_init=public_init, obs=obs)
+        self.plan = compile_plan(net)
+        #: Per-cycle side table of secret (label, flip, origin) tuples;
+        #: state[w] < 0 encodes index ``-state[w] - 1`` into it.  The
+        #: list object is stable for the engine's lifetime (cleared in
+        #: place each cycle) so handler closures can capture it.
+        self._sec: list = []
+        #: wire -> None | [(pending_list, pin_multiplicity), ...]
+        self._push_map: List[Optional[list]] = [None] * net.n_wires
+        self._pending_lists: List[list] = []
+        # Re-encode the reference __init__'s state into the interned
+        # store (secret init labels may already sit on wires).  Done
+        # before handler construction: handlers capture this exact
+        # list object (restore() mutates it in place).
+        self.state = [
+            s if type(s) is int else self._encode_nopush(s) for s in self.state
+        ]
+        self._handlers: List[Callable[[], None]] = []
+        for pp in self.plan.port_plans:
+            self._handlers.append(self._make_handler(pp))
+        if (self.plan.sweep_fn is None
+                and net.n_gates <= _CODEGEN_GATE_LIMIT):
+            _compile_sweep(self.plan)
+        self._sweep = self.plan.sweep_fn
+        self._shim_ctx = MacroContext(_ShimEngine(self))
+
+    # -- interned-store helpers ----------------------------------------------
+
+    def _encode_nopush(self, t: tuple) -> int:
+        sec = self._sec
+        sec.append(t)
+        return -len(sec)
+
+    def _decode(self, s: int) -> WireState:
+        return s if s >= 0 else self._sec[-s - 1]
+
+    def _process_interned(self, tt, sa, sb, fanout, o) -> None:
+        """Decode, run the reference category dispatch, encode + push."""
+        sec = self._sec
+        ta = sa if sa >= 0 else sec[-sa - 1]
+        tb = sb if sb >= 0 else sec[-sb - 1]
+        r = self._process(tt, ta, tb, fanout)
+        if type(r) is int:
+            self.state[o] = r
+            return
+        sec.append(r)
+        self.state[o] = -len(sec)
+        # _process results always carry a fresh record (origin >= 0).
+        pm = self._push_map[o]
+        if pm is not None:
+            for lst, mult in pm:
+                if mult == 1:
+                    lst.append(r)
+                else:
+                    lst.extend((r,) * mult)
+
+    def _generic_segment(self, rows) -> Tuple[int, int]:
+        """Interpreted row loop for one plan segment (sweep fallback)."""
+        state = self.state
+        sec = self._sec
+        PI = self._process_interned
+        reduce = self._reduce
+        nsec = 0
+        ndead = 0
+        for tt, a, b, o, f in rows:
+            sa = state[a]
+            sb = state[b]
+            if sa | sb >= 0:
+                state[o] = (tt >> (sa + 2 * sb)) & 1
+            elif f:
+                nsec += 1
+                PI(tt, sa, sb, f, o)
+            else:
+                ndead += 1
+                if sa < 0:
+                    reduce(sec[-sa - 1][2])
+                if sb < 0:
+                    reduce(sec[-sb - 1][2])
+                state[o] = 0
+        return nsec, ndead
+
+    # -- specialized port handlers -------------------------------------------
+
+    def _make_handler(self, pp: _PortPlan) -> Callable[[], None]:
+        port = pp.port
+        fallback = self._make_fallback(port)
+        if isinstance(port, LazySelectorPort):
+            return self._make_selector_handler(pp, fallback)
+        if isinstance(port, LazyUnitPort):
+            return self._make_unit_handler(port, fallback)
+        if isinstance(port, LazyShifterPort):
+            return self._make_shifter_handler(port, fallback)
+        if isinstance(port, MemReadPort):
+            return self._make_memread_handler(port, fallback)
+        if isinstance(port, MemWritePort):
+            return self._make_memwrite_handler(port, fallback)
+        return fallback
+
+    def _make_fallback(self, port) -> Callable[[], None]:
+        """The reference ``engine_step`` over the shim context."""
+
+        def fallback() -> None:
+            port.engine_step(self._shim_ctx)
+
+        return fallback
+
+    def _make_selector_handler(self, pp: _PortPlan, fallback):
+        port = pp.port
+        sels: List[int] = port.sels
+        entries: List[List[int]] = port.entries
+        pairs_by_idx = pp.out_src_pairs
+        out = port.out
+        o0 = out[0]
+        o1 = o0 + len(out)
+        contig = out == list(range(o0, o1))
+        pending: list = []
+        self._pending_lists.append(pending)
+        for w, mult in pp.entry_pin_mult.items():
+            pm = self._push_map[w]
+            if pm is None:
+                pm = self._push_map[w] = []
+            pm.append((pending, mult))
+        igs = [_tuple_getter(entry) for entry in entries]
+        eng = self
+        S = self.state
+        sec = self._sec
+        push = self._push_map
+
+        def handler() -> None:
+            idx = 0
+            for i, w in enumerate(sels):
+                s = S[w]
+                if s < 0:
+                    fallback()
+                    pending.clear()
+                    return
+                idx |= (s & 1) << i
+            vals = igs[idx](S)
+            if contig and min(vals) >= 0:
+                # Selected entry fully public: plain copy, no credits.
+                S[o0:o1] = vals
+            else:
+                consumers = (
+                    eng._final_consumers if eng.in_final_cycle
+                    else eng._wire_consumers
+                )
+                rf = eng._rec_fanout
+                for (w, src), sv in zip(pairs_by_idx[idx], vals):
+                    if sv < 0:
+                        t = sec[-sv - 1]
+                        if t[2] >= 0:
+                            rf[t[2]] += consumers[w]
+                            pm = push[w]
+                            if pm is not None:
+                                for lst, mult in pm:
+                                    if mult == 1:
+                                        lst.append(t)
+                                    else:
+                                        lst.extend((t,) * mult)
+                    S[w] = sv
+            if pending:
+                reduce = eng._reduce
+                for t in pending:
+                    reduce(t[2])
+                pending.clear()
+
+        return handler
+
+    def _make_unit_handler(self, port: LazyUnitPort, fallback):
+        inputs: List[int] = port.inputs
+        out: List[int] = port.out
+        o0 = out[0]
+        o1 = o0 + len(out)
+        contig = out == list(range(o0, o1))
+        plain_fn = port.macro.plain_fn
+        ig = _tuple_getter(inputs)
+        S = self.state
+
+        def handler() -> None:
+            states = ig(S)
+            if min(states) >= 0:
+                # Reference public path: drive() of a public bit does
+                # no crediting, so plain stores suffice.  Output wires
+                # never feed selector entries of *earlier* ports, and
+                # public stores need no pending pushes.
+                if contig:
+                    S[o0:o1] = [bit & 1 for bit in plain_fn(states)]
+                else:
+                    for w, bit in zip(out, plain_fn(states)):
+                        S[w] = bit & 1
+                return
+            fallback()
+
+        return handler
+
+    def _make_shifter_handler(self, port: LazyShifterPort, fallback):
+        amount_wires: List[int] = port.amount
+        value_wires: List[int] = port.value
+        out: List[int] = port.out
+        macro = port.macro
+        o0 = out[0]
+        o1 = o0 + len(out)
+        contig = out == list(range(o0, o1))
+        # Per public shift amount: (source indices, tuple gatherer) —
+        # None source = constant 0; built on first use (programs
+        # exercise few amounts).  Amount 0 is the identity for every
+        # shift kind, so the gathered pins are reused directly.
+        src_cache: dict = {}
+        ig_pins = _tuple_getter(value_wires)
+        eng = self
+        S = self.state
+        sec = self._sec
+        push = self._push_map
+
+        def handler() -> None:
+            amount = 0
+            for i, w in enumerate(amount_wires):
+                s = S[w]
+                if s < 0:
+                    fallback()
+                    return
+                amount |= (s & 1) << i
+            pin_vals = ig_pins(S)
+            if amount == 0:
+                vals = pin_vals
+            else:
+                cached = src_cache.get(amount)
+                if cached is None:
+                    srcs = [
+                        macro.source_index(i, amount)
+                        for i in range(len(out))
+                    ]
+                    ig2 = (
+                        _tuple_getter(srcs) if None not in srcs else None
+                    )
+                    cached = src_cache[amount] = (srcs, ig2)
+                srcs, ig2 = cached
+                if ig2 is not None:
+                    vals = ig2(pin_vals)
+                else:
+                    vals = [0 if j is None else pin_vals[j] for j in srcs]
+            if contig and min(pin_vals) >= 0:
+                # Every value pin public: plain copy; the pin releases
+                # (including shifted-out bits) are all no-ops.
+                S[o0:o1] = vals
+                return
+            consumers = (
+                eng._final_consumers if eng.in_final_cycle
+                else eng._wire_consumers
+            )
+            rf = eng._rec_fanout
+            for w, sv in zip(out, vals):
+                if sv < 0:
+                    t = sec[-sv - 1]
+                    if t[2] >= 0:
+                        rf[t[2]] += consumers[w]
+                        pm = push[w]
+                        if pm is not None:
+                            for lst, mult in pm:
+                                if mult == 1:
+                                    lst.append(t)
+                                else:
+                                    lst.extend((t,) * mult)
+                S[w] = sv
+            reduce = eng._reduce
+            for sv in pin_vals:
+                if sv < 0:
+                    reduce(sec[-sv - 1][2])
+
+        return handler
+
+    def _make_memread_handler(self, port: MemReadPort, fallback):
+        addr_wires: List[int] = port.addr
+        out: List[int] = port.out
+        o0 = out[0]
+        o1 = o0 + len(out)
+        contig = out == list(range(o0, o1))
+        macro = port.macro
+        mid = id(macro)
+        final_only = port.final_only
+        eng = self
+        S = self.state
+        sec = self._sec
+
+        def handler() -> None:
+            if final_only and not eng.in_final_cycle:
+                return
+            base = 0
+            for i, w in enumerate(addr_wires):
+                s = S[w]
+                if s < 0:
+                    fallback()
+                    return
+                base |= (s & 1) << i
+            # Stored states carry origin -1 (strip() on every write),
+            # so the copy needs no crediting and no pending pushes;
+            # the public address pins release as no-ops.
+            word = eng._macro_store[mid][base]
+            if contig and type(word[0]) is int:
+                try:
+                    if min(word) >= 0:  # TypeError on any secret tuple
+                        S[o0:o1] = word
+                        return
+                except TypeError:
+                    pass
+            for w, s in zip(out, word):
+                if type(s) is int:
+                    S[w] = s
+                else:
+                    sec.append(s)
+                    S[w] = -len(sec)
+
+        return handler
+
+    def _make_memwrite_handler(self, port: MemWritePort, fallback):
+        addr_wires: List[int] = port.addr
+        data_wires: List[int] = port.data
+        wen_wire: int = port.wen
+        macro = port.macro
+        ig_data = _tuple_getter(data_wires)
+        eng = self
+        S = self.state
+        sec = self._sec
+
+        def handler() -> None:
+            if eng.in_final_cycle and not macro.keep_final_writes:
+                fallback()  # dead store: releases every pin
+                return
+            wen = S[wen_wire]
+            if wen == 0:
+                # Publicly disabled: release the addr + data pins.
+                reduce = eng._reduce
+                for w in addr_wires:
+                    s = S[w]
+                    if s < 0:
+                        reduce(sec[-s - 1][2])
+                for w in data_wires:
+                    s = S[w]
+                    if s < 0:
+                        reduce(sec[-s - 1][2])
+                return
+            if wen == 1:
+                base = 0
+                for i, w in enumerate(addr_wires):
+                    s = S[w]
+                    if s < 0:
+                        fallback()  # secret address bit
+                        return
+                    base |= (s & 1) << i
+                # Fully public write: stripped data labels flow into
+                # storage; the statically counted data pins become the
+                # storage pins (not released), public addr pins no-op.
+                new_word: List[WireState] = list(ig_data(S))
+                if min(new_word) < 0:
+                    for i, s in enumerate(new_word):
+                        if s < 0:
+                            t = sec[-s - 1]
+                            new_word[i] = (
+                                t if t[2] < 0 else (t[0], t[1], -1)
+                            )
+                store = eng._macro_store[id(macro)]
+                eng._deferred.append(
+                    lambda: store.__setitem__(base, new_word)
+                )
+                return
+            fallback()  # secret write enable
+
+        return handler
+
+    # -- the compiled cycle ---------------------------------------------------
+
+    def step(self, public_bits: Sequence[int] = (), final: bool = False) -> CycleStats:
+        self.in_final_cycle = final
+        net = self.net
+        state = self.state
+        backend = self.backend
+        cs = CycleStats(cycle=self.cycle)
+        self._cs = cs
+        profiling = self._profiling
+        if profiling:
+            self._garble_seconds = 0.0
+            self._reduce_seconds = 0.0
+            self._macro_seconds = 0.0
+            t_step0 = perf_counter()
+
+        self._rec_fanout = []
+        self._rec_oa = []
+        self._rec_ob = []
+        self._tables = []
+        self._next_key = 0
+        sec = self._sec
+        sec.clear()
+
+        # Prologue: constants, input labels, flip-flop states.  The
+        # backend.secret_label call order matches the reference engine
+        # exactly (the protocol backends perform channel I/O here).
+        state[0] = 0
+        state[1] = 1
+        for role in (ALICE, BOB):
+            for i, w in enumerate(net.inputs[role]):
+                label = backend.secret_label(("in", role, self.cycle, i))
+                sec.append((label, 0, -1))
+                state[w] = -len(sec)
+        pub_wires = net.inputs[PUBLIC]
+        if len(public_bits) != len(pub_wires):
+            raise ValueError(
+                f"expected {len(pub_wires)} public input bits, "
+                f"got {len(public_bits)}"
+            )
+        for w, bit in zip(pub_wires, public_bits):
+            state[w] = bit & 1
+        for ff, s in zip(net.dffs, self._ff_state):
+            if type(s) is int:
+                state[ff.q] = s
+            else:
+                sec.append(s)
+                state[ff.q] = -len(sec)
+
+        backend.begin_cycle(self.cycle)
+
+        # The batched sweep: the generated specialized function when
+        # available, else tight loops over the preallocated row arrays
+        # interleaved with the port handlers.  (Profiling keeps the
+        # interpreted loop so per-port macro time can be attributed.)
+        pairs = self.plan.pairs_final if final else self.plan.pairs
+        handlers = self._handlers
+        if self._sweep is not None and not profiling:
+            n_sec, n_dead = self._sweep(
+                state, pairs, handlers, self._generic_segment
+            )
+        else:
+            generic = self._generic_segment
+            n_sec = 0
+            n_dead = 0
+            for rows, pp in pairs:
+                ns, nd = generic(rows)
+                n_sec += ns
+                n_dead += nd
+                if pp is not None:
+                    if profiling:
+                        t0 = perf_counter()
+                        handlers[pp.index]()
+                        self._macro_seconds += perf_counter() - t0
+                    else:
+                        handlers[pp.index]()
+        cs.cat_i += self.plan.n_static_gates - n_sec - n_dead
+        cs.dead_skipped += n_dead
+
+        # Filter garbled tables whose fanout collapsed (Alg. 4 line 18).
+        kept: List[int] = []
+        dropped: List[int] = []
+        rf = self._rec_fanout
+        for key, rec in self._tables:
+            if rf[rec] > 0:
+                kept.append(key)
+            else:
+                dropped.append(key)
+        cs.tables_filtered = len(dropped)
+        cs.tables_sent = len(kept)
+        backend.end_cycle(kept, dropped)
+
+        for fn in self._deferred:
+            fn()
+        self._deferred.clear()
+        new_ff: List[WireState] = []
+        for ff in net.dffs:
+            s = state[ff.d]
+            if s >= 0:
+                new_ff.append(s)
+            else:
+                t = sec[-s - 1]
+                new_ff.append(t if t[2] < 0 else (t[0], t[1], -1))
+        self._ff_state = new_ff
+
+        if profiling:
+            step_seconds = perf_counter() - t_step0
+            obs = self.obs
+            obs.add_time("step", step_seconds)
+            obs.add_time(
+                self._garble_phase, self._garble_seconds, cs.cat_iv_garbled
+            )
+            obs.add_time("reduce", self._reduce_seconds, cs.reduction_calls)
+            if self._macro_seconds:
+                obs.add_time("macro", self._macro_seconds)
+            obs.event(
+                "cycle",
+                cycle=cs.cycle,
+                seconds=round(step_seconds, 6),
+                garble_seconds=round(self._garble_seconds, 6),
+                reduce_seconds=round(self._reduce_seconds, 6),
+                macro_seconds=round(self._macro_seconds, 6),
+                cat_i=cs.cat_i,
+                cat_ii=cs.cat_ii,
+                cat_iii=cs.cat_iii,
+                cat_iv_xor=cs.cat_iv_xor,
+                cat_iv_garbled=cs.cat_iv_garbled,
+                tables_filtered=cs.tables_filtered,
+                tables_sent=cs.tables_sent,
+                reduction_calls=cs.reduction_calls,
+                dynamic_gates=cs.dynamic_gates,
+                dead_skipped=cs.dead_skipped,
+            )
+
+        self.cycle += 1
+        self.stats.add_cycle(cs)
+        return cs
+
+    # -- checkpoint / resume (reference tuple dialect) ------------------------
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        decode = self._decode
+        snap["state"] = [decode(s) for s in snap["state"]]
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        # Handler closures captured the state/_sec list objects, so
+        # restore mutates them in place rather than rebinding.
+        state_obj = self.state
+        sec_obj = self._sec
+        super().restore(snap)
+        sec_obj.clear()
+        self._sec = sec_obj
+        encoded = [
+            s if type(s) is int else self._encode_nopush(s) for s in self.state
+        ]
+        state_obj[:] = encoded
+        self.state = state_obj
+        for lst in self._pending_lists:
+            lst.clear()
+
+    # -- results ---------------------------------------------------------------
+
+    def output_states(self) -> List[WireState]:
+        committed = {}
+        for ffi, ff in enumerate(self.net.dffs):
+            committed[ff.q] = self._ff_state[ffi]
+        decode = self._decode
+        out = []
+        for w in self.net.outputs:
+            if w in committed:
+                out.append(committed[w])
+            else:
+                out.append(decode(self.state[w]))
+        return out
+
+
+def make_engine(
+    net: Netlist,
+    backend=None,
+    public_init: Sequence[int] = (),
+    obs=None,
+    engine: str = "compiled",
+) -> SkipGateEngine:
+    """Build a SkipGate engine: ``"compiled"`` (default) or ``"reference"``."""
+    if engine == "compiled":
+        return CompiledSkipGateEngine(
+            net, backend, public_init=public_init, obs=obs
+        )
+    if engine == "reference":
+        return SkipGateEngine(net, backend, public_init=public_init, obs=obs)
+    raise ValueError(f"unknown engine {engine!r} (use 'compiled' or 'reference')")

@@ -42,7 +42,9 @@ absent from Bob's batch and he substitutes a flagged dummy label
 
 from __future__ import annotations
 
+import random
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -62,6 +64,8 @@ from ..gc.ot_extension import OTExtensionReceiver, OTExtensionSender
 from ..obs import NULL_OBS, timing_summary
 from .backend import Backend
 from .engine import SkipGateEngine
+from .plan import make_engine
+from .results import BaseResult
 from .stats import RunStats
 
 BitSource = Union[Sequence[int], "callable"]
@@ -274,6 +278,7 @@ class _Party:
         ot: str = "simplest",
         rng=None,
         obs=None,
+        engine: str = "compiled",
     ) -> None:
         self.net = net
         self.cycles = cycles
@@ -283,6 +288,7 @@ class _Party:
         self._ot_group = ot_group
         self._ot_kind = ot
         self._rng = rng
+        self._engine_kind = engine
         self.obs = NULL_OBS if obs is None else obs
         self.chan: Optional[Endpoint] = None
         self.backend = None
@@ -296,11 +302,12 @@ class _Party:
         self.chan = chan
         if self.backend is None:
             self.backend = self._make_backend(chan)
-            self.engine = SkipGateEngine(
+            self.engine = make_engine(
                 self.net,
                 self.backend,
                 public_init=self._public_init,
                 obs=self.obs,
+                engine=self._engine_kind,
             )
         else:
             self.backend.rebind(chan)
@@ -432,12 +439,15 @@ class EvaluatorParty(_Party):
         return result
 
 
-@dataclass
-class ProtocolResult:
-    """Everything the harness wants to know about a protocol run."""
+@dataclass(kw_only=True)
+class ProtocolResult(BaseResult):
+    """Everything the harness wants to know about a protocol run.
 
-    outputs: List[int]
-    value: int
+    The shared surface (``outputs``, ``value``, ``stats``, ``timing``,
+    ``garbled_nonxor``) comes from :class:`~repro.core.results.BaseResult`;
+    ``stats`` is the garbler's view, bit-identical to ``bob_stats``.
+    """
+
     alice_stats: RunStats
     bob_stats: RunStats
     tables_sent: int
@@ -446,8 +456,6 @@ class ProtocolResult:
     #: Seconds each party spent blocked on ``recv`` (pipelining slack).
     alice_wait_seconds: float = 0.0
     bob_wait_seconds: float = 0.0
-    #: Phase name -> seconds when the run was profiled (else None).
-    timing: Optional[Dict[str, float]] = None
 
 
 def _expand_bits(
@@ -479,13 +487,18 @@ def make_parties(
     ot_group: str = "modp512",
     ot: str = "simplest",
     obs=None,
+    engine: str = "compiled",
+    seed: Optional[int] = None,
 ) -> Tuple[GarblerParty, EvaluatorParty]:
     """Build the two party objects for one protocol run.
 
-    Convenience used by :func:`run_protocol` and the tests; real
+    Convenience used by the in-process runners and the tests; real
     two-process deployments construct only their own side (each party
-    needs only its own private bits).
+    needs only its own private bits).  ``seed`` makes label generation
+    deterministic (testing); the default draws from the OS.
     """
+    a_rng = random.Random(seed) if seed is not None else None
+    b_rng = random.Random(seed + 1) if seed is not None else None
     return (
         GarblerParty(
             net,
@@ -495,7 +508,9 @@ def make_parties(
             public_init=public_init,
             ot_group=ot_group,
             ot=ot,
+            rng=a_rng,
             obs=obs,
+            engine=engine,
         ),
         EvaluatorParty(
             net,
@@ -505,12 +520,14 @@ def make_parties(
             public_init=public_init,
             ot_group=ot_group,
             ot=ot,
+            rng=b_rng,
             obs=obs,
+            engine=engine,
         ),
     )
 
 
-def run_protocol(
+def _run_protocol(
     net: Netlist,
     cycles: int,
     alice: Sequence[int] = (),
@@ -523,6 +540,8 @@ def run_protocol(
     ot: str = "simplest",
     timeout: Optional[float] = None,
     obs=None,
+    engine: str = "compiled",
+    seed: Optional[int] = None,
 ) -> ProtocolResult:
     """Run the full two-party protocol and return the decoded output.
 
@@ -559,6 +578,8 @@ def run_protocol(
         ot_group=ot_group,
         ot=ot,
         obs=obs,
+        engine=engine,
+        seed=seed,
     )
 
     bob_box: dict = {}
@@ -596,6 +617,7 @@ def run_protocol(
     return ProtocolResult(
         outputs=outputs,
         value=bits_to_int(outputs),
+        stats=alice_stats,
         alice_stats=alice_stats,
         bob_stats=bob_box["stats"],
         tables_sent=a_party.backend.tables_sent,
@@ -604,4 +626,50 @@ def run_protocol(
         alice_wait_seconds=a_end.received.wait_seconds,
         bob_wait_seconds=b_end.received.wait_seconds,
         timing=timing_summary(obs) if obs.enabled else None,
+    )
+
+
+def run_protocol(
+    net: Netlist,
+    cycles: int,
+    alice: Sequence[int] = (),
+    bob: Sequence[int] = (),
+    public: Sequence[int] = (),
+    alice_init: Sequence[int] = (),
+    bob_init: Sequence[int] = (),
+    public_init: Sequence[int] = (),
+    ot_group: str = "modp512",
+    ot: str = "simplest",
+    timeout: Optional[float] = None,
+    obs=None,
+    engine: str = "compiled",
+    seed: Optional[int] = None,
+) -> ProtocolResult:
+    """Deprecated alias of :func:`repro.api.run` with ``mode="protocol"``."""
+    warnings.warn(
+        "run_protocol is deprecated; use repro.api.run(net, inputs, "
+        "mode='protocol')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import api
+
+    return api.run(
+        net,
+        {
+            "alice": alice,
+            "bob": bob,
+            "public": public,
+            "alice_init": alice_init,
+            "bob_init": bob_init,
+            "public_init": public_init,
+        },
+        mode="protocol",
+        engine=engine,
+        cycles=cycles,
+        seed=seed,
+        obs=obs,
+        ot=ot,
+        ot_group=ot_group,
+        timeout=timeout,
     )

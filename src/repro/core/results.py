@@ -1,0 +1,47 @@
+"""Shared result surface of the three run entrypoints.
+
+``repro.api.run`` can return a local counting run, a garbled-machine
+run or a full two-party protocol run; :class:`BaseResult` pins the
+common surface every one of them exposes — ``outputs`` (bits, LSB
+first), ``value`` (the bits as an unsigned integer), ``stats`` (the
+:class:`~repro.core.stats.RunStats` with the paper's cost metric),
+``timing`` (phase -> seconds when profiled, else ``None``) and the
+``garbled_nonxor`` headline number — so callers can switch execution
+modes without touching their result handling.
+
+The concrete classes (:class:`~repro.core.run.RunResult`,
+:class:`~repro.arm.machine.MachineResult`,
+:class:`~repro.core.protocol.ProtocolResult`) extend it with their
+mode-specific fields.  All are keyword-only dataclasses: field order
+is an implementation detail, names are the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .stats import RunStats
+
+__all__ = ["BaseResult"]
+
+
+@dataclass(kw_only=True)
+class BaseResult:
+    """What every run result answers: outputs, value, stats, timing."""
+
+    #: Output bits, LSB first.
+    outputs: List[int]
+    #: Outputs recomposed as an unsigned integer.
+    value: int
+    #: SkipGate cost statistics (the paper's metric lives here).  For
+    #: protocol runs this is the garbler's view; the evaluator's
+    #: bit-identical copy is on the subclass.
+    stats: RunStats
+    #: Phase name -> seconds when the run was profiled (else None).
+    timing: Optional[Dict[str, float]] = None
+
+    @property
+    def garbled_nonxor(self) -> int:
+        """Garbled non-XOR gates with SkipGate (the headline number)."""
+        return self.stats.garbled_nonxor

@@ -1,7 +1,8 @@
-"""Convenience entry point: evaluate a netlist and count garbling cost.
+"""Local (counting-backend) evaluation of a netlist.
 
-:func:`evaluate_with_stats` is the one-stop API used by the benchmark
-harness and most tests.  It runs two things side by side:
+:func:`repro.api.run` with ``mode="local"`` — the one-stop API used by
+the benchmark harness and most tests — lands here.  It runs two things
+side by side:
 
 * the **SkipGate engine** with a :class:`CountingBackend`, which sees
   only public information (public inputs, public initializers, the
@@ -15,48 +16,65 @@ hence the cost) cannot depend on private data, because the engine is
 never given any.  The engine's public output bits are cross-checked
 against the simulator, which would catch any divergence between the
 two models.
+
+:func:`evaluate_with_stats` is the legacy spelling of this entrypoint;
+it forwards to :func:`repro.api.run` and emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from ..circuit.bits import bits_to_int
 from ..circuit.netlist import ALICE, BOB, Netlist, PUBLIC
 from ..circuit.simulate import PlainSimulator
 from ..obs import timing_summary
 from .backend import CountingBackend
-from .engine import SkipGateEngine
-from .stats import RunStats
+from .plan import make_engine
+from .results import BaseResult
 
 BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
+
+
+class _MemoSource:
+    """Wrap a callable bit source so each cycle's row is computed once.
+
+    The engine and the reference simulator both consume the same
+    per-cycle sources; without memoization a callable source would be
+    invoked twice per cycle (and a stateful one would desync the two
+    consumers).
+    """
+
+    __slots__ = ("_fn", "_rows")
+
+    def __init__(self, fn: Callable[[int], Sequence[int]]) -> None:
+        self._fn = fn
+        self._rows: Dict[int, Sequence[int]] = {}
+
+    def __call__(self, cycle: int) -> Sequence[int]:
+        row = self._rows.get(cycle)
+        if row is None:
+            row = self._rows[cycle] = self._fn(cycle)
+        return row
+
+
+def _memoized(source: BitSource) -> BitSource:
+    return _MemoSource(source) if callable(source) else source
 
 
 def _per_cycle(source: BitSource, cycle: int) -> Sequence[int]:
     return source(cycle) if callable(source) else source
 
 
-@dataclass
-class RunResult:
-    """Outputs and garbling statistics of a SkipGate run."""
-
-    #: Output bits (LSB first) from the reference simulation.
-    outputs: List[int]
-    #: Outputs recomposed as an unsigned integer.
-    value: int
-    #: SkipGate cost statistics (the paper's metric lives here).
-    stats: RunStats
-    #: Phase name -> seconds when the run was profiled (else None).
-    timing: Optional[Dict[str, float]] = None
-
-    @property
-    def garbled_nonxor(self) -> int:
-        """Garbled non-XOR gates with SkipGate (the headline number)."""
-        return self.stats.garbled_nonxor
+@dataclass(kw_only=True)
+class RunResult(BaseResult):
+    """Outputs and garbling statistics of a local SkipGate run."""
 
 
-def evaluate_with_stats(
+def _evaluate(
     net: Netlist,
     cycles: int = 1,
     alice: BitSource = (),
@@ -66,9 +84,10 @@ def evaluate_with_stats(
     bob_init: Sequence[int] = (),
     public_init: Sequence[int] = (),
     seed: int = 0x5EED,
-    check_consistency: bool = True,
+    check: bool = True,
     obs=None,
     on_cycle: Optional[Callable[[int], None]] = None,
+    engine: str = "compiled",
 ) -> RunResult:
     """Evaluate ``net`` for ``cycles`` and return outputs plus stats.
 
@@ -76,13 +95,16 @@ def evaluate_with_stats(
         net: the sequential circuit.
         cycles: number of clock cycles to run.
         alice / bob / public: per-cycle input bits for each input role;
-            either a constant bit sequence or ``cycle -> bits``.
+            either a constant bit sequence or ``cycle -> bits``
+            (callables are memoized so each cycle's row is computed
+            exactly once even though both the engine and the simulator
+            consume it).
         alice_init / bob_init / public_init: init vectors referenced by
             flip-flop and memory ``InitSpec`` entries.  ``public_init``
             is the public input ``p`` of the paper.
         seed: deterministic label seed for the counting backend.
-        check_consistency: verify that every output wire the engine
-            resolved as public matches the reference simulation.
+        check: verify that every output wire the engine resolved as
+            public matches the reference simulation.
         obs: optional :class:`repro.obs.Obs` for per-phase timing and
             per-cycle trace events; the default adds no overhead and
             leaves gate counts bit-identical.
@@ -91,14 +113,22 @@ def evaluate_with_stats(
             two-party protocol checkpoints on (:mod:`repro.net.session`),
             so progress reporting and checkpoint cadence line up across
             the ideal and real models.
+        engine: ``"compiled"`` (cycle-plan kernel, the default) or
+            ``"reference"`` (the interpreted engine); both are
+            bit-identical in outputs and statistics.
     """
-    engine = SkipGateEngine(
-        net, CountingBackend(seed), public_init=public_init, obs=obs
+    alice = _memoized(alice)
+    bob = _memoized(bob)
+    public = _memoized(public)
+
+    eng = make_engine(
+        net, CountingBackend(seed), public_init=public_init, obs=obs,
+        engine=engine,
     )
     for i in range(cycles):
-        engine.step(_per_cycle(public, engine.cycle), final=(i == cycles - 1))
+        eng.step(_per_cycle(public, eng.cycle), final=(i == cycles - 1))
         if on_cycle is not None:
-            on_cycle(engine.cycle)
+            on_cycle(eng.cycle)
 
     sim = PlainSimulator(
         net,
@@ -114,8 +144,8 @@ def evaluate_with_stats(
         )
     outputs = sim.outputs()
 
-    if check_consistency:
-        for i, s in enumerate(engine.public_output_bits()):
+    if check:
+        for i, s in enumerate(eng.public_output_bits()):
             if s is not None and s != outputs[i]:
                 raise AssertionError(
                     f"engine public output {i} = {s} disagrees with "
@@ -125,6 +155,56 @@ def evaluate_with_stats(
     return RunResult(
         outputs=outputs,
         value=bits_to_int(outputs),
-        stats=engine.stats,
+        stats=eng.stats,
         timing=timing_summary(obs) if obs is not None and obs.enabled else None,
+    )
+
+
+def evaluate_with_stats(
+    net: Netlist,
+    cycles: int = 1,
+    alice: BitSource = (),
+    bob: BitSource = (),
+    public: BitSource = (),
+    alice_init: Sequence[int] = (),
+    bob_init: Sequence[int] = (),
+    public_init: Sequence[int] = (),
+    seed: int = 0x5EED,
+    check: bool = True,
+    check_consistency: Optional[bool] = None,
+    obs=None,
+    on_cycle: Optional[Callable[[int], None]] = None,
+    engine: str = "compiled",
+) -> RunResult:
+    """Deprecated alias of :func:`repro.api.run` with ``mode="local"``.
+
+    ``check_consistency`` is the legacy spelling of ``check``.
+    """
+    warnings.warn(
+        "evaluate_with_stats is deprecated; use repro.api.run(net, inputs, "
+        "mode='local')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import api
+
+    if check_consistency is not None:
+        check = check_consistency
+    return api.run(
+        net,
+        {
+            "alice": alice,
+            "bob": bob,
+            "public": public,
+            "alice_init": alice_init,
+            "bob_init": bob_init,
+            "public_init": public_init,
+        },
+        mode="local",
+        engine=engine,
+        cycles=cycles,
+        seed=seed,
+        check=check,
+        obs=obs,
+        on_cycle=on_cycle,
     )

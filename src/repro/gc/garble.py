@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..circuit.gates import and_decomposition
-from .hashing import LABEL_MASK, hash_label
+from .hashing import LABEL_MASK, hash_labels
 
 
 def random_label(rng=None) -> int:
@@ -58,20 +58,23 @@ def garble_and(a0: int, b0: int, delta: int, gid: int) -> Tuple[int, GarbledTabl
     """
     j0 = 2 * gid
     j1 = 2 * gid + 1
-    a1 = a0 ^ delta
-    b1 = b0 ^ delta
     pa = a0 & 1
     pb = b0 & 1
+    # The four distinct hash points of one half-gate pair, as a batch
+    # (the straight-line form re-hashed H(a0,j0) and H(b0,j1)).
+    ha0, ha1, hb0, hb1 = hash_labels(
+        ((a0, j0), (a0 ^ delta, j0), (b0, j1), (b0 ^ delta, j1))
+    )
     # Generator half.
-    tg = hash_label(a0, j0) ^ hash_label(a1, j0)
+    tg = ha0 ^ ha1
     if pb:
         tg ^= delta
-    wg0 = hash_label(a0, j0)
+    wg0 = ha0
     if pa:
         wg0 ^= tg
     # Evaluator half.
-    te = hash_label(b0, j1) ^ hash_label(b1, j1) ^ a0
-    we0 = hash_label(b0, j1)
+    te = hb0 ^ hb1 ^ a0
+    we0 = hb0
     if pb:
         we0 ^= te ^ a0
     out0 = (wg0 ^ we0) & LABEL_MASK
@@ -81,8 +84,8 @@ def garble_and(a0: int, b0: int, delta: int, gid: int) -> Tuple[int, GarbledTabl
 def evaluate_and(a: int, b: int, table: GarbledTable, gid: int) -> int:
     """Evaluate a garbled AND gate on held labels ``a`` and ``b``."""
     j0 = 2 * gid
-    j1 = 2 * gid + 1
-    w = hash_label(a, j0) ^ hash_label(b, j1)
+    ha, hb = hash_labels(((a, j0), (b, j0 + 1)))
+    w = ha ^ hb
     if a & 1:
         w ^= table.tg
     if b & 1:

@@ -51,6 +51,30 @@ def hash_label(label: int, tweak: int) -> int:
     return int.from_bytes(hashlib.sha256(data).digest()[:LABEL_BYTES], "little")
 
 
+def hash_labels(pairs) -> list:
+    """Batched ``H`` over ``(label, tweak)`` pairs.
+
+    Produces exactly the same values as :func:`hash_label` on each
+    pair, but in one tight loop with the ``hashlib`` constructor and
+    conversion callables hoisted out, and a single counter update for
+    the whole batch.  The garbling kernel (:mod:`repro.gc.garble`)
+    issues its per-gate hashes through this so each garbled gate is
+    one ``hashlib`` call region instead of interleaved point calls.
+    """
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    nbytes = LABEL_BYTES
+    out = []
+    append = out.append
+    for label, tweak in pairs:
+        data = label.to_bytes(nbytes, "little") + (
+            tweak & 0xFFFFFFFFFFFFFFFF
+        ).to_bytes(8, "little")
+        append(from_bytes(sha256(data).digest()[:nbytes], "little"))
+    HASH_STATS.calls += len(out)
+    return out
+
+
 def kdf_bytes(secret: bytes, context: bytes, nbytes: int) -> bytes:
     """Derive ``nbytes`` of key material (used by the OT layer)."""
     out = b""

@@ -143,10 +143,12 @@ def _emit(args, record: dict) -> None:
 
 
 def run_party(args) -> int:
-    """Entry point for the ``party`` subcommand."""
-    from ..core.protocol import EvaluatorParty, GarblerParty, _expand_bits
-    from .session import ResumableSession, run_resumable_pair
-    from .tcp import TcpDialer, TcpListener
+    """Entry point for the ``party`` subcommand.
+
+    Parses/validates the command line, then delegates the actual run
+    to :func:`repro.api.run` with ``mode="party"``.
+    """
+    from .. import api
 
     registry = _registry()
     if args.circuit not in registry:
@@ -165,11 +167,16 @@ def run_party(args) -> int:
         if args.peer_value is None:
             print("--transport memory needs --peer-value (Bob's operand)")
             return 2
-        a_res, b_res = run_resumable_pair(
+        a_res, b_res = api.run(
             net,
-            cycles,
-            alice=entry.alice_source(args.value, cycles),
-            bob=entry.bob_source(args.peer_value, cycles),
+            {
+                "alice": entry.alice_source(args.value, cycles),
+                "bob": entry.bob_source(args.peer_value, cycles),
+            },
+            mode="party",
+            role="both",
+            engine=args.engine,
+            cycles=cycles,
             ot_group=args.ot_group,
             ot=args.ot,
             checkpoint_every=args.checkpoint_every,
@@ -198,39 +205,31 @@ def run_party(args) -> int:
         if not args.listen:
             print("garbler needs --listen HOST:PORT")
             return 2
-        host, port = _parse_hostport(args.listen)
-        endpoint_factory = TcpListener(host=host, port=port)
-        bits = _expand_bits(
-            net, "alice", entry.alice_source(args.value, cycles), (), cycles
-        )
-        party = GarblerParty(
-            net, cycles, bits, ot_group=args.ot_group, ot=args.ot
-        )
+        inputs = {"alice": entry.alice_source(args.value, cycles)}
+        listen, connect = _parse_hostport(args.listen), None
     else:
         if not args.connect:
             print("evaluator needs --connect HOST:PORT")
             return 2
-        host, port = _parse_hostport(args.connect)
-        endpoint_factory = TcpDialer(host, port)
-        bits = _expand_bits(
-            net, "bob", entry.bob_source(args.value, cycles), (), cycles
-        )
-        party = EvaluatorParty(
-            net, cycles, bits, ot_group=args.ot_group, ot=args.ot
-        )
+        inputs = {"bob": entry.bob_source(args.value, cycles)}
+        listen, connect = None, _parse_hostport(args.connect)
 
-    session = ResumableSession(
-        party,
-        connect=lambda: endpoint_factory.connect(timeout=args.timeout),
-        checkpoint_every=args.checkpoint_every,
+    result = api.run(
+        net,
+        inputs,
+        mode="party",
+        role=args.role,
+        engine=args.engine,
+        cycles=cycles,
+        ot_group=args.ot_group,
+        ot=args.ot,
         timeout=args.timeout,
+        listen=listen,
+        connect=connect,
+        checkpoint_every=args.checkpoint_every,
         max_attempts=max_attempts,
-        heartbeat_interval=args.heartbeat,
+        heartbeat=args.heartbeat,
     )
-    try:
-        result = session.run()
-    finally:
-        endpoint_factory.close()
     record = {
         "circuit": args.circuit,
         "role": args.role,
@@ -280,6 +279,10 @@ def add_party_parser(sub) -> None:
                    help="receive/accept deadline in seconds")
     p.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
                    help="send keepalive frames when idle this long")
+    p.add_argument("--engine", choices=("compiled", "reference"),
+                   default="compiled",
+                   help="SkipGate execution strategy (bit-identical; "
+                        "'reference' is the interpreted engine)")
     p.add_argument("--ot", choices=("simplest", "extension"), default="simplest")
     p.add_argument("--ot-group", choices=("modp512", "modp2048"),
                    default="modp512")

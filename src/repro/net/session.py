@@ -276,13 +276,18 @@ def run_resumable_pair(
     wrap=None,
     heartbeat_interval: Optional[float] = None,
     obs=NULL_OBS,
+    engine: str = "compiled",
 ) -> Tuple[SessionResult, SessionResult]:
     """Run both parties as resumable sessions over an in-memory network.
 
     ``wrap(role, attempt, link) -> link`` is the fault-injection splice
     point: wrap a connection attempt's link in a
     :class:`~repro.net.fault.FaultyTransport` to rehearse failures.
-    Returns ``(garbler_result, evaluator_result)``.
+    ``engine`` selects the SkipGate execution strategy for both
+    parties (``"compiled"`` cycle-plan kernel or ``"reference"``);
+    checkpoints are engine-agnostic, so a session checkpointed by one
+    can resume on the other.  Returns
+    ``(garbler_result, evaluator_result)``.
     """
     from ..core.protocol import make_parties
 
@@ -298,6 +303,7 @@ def run_resumable_pair(
         ot_group=ot_group,
         ot=ot,
         obs=obs,
+        engine=engine,
     )
     rendezvous = MemoryRendezvous(wrap=wrap)
     connect_window = 30.0 if timeout is None else max(timeout, 5.0)

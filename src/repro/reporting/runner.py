@@ -132,7 +132,7 @@ def run_circuit_benchmark(name: str, force: bool = False) -> dict:
     records with/without-SkipGate counts (Table 1 material).
     """
     from ..circuit.bits import int_to_bits, pack_words
-    from ..core import evaluate_with_stats
+    from ..core.run import _evaluate as evaluate_with_stats
     from .. import bench_circuits as BC
 
     rng = random.Random(7)

@@ -1,0 +1,211 @@
+"""Differential equivalence of the compiled cycle-plan engine.
+
+The contract of :class:`repro.core.plan.CompiledSkipGateEngine` is
+bit-identity with the reference engine: same outputs, same RunStats
+(hence identical per-category gate counts and garbled non-XOR
+totals), interchangeable snapshots.  These tests sweep that contract
+over every bench-circuit module, the ARM machine, the crypto
+protocol, and checkpoint/resume through injected transport faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench_circuits as BC
+from repro.arm import GarbledMachine
+from repro.circuit.bits import int_to_bits, pack_words
+from repro.circuit.netlist import PUBLIC
+from repro.core import CountingBackend, SkipGateEngine, make_engine
+from repro.core.plan import CompiledSkipGateEngine, compile_plan
+
+# (name, builder) — one entry per bench_circuits module family.
+CIRCUITS = [
+    ("sum32-seq", lambda: BC.sum_sequential(32)),
+    ("sum32-comb", lambda: BC.sum_combinational(32)),
+    ("compare32-seq", lambda: BC.compare_sequential(32)),
+    ("hamming32-seq", lambda: BC.hamming_sequential(32)),
+    ("hamming32-tree", lambda: BC.hamming_tree(32)),
+    ("mult8-seq", lambda: BC.mult_sequential(8)),
+    ("matrix3x3", lambda: BC.matrix_mult_sequential(3)),
+    ("sha3-256", lambda: BC.sha3_256_sequential(512)),
+    ("aes-128", lambda: BC.aes128_sequential()),
+    ("cordic", lambda: BC.cordic_sequential()),
+]
+
+LDR_PROG = """
+        MOV r0, #0x1000
+        LDR r1, [r0, #0]
+        MOV r0, #0x2000
+        LDR r2, [r0, #0]
+        MOV r3, #0x3000
+loop:   ADD r1, r1, r2
+        EOR r2, r2, r1
+        SUB r1, r1, #1
+        STR r1, [r3, #0]
+        B loop
+"""
+
+
+def _engines(net):
+    ref = SkipGateEngine(net, CountingBackend())
+    cmp_ = CompiledSkipGateEngine(net, CountingBackend())
+    return ref, cmp_
+
+
+def _run(eng, net, cycles):
+    pub = [0] * len(net.inputs[PUBLIC])
+    for i in range(cycles):
+        eng.step(pub, final=(i == cycles - 1))
+    return eng
+
+
+class TestBenchCircuitDifferential:
+    @pytest.mark.parametrize("name,build", CIRCUITS, ids=[n for n, _ in CIRCUITS])
+    def test_outputs_and_stats_bit_identical(self, name, build):
+        net, cycles = build()
+        ref, cmp_ = _engines(net)
+        pub = [0] * len(net.inputs[PUBLIC])
+        for i in range(cycles):
+            final = i == cycles - 1
+            cs_ref = ref.step(pub, final=final)
+            cs_cmp = cmp_.step(pub, final=final)
+            # Per-cycle category counts, not just run totals.
+            assert cs_ref == cs_cmp, f"{name}: cycle {i} stats diverge"
+        assert ref.output_states() == cmp_.output_states()
+        assert ref.stats == cmp_.stats
+        assert ref.stats.garbled_nonxor == cmp_.stats.garbled_nonxor
+
+    def test_plan_is_cached_per_netlist(self):
+        net, _ = BC.sum_sequential(8)
+        assert compile_plan(net) is compile_plan(net)
+
+    def test_make_engine_dispatch(self):
+        net, _ = BC.sum_sequential(8)
+        assert isinstance(make_engine(net), CompiledSkipGateEngine)
+        ref = make_engine(net, engine="reference")
+        assert isinstance(ref, SkipGateEngine)
+        assert not isinstance(ref, CompiledSkipGateEngine)
+        assert ref.engine_name == "reference"
+        assert make_engine(net).engine_name == "compiled"
+        with pytest.raises(ValueError):
+            make_engine(net, engine="turbo")
+
+
+class TestArmDifferential:
+    def test_machine_run_bit_identical(self):
+        m_ref = GarbledMachine(LDR_PROG, alice_words=1, bob_words=1,
+                               output_words=2, data_words=8, imem_words=16)
+        m_cmp = GarbledMachine(LDR_PROG, alice_words=1, bob_words=1,
+                               output_words=2, data_words=8, imem_words=16)
+        ref = m_ref.run(alice=[5], bob=[9], cycles=40, engine="reference")
+        cmp_ = m_cmp.run(alice=[5], bob=[9], cycles=40, engine="compiled")
+        assert ref.output_words == cmp_.output_words
+        assert ref.outputs == cmp_.outputs
+        assert ref.value == cmp_.value
+        assert ref.stats == cmp_.stats
+
+
+class TestSnapshotRestore:
+    def _machine_engine(self, cls, backend=None):
+        m = GarbledMachine(LDR_PROG, alice_words=1, bob_words=1,
+                           output_words=2, data_words=8, imem_words=16)
+        imem = m.program + [0] * (m.config.imem_words - len(m.program))
+        return cls(m.net, backend or CountingBackend(),
+                   public_init=pack_words(imem, 32))
+
+    @pytest.mark.parametrize(
+        "snap_cls,resume_cls",
+        [
+            (CompiledSkipGateEngine, CompiledSkipGateEngine),
+            (SkipGateEngine, CompiledSkipGateEngine),
+            (CompiledSkipGateEngine, SkipGateEngine),
+        ],
+        ids=["compiled-compiled", "reference-compiled", "compiled-reference"],
+    )
+    def test_mid_run_restore_bit_identical(self, snap_cls, resume_cls):
+        # The snapshot carries engine state only; a resuming party keeps
+        # its label backend alive (as ResumableSession does), so the
+        # resumed engine shares the snapshotting engine's backend.
+        cycles, snap_at = 40, 17
+        base = self._machine_engine(SkipGateEngine)
+        _run(base, base.net, cycles)
+
+        backend = CountingBackend()
+        eng = self._machine_engine(snap_cls, backend)
+        for i in range(snap_at):
+            eng.step(final=False)
+        snap = eng.snapshot()
+        resumed = self._machine_engine(resume_cls, backend)
+        resumed.restore(snap)
+        for i in range(snap_at, cycles):
+            resumed.step(final=(i == cycles - 1))
+        assert resumed.output_states() == base.output_states()
+        assert resumed.stats == base.stats
+
+    def test_snapshot_dialect_is_engine_agnostic(self):
+        """Compiled snapshots decode the interned store back to the
+        reference tuple dialect, field for field."""
+        a = self._machine_engine(SkipGateEngine)
+        b = self._machine_engine(CompiledSkipGateEngine)
+        for _ in range(9):
+            a.step()
+            b.step()
+        sa, sb = a.snapshot(), b.snapshot()
+        assert set(sa) == set(sb)
+        for key in sa:
+            assert sa[key] == sb[key], f"snapshot field {key} diverges"
+
+
+class TestProtocolDifferential:
+    def test_crypto_protocol_bit_identical_across_engines(self):
+        from repro.core.protocol import _run_protocol
+
+        net, cycles = BC.sum_combinational(32)
+        x, y = 0xDEAD_BEEF, 0x0BAD_F00D
+        ref = _run_protocol(
+            net, cycles, alice=int_to_bits(x, 32), bob=int_to_bits(y, 32),
+            engine="reference", seed=11,
+        )
+        cmp_ = _run_protocol(
+            net, cycles, alice=int_to_bits(x, 32), bob=int_to_bits(y, 32),
+            engine="compiled", seed=11,
+        )
+        assert ref.value == cmp_.value == (x + y) & 0xFFFFFFFF
+        assert ref.outputs == cmp_.outputs
+        assert ref.stats == cmp_.stats
+        assert ref.alice_stats == cmp_.alice_stats
+        assert ref.bob_stats == cmp_.bob_stats
+        assert ref.tables_sent == cmp_.tables_sent
+
+
+class TestFaultyResume:
+    def test_compiled_engine_resumes_bit_identically_over_faults(self):
+        from repro.net.fault import FaultPlan, FaultRule, FaultyTransport
+        from repro.net.session import run_resumable_pair
+
+        net, cycles = BC.sum_combinational(32)
+        x, y = 0x1234_5678, 0x0F0F_0F0F
+        baseline = run_resumable_pair(
+            net, cycles,
+            alice=int_to_bits(x, 32), bob=int_to_bits(y, 32),
+            timeout=1.0, engine="reference",
+        )
+
+        def wrap(role, attempt, link):
+            if role == "garbler" and attempt == 0:
+                return FaultyTransport(
+                    link, FaultPlan([FaultRule("disconnect", frame_index=5)])
+                )
+            return link
+
+        a_res, b_res = run_resumable_pair(
+            net, cycles,
+            alice=int_to_bits(x, 32), bob=int_to_bits(y, 32),
+            timeout=1.0, wrap=wrap, engine="compiled",
+        )
+        assert a_res.reconnects + b_res.reconnects >= 1
+        assert a_res.value == b_res.value == (x + y) & 0xFFFFFFFF
+        assert a_res.outputs == baseline[0].outputs
+        assert a_res.stats == baseline[0].stats
+        assert b_res.stats == baseline[1].stats
