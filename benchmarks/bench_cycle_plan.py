@@ -10,20 +10,26 @@ the non-XOR count comparison non-trivial.
 Runs under pytest (``pytest benchmarks/bench_cycle_plan.py``) or
 standalone (``python benchmarks/bench_cycle_plan.py``).  Writes a JSON
 artifact (for the CI perf-smoke job) to ``results/cycle_plan_perf.json``
-or ``$CYCLE_PLAN_JSON``.  The assertion threshold defaults to 2x so
-noisy shared CI runners don't flap; the measured ratio on a quiet
-machine is >= 3x and is recorded in the artifact.
+or ``$CYCLE_PLAN_JSON``, plus the flat time-series records to
+``BENCH_cycle_plan.json`` at the repo root (see ``bench_schema``).
+The assertion threshold defaults to 2x so noisy shared CI runners
+don't flap; the measured ratio on a quiet machine is >= 3x and is
+recorded in the artifact.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 
 from repro.arm import GarbledMachine
 from repro.circuit.bits import pack_words
 from repro.core import CountingBackend, make_engine
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_schema import write_bench_records  # noqa: E402
 
 CYCLES = 300
 REPEATS = 5
@@ -114,6 +120,13 @@ def _write_artifact(report: dict) -> str:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+    records = [{"metric": "cycle_plan_speedup",
+                "value": report["speedup"], "unit": "x"}]
+    for name, row in report["workloads"].items():
+        records.append({"metric": f"{name}_compiled_ms_per_cycle",
+                        "value": row["compiled_ms_per_cycle"],
+                        "unit": "ms"})
+    write_bench_records("cycle_plan", records)
     return path
 
 

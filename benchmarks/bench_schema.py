@@ -1,0 +1,66 @@
+"""Shared schema for CI-facing benchmark artifacts.
+
+Every perf benchmark that CI tracks over time writes a
+``BENCH_<name>.json`` file at the repository root: a JSON list of flat
+records, one per headline metric::
+
+    [{"metric": "cycle_plan_speedup", "value": 3.4,
+      "unit": "x", "commit": "abc123..."}, ...]
+
+Keeping the schema this small is deliberate — the perf-smoke job
+uploads the files as artifacts, and a flat ``metric/value/unit/commit``
+row can be appended to any time-series store without per-benchmark
+parsing.  Richer diagnostic detail belongs in the benchmark's own
+``results/*.json`` artifact, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import List, Optional
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def bench_commit() -> str:
+    """Commit id for the records: $GITHUB_SHA in CI, git locally."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def write_bench_records(
+    name: str,
+    records: List[dict],
+    commit: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    Each record must carry ``metric``, ``value`` and ``unit``; the
+    commit id is stamped onto every record here so callers can't
+    forget it.
+    """
+    commit = commit or bench_commit()
+    rows = []
+    for rec in records:
+        missing = {"metric", "value", "unit"} - set(rec)
+        if missing:
+            raise ValueError(f"bench record missing {sorted(missing)}: {rec}")
+        rows.append({**rec, "commit": commit})
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    return path

@@ -1,0 +1,183 @@
+"""Session throughput of ``repro.serve`` vs sequential one-shot runs.
+
+The serve tentpole claim: a long-lived garbling server amortises
+process startup, netlist construction and cycle-plan compilation
+across sessions, so running N evaluator sessions against one
+:class:`~repro.serve.server.GarbleServer` is at least 2x the
+sessions/sec of running the same N sessions sequentially through
+``python -m repro party`` (one fresh process per session — exactly
+what a deployment without the serve layer would do).  Outputs and
+non-XOR gate counts must be bit-identical between the two paths.
+
+Measures sessions/sec and p50/p95 session latency at 1, 4 and 16
+concurrent clients.  Runs under pytest
+(``pytest benchmarks/bench_serve_throughput.py``) or standalone
+(``python benchmarks/bench_serve_throughput.py``).  Writes the
+detailed report to ``results/serve_perf.json`` (or ``$SERVE_JSON``)
+and the flat time-series records to ``BENCH_serve.json`` at the repo
+root (see ``bench_schema``).  The assertion gate defaults to 2x
+(``$SERVE_MIN_SPEEDUP``) so noisy shared CI runners don't flap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.serve import make_server, run_loadgen
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_schema import REPO_ROOT, write_bench_records  # noqa: E402
+
+CIRCUIT = "sum32"
+SERVER_VALUE = 5555
+BASE_VALUE = 1000
+SEQ_SESSIONS = 4
+CLIENT_LEVELS = (1, 4, 16)
+MIN_SPEEDUP = float(os.environ.get("SERVE_MIN_SPEEDUP", "2.0"))
+
+
+def _sequential_baseline() -> dict:
+    """Run SEQ_SESSIONS fresh-process sessions back to back.
+
+    Each ``python -m repro party both`` invocation pays interpreter
+    startup, netlist build and plan compile — the per-session fixed
+    cost the serve layer exists to amortise.  The in-memory transport
+    keeps the baseline *conservative*: it skips TCP entirely, which
+    only narrows the measured gap.
+    """
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    records = {}
+    t0 = time.perf_counter()
+    for i in range(SEQ_SESSIONS):
+        value = BASE_VALUE + i
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "party", "both",
+             "--transport", "memory", "--circuit", CIRCUIT,
+             "--value", str(SERVER_VALUE), "--peer-value", str(value),
+             "--json"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert proc.returncode == 0, f"baseline session failed: {proc.stderr}"
+        records[value] = json.loads(proc.stdout)
+    wall = time.perf_counter() - t0
+    return {
+        "sessions": SEQ_SESSIONS,
+        "wall_seconds": wall,
+        "sessions_per_sec": SEQ_SESSIONS / wall,
+        "records": records,
+    }
+
+
+def _serve_levels() -> dict:
+    """Loadgen runs at each concurrency level against one server."""
+    levels = {}
+    with make_server(
+        [CIRCUIT], value=SERVER_VALUE, workers=4,
+        queue_depth=32, port=0,
+    ) as srv:
+        for clients in CLIENT_LEVELS:
+            # Reuse the baseline's operand set so every serve session
+            # has a fresh-process twin to compare against bit-for-bit.
+            values = [BASE_VALUE + (i % SEQ_SESSIONS)
+                      for i in range(clients)]
+            report = run_loadgen(
+                srv.host, srv.port, CIRCUIT, clients,
+                values=values, server_value=SERVER_VALUE,
+            )
+            assert report.failed == 0 and report.busy == 0, (
+                f"{clients} clients: {report.to_record()}"
+            )
+            assert not report.verify_errors, report.verify_errors
+            levels[clients] = report
+    return levels
+
+
+def measure() -> dict:
+    baseline = _sequential_baseline()
+    levels = _serve_levels()
+
+    # Bit-identity: every serve session must match the fresh-process
+    # run of the same operand pair (outputs AND gate counts).
+    for clients, report in levels.items():
+        for o in report.outcomes:
+            ref = baseline["records"][o.value]
+            got = "".join(str(b) for b in o.outputs)
+            assert got == ref["outputs"], (
+                f"{clients} clients, value {o.value}: outputs diverge "
+                f"from the sequential baseline"
+            )
+            assert o.garbled_nonxor == ref["garbled_nonxor"], (
+                f"{clients} clients, value {o.value}: gate count "
+                f"{o.garbled_nonxor} != baseline {ref['garbled_nonxor']}"
+            )
+
+    report = {
+        "circuit": CIRCUIT,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "sequential": {
+            "sessions": baseline["sessions"],
+            "wall_seconds": round(baseline["wall_seconds"], 4),
+            "sessions_per_sec": round(baseline["sessions_per_sec"], 3),
+        },
+        "serve": {
+            str(clients): lg.to_record() for clients, lg in levels.items()
+        },
+    }
+    report["speedup_4_clients"] = round(
+        levels[4].sessions_per_sec / baseline["sessions_per_sec"], 2
+    )
+    return report
+
+
+def _write_artifacts(report: dict) -> str:
+    path = os.environ.get("SERVE_JSON")
+    if path is None:
+        results = os.path.join(REPO_ROOT, "results")
+        os.makedirs(results, exist_ok=True)
+        path = os.path.join(results, "serve_perf.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    records = [{"metric": "serve_speedup_4_clients",
+                "value": report["speedup_4_clients"], "unit": "x"}]
+    for clients, row in report["serve"].items():
+        records.append({
+            "metric": f"serve_sessions_per_sec_{clients}_clients",
+            "value": row["sessions_per_sec"], "unit": "sessions/s",
+        })
+        records.append({
+            "metric": f"serve_p95_seconds_{clients}_clients",
+            "value": row["p95_seconds"], "unit": "s",
+        })
+    write_bench_records("serve", records)
+    return path
+
+
+def test_serve_throughput_speedup():
+    report = measure()
+    path = _write_artifacts(report)
+    seq = report["sequential"]
+    print(f"\nsequential baseline: {seq['sessions_per_sec']:.2f} "
+          f"sessions/s ({seq['sessions']} fresh-process runs)")
+    for clients, row in report["serve"].items():
+        print(f"serve {clients:>2s} clients: "
+              f"{row['sessions_per_sec']:7.2f} sessions/s  "
+              f"p50 {row['p50_seconds']:.3f}s  p95 {row['p95_seconds']:.3f}s")
+    print(f"speedup at 4 clients: {report['speedup_4_clients']:.2f}x "
+          f"(gate: {MIN_SPEEDUP}x)")
+    print(f"artifact -> {path}")
+    assert report["speedup_4_clients"] >= MIN_SPEEDUP, (
+        f"serve only {report['speedup_4_clients']:.2f}x the sequential "
+        f"baseline at 4 clients (gate: {MIN_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_serve_throughput_speedup()

@@ -103,6 +103,9 @@ def run(
     max_attempts: int = 1,
     heartbeat: Optional[float] = None,
     wrap=None,
+    # serve-mode options
+    workers: int = 4,
+    queue_depth: int = 8,
 ):
     """Run a garbled computation.
 
@@ -117,8 +120,12 @@ def run(
             init-vector bits).
         mode: ``"local"`` (counting backend; outputs from the plain
             simulator), ``"protocol"`` (both crypto parties in-process
-            over the in-memory channel), or ``"party"`` (resumable
-            session(s) over a real transport; see ``role``).
+            over the in-memory channel), ``"party"`` (resumable
+            session(s) over a real transport; see ``role``), or
+            ``"serve"`` (a started multi-session
+            :class:`~repro.serve.server.GarbleServer` garbling this
+            computation for many concurrent evaluators; the caller
+            shuts it down).
         engine: ``"compiled"`` cycle-plan kernel (default) or
             ``"reference"`` interpreted engine — bit-identical results.
         profile: collect per-phase timing into ``result.timing``
@@ -153,6 +160,9 @@ def run(
         ``mode="party"``: one
         :class:`~repro.net.session.SessionResult`, or the
         ``(garbler, evaluator)`` pair for ``role="both"``.
+        ``mode="serve"``: the started
+        :class:`~repro.serve.server.GarbleServer` (listening on
+        ``server.port``; ``workers`` / ``queue_depth`` size the pool).
     """
     obs = _make_obs(profile, obs)
     bits = _split_inputs(inputs)
@@ -217,8 +227,48 @@ def run(
             heartbeat=heartbeat, wrap=wrap,
         )
 
+    if mode == "serve":
+        if is_netlist:
+            net = program_or_netlist
+            run_cycles = cycles if cycles is not None else 1
+        else:
+            net, run_cycles, bits = _program_protocol_args(
+                program_or_netlist, bits, machine_config, cycles
+            )
+        if listen is None:
+            raise ValueError("mode='serve' needs listen=(host, port)")
+        from .obs import NULL_OBS
+        from .serve.server import GarbleServer, ServeProgram
+
+        name = net.name or "default"
+        server = GarbleServer(
+            {
+                name: ServeProgram(
+                    net=net,
+                    cycles=run_cycles,
+                    alice=bits.get("alice", ()),
+                    alice_init=bits.get("alice_init", ()),
+                    public=bits.get("public", ()),
+                    public_init=bits.get("public_init", ()),
+                )
+            },
+            host=listen[0],
+            port=listen[1],
+            workers=workers,
+            queue_depth=queue_depth,
+            checkpoint_every=checkpoint_every,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            ot=ot,
+            ot_group=ot_group,
+            engine=engine,
+            heartbeat=heartbeat,
+            obs=NULL_OBS if obs is None else obs,
+        )
+        return server.start()
+
     raise ValueError(
-        f"unknown mode {mode!r} (use 'local', 'protocol' or 'party')"
+        f"unknown mode {mode!r} (use 'local', 'protocol', 'party' or 'serve')"
     )
 
 

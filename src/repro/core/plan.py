@@ -46,6 +46,7 @@ is pinned by ``tests/core/test_cycle_plan.py``.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from operator import itemgetter
 from time import perf_counter
@@ -138,6 +139,15 @@ _PLAN_CACHE: "weakref.WeakKeyDictionary[Netlist, CyclePlan]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Guards the plan cache and the lazy sweep codegen.  The serve worker
+#: pool compiles concurrently from N session threads; without the lock
+#: two threads can each build (and race the insert of) a plan for the
+#: same netlist, and two engines can race ``_compile_sweep`` on one
+#: shared plan.  Compilation of *different* netlists serializes too —
+#: an acceptable cost, since each netlist compiles exactly once per
+#: process and correctness of the shared cache comes first.
+_PLAN_LOCK = threading.RLock()
+
 
 def _tuple_getter(wires: Sequence[int]):
     """An ``itemgetter`` that always returns a tuple (width-1 safe)."""
@@ -148,16 +158,21 @@ def _tuple_getter(wires: Sequence[int]):
 
 
 def compile_plan(net: Netlist) -> CyclePlan:
-    """Compile (or fetch the cached) :class:`CyclePlan` for ``net``."""
-    plan = _PLAN_CACHE.get(net)
-    if plan is None:
-        net.validate()
-        probe = object.__new__(SkipGateEngine)
-        probe.net = net
-        static = net.static_fanout()
-        final, _ = SkipGateEngine._final_cycle_fanout(probe)
-        plan = CyclePlan(net, static, final)
-        _PLAN_CACHE[net] = plan
+    """Compile (or fetch the cached) :class:`CyclePlan` for ``net``.
+
+    Thread-safe: concurrent callers over the same netlist get the
+    same plan object, compiled exactly once.
+    """
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(net)
+        if plan is None:
+            net.validate()
+            probe = object.__new__(SkipGateEngine)
+            probe.net = net
+            static = net.static_fanout()
+            final, _ = SkipGateEngine._final_cycle_fanout(probe)
+            plan = CyclePlan(net, static, final)
+            _PLAN_CACHE[net] = plan
     return plan
 
 
@@ -390,7 +405,9 @@ class CompiledSkipGateEngine(SkipGateEngine):
             self._handlers.append(self._make_handler(pp))
         if (self.plan.sweep_fn is None
                 and net.n_gates <= _CODEGEN_GATE_LIMIT):
-            _compile_sweep(self.plan)
+            with _PLAN_LOCK:
+                if self.plan.sweep_fn is None:
+                    _compile_sweep(self.plan)
         self._sweep = self.plan.sweep_fn
         self._shim_ctx = MacroContext(_ShimEngine(self))
 

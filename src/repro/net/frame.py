@@ -165,5 +165,16 @@ class FrameDecoder:
         """Bytes buffered waiting for the rest of a frame."""
         return len(self._buf)
 
+    @property
+    def buffered(self) -> bytes:
+        """The undecoded residual buffer.
+
+        The serve handshake reads its control frames with a throwaway
+        decoder, then hands the link (plus whatever bytes of the next
+        frame were already read) to a fresh
+        :class:`~repro.net.transport.FramedEndpoint`.
+        """
+        return bytes(self._buf)
+
     def __iter__(self) -> Iterator[Frame]:  # pragma: no cover - convenience
         return iter(self.feed(b""))

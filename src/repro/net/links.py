@@ -83,6 +83,32 @@ class QueueLink(Link):
             self._in.put(_EOF)
 
 
+class PrefacedLink(Link):
+    """A link whose first ``recv_bytes`` returns already-read bytes.
+
+    A handshake that reads frames straight off a link may buffer the
+    beginning of the *next* protocol frame; wrapping the link with the
+    residue preserves the byte stream for whatever endpoint takes over.
+    """
+
+    def __init__(self, link: Link, preface: bytes = b"") -> None:
+        self._link = link
+        self._preface = bytes(preface)
+
+    def send_bytes(self, data: bytes) -> None:
+        self._link.send_bytes(data)
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        if self._preface:
+            chunk, self._preface = self._preface, b""
+            return chunk
+        return self._link.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        self._preface = b""
+        self._link.close()
+
+
 def memory_link_pair() -> Tuple[QueueLink, QueueLink]:
     """Two connected in-memory links (left, right)."""
     a2b: "queue.Queue" = queue.Queue()

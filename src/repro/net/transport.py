@@ -217,6 +217,15 @@ class FramedEndpoint(Endpoint):
         self._closed = True
         self._hb_stop.set()
         self._link.close()
+        # Join the heartbeat loop so a server churning hundreds of
+        # sessions does not accumulate dying daemon threads.  The stop
+        # event wakes the loop's wait immediately, and the link close
+        # above unwedges a loop blocked mid-send; the timeout is a
+        # last-resort guard against a pathological link.
+        hb = self._hb_thread
+        if hb is not None and hb is not threading.current_thread():
+            hb.join(timeout=5.0)
+            self._hb_thread = None
 
 
 def framed_memory_pair(

@@ -1,0 +1,37 @@
+"""Multi-session garbling service: one long-lived garbler, N sessions.
+
+The serve layer turns the one-shot ``python -m repro party`` garbler
+into a server: a persistent TCP listener, a ``serve-hello`` handshake
+that multiplexes sessions, a bounded worker pool running
+:class:`~repro.core.protocol.GarblerParty` state machines, admission
+control with structured busy rejects, and checkpoint/resume routing so
+a dropped evaluator reconnects to the *same* server and session.  See
+:mod:`repro.serve.server` for the architecture.
+"""
+
+from .handshake import ServeError, ServerBusy
+from .loadgen import LoadgenReport, SessionOutcome, run_loadgen
+from .client import fetch_stats, run_registry_session, run_session
+from .server import (
+    GarbleServer,
+    ServeProgram,
+    ServeStats,
+    make_server,
+    registry_program,
+)
+
+__all__ = [
+    "GarbleServer",
+    "LoadgenReport",
+    "ServeError",
+    "ServeProgram",
+    "ServeStats",
+    "ServerBusy",
+    "SessionOutcome",
+    "fetch_stats",
+    "make_server",
+    "registry_program",
+    "run_loadgen",
+    "run_registry_session",
+    "run_session",
+]

@@ -1,0 +1,197 @@
+"""``python -m repro serve`` / ``python -m repro loadgen``.
+
+Two-terminal deployment of the garbling service::
+
+    # terminal 1 — long-lived garbler serving the registry circuits:
+    python -m repro serve --circuit sum32 --value 1234 \\
+        --listen 127.0.0.1:9200 --workers 4 --queue-depth 8
+
+    # terminal 2 — 4 concurrent verified evaluator sessions:
+    python -m repro loadgen --connect 127.0.0.1:9200 --circuit sum32 \\
+        --clients 4 --server-value 1234
+
+The server prints one ``ready`` line (JSON with the bound port) as
+soon as it accepts, runs until SIGTERM/SIGINT (or ``--max-sessions``),
+drains gracefully, and exits with a final stats record.  The load
+generator exits non-zero if any session failed, was rejected, or
+failed verification — the CI ``serve-smoke`` job is exactly this pair
+of commands.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+from typing import Tuple
+
+
+def _parse_hostport(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _emit(args, record: dict) -> None:
+    if args.json:
+        print(json.dumps(record, sort_keys=True), flush=True)
+        return
+    for k, v in record.items():
+        print(f"{k:20s}: {v}", flush=True)
+
+
+def run_serve(args) -> int:
+    from ..net.cli import circuit_names
+    from ..obs import JsonlSink, Obs
+    from .server import GarbleServer, registry_program
+
+    names = args.circuit or list(circuit_names())
+    programs = {name: registry_program(name, args.value) for name in names}
+    obs = Obs(sink=JsonlSink(args.trace)) if args.trace else None
+    host, port = _parse_hostport(args.listen)
+    server = GarbleServer(
+        programs,
+        host=host,
+        port=port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        checkpoint_every=args.checkpoint_every,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        ot=args.ot,
+        ot_group=args.ot_group,
+        engine=args.engine,
+        heartbeat=args.heartbeat,
+        max_sessions=args.max_sessions,
+        **({"obs": obs} if obs is not None else {}),
+    )
+
+    def _on_signal(signum, frame):
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.start()
+    # The ready line is a machine-readable contract: CI and the bench
+    # wait for it (and read the bound port, crucial with port 0).
+    print(
+        json.dumps(
+            {"event": "ready", "host": server.host, "port": server.port,
+             "programs": sorted(programs), "workers": args.workers,
+             "queue_depth": args.queue_depth},
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    server.serve_forever()
+    if obs is not None:
+        obs.close()
+    record = {"event": "stats"}
+    record.update(server.stats_snapshot())
+    record.pop("sessions", None)
+    _emit(args, record)
+    return 0 if server.stats.failed == 0 else 1
+
+
+def run_loadgen_cmd(args) -> int:
+    from .loadgen import run_loadgen
+
+    host, port = _parse_hostport(args.connect)
+    report = run_loadgen(
+        host,
+        port,
+        args.circuit,
+        clients=args.clients,
+        arrival=args.arrival,
+        interval=args.interval,
+        base_value=args.value_base,
+        server_value=args.server_value,
+        timeout=args.timeout,
+        engine=args.engine,
+        ot=args.ot,
+        ot_group=args.ot_group,
+        verify=not args.no_verify,
+    )
+    _emit(args, report.to_record())
+    if not args.json:
+        for out in report.outcomes:
+            status = "ok" if out.ok else ("busy" if out.busy else "FAILED")
+            extra = f" ({out.error})" if out.error else ""
+            print(f"  {out.session:28s} {status:6s} "
+                  f"{out.seconds * 1e3:8.1f} ms{extra}")
+    bad = report.failed + report.busy + len(report.verify_errors)
+    return 0 if bad == 0 else 1
+
+
+def add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="long-lived multi-session garbling server",
+        description="Serve the garbler side of registry circuits to many "
+        "concurrent evaluator sessions over one TCP listener, with a "
+        "bounded worker pool, admission control and graceful drain on "
+        "SIGTERM.",
+    )
+    p.add_argument("--circuit", action="append", metavar="NAME",
+                   help="registry circuit to serve (repeatable; "
+                        "default: every registry circuit)")
+    p.add_argument("--value", type=lambda s: int(s, 0), default=0,
+                   help="the garbler operand used for every session")
+    p.add_argument("--listen", default="127.0.0.1:9200", metavar="HOST:PORT")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent session workers (default 4)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded accept queue; beyond it new sessions get "
+                        "an immediate structured busy reject (default 8)")
+    p.add_argument("--checkpoint-every", type=int, default=4, metavar="N",
+                   help="checkpoint cadence imposed on every session")
+    p.add_argument("--max-attempts", type=int, default=6,
+                   help="per-session reconnect budget")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="receive deadline / resume window in seconds")
+    p.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                   help="drain and exit after N sessions finished (CI)")
+    p.add_argument("--engine", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--ot", choices=("simplest", "extension"),
+                   default="simplest")
+    p.add_argument("--ot-group", choices=("modp512", "modp2048"),
+                   default="modp512")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write serve/session trace events as JSON lines")
+    p.add_argument("--json", action="store_true",
+                   help="emit the final stats as one JSON record")
+    p.set_defaults(func=run_serve)
+
+
+def add_loadgen_parser(sub) -> None:
+    p = sub.add_parser(
+        "loadgen",
+        help="spawn K verified evaluator clients against a serve instance",
+        description="Run K concurrent evaluator sessions against a running "
+        "`repro serve` server and verify every result; exits non-zero on "
+        "any failed, rejected or unverified session.",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--circuit", default="sum32")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--arrival", choices=("burst", "paced"), default="burst")
+    p.add_argument("--interval", type=float, default=0.05,
+                   help="inter-arrival gap for --arrival paced (seconds)")
+    p.add_argument("--value-base", type=lambda s: int(s, 0), default=1000,
+                   help="client i uses operand value-base + i")
+    p.add_argument("--server-value", type=lambda s: int(s, 0), default=None,
+                   help="the server's --value; arms full result "
+                        "verification against the local simulator")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--engine", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--ot", choices=("simplest", "extension"),
+                   default="simplest")
+    p.add_argument("--ot-group", choices=("modp512", "modp2048"),
+                   default="modp512")
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=run_loadgen_cmd)

@@ -1,0 +1,210 @@
+"""Evaluator-side client of a :class:`~repro.serve.server.GarbleServer`.
+
+:func:`run_session` runs one full evaluator session against a serving
+garbler: dial, ``serve-hello`` handshake (program + session id), then
+the ordinary resumable protocol session.  The server's welcome is
+authoritative for the cycle count and checkpoint cadence, so a client
+only needs the circuit structure (for the digest handshake) and its
+own private bits.  On a dropped connection the session redials the
+*same* server with the *same* session id; the server routes the fresh
+link to the live worker and both sides resume from the last common
+checkpoint.
+
+:func:`fetch_stats` is the one-shot stats probe
+(``op: "stats"`` hello), used by the CLI and the load generator.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Callable, Optional, Sequence, Union
+
+from ..circuit.netlist import Netlist
+from ..core.protocol import EvaluatorParty, _expand_bits
+from ..net.links import Link, PrefacedLink
+from ..net.session import ResumableSession, SessionResult
+from ..net.tcp import connect_with_backoff
+from ..obs import NULL_OBS
+from .handshake import (
+    HELLO,
+    WELCOME,
+    ServeError,
+    ServerBusy,
+    recv_control,
+    send_control,
+)
+
+BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
+
+
+def _hello_exchange(
+    host: str,
+    port: int,
+    hello: dict,
+    timeout: Optional[float],
+    dial_attempts: int = 8,
+) -> tuple:
+    """Dial, send one hello, read one welcome.
+
+    Returns ``(welcome, link)`` where ``link`` preserves any
+    already-read bytes of the server's next frame.  Raises
+    :class:`ServerBusy` / :class:`ServeError` on structured rejects.
+    """
+    link = connect_with_backoff(
+        host, port, attempts=dial_attempts,
+        connect_timeout=5.0 if timeout is None else timeout,
+    )
+    try:
+        send_control(link, HELLO, hello)
+        tag, welcome, leftover = recv_control(link, timeout=timeout)
+    except BaseException:
+        link.close()
+        raise
+    if tag != WELCOME or not isinstance(welcome, dict):
+        link.close()
+        raise ServeError(f"expected {WELCOME!r}, got {tag!r}")
+    status = welcome.get("status")
+    if status in ("busy", "draining"):
+        link.close()
+        raise ServerBusy(
+            f"server rejected session: {welcome.get('reason', status)}",
+            welcome=welcome,
+        )
+    if status not in ("ok", "stats"):
+        link.close()
+        raise ServeError(
+            f"server rejected session: {welcome.get('reason', status)}"
+        )
+    return welcome, PrefacedLink(link, leftover)
+
+
+def fetch_stats(host: str, port: int, timeout: Optional[float] = 5.0) -> dict:
+    """One-shot ``stats`` control probe against a running server."""
+    welcome, link = _hello_exchange(
+        host, port, {"op": "stats"}, timeout=timeout
+    )
+    link.close()
+    if welcome.get("status") != "stats":
+        raise ServeError(f"unexpected stats reply: {welcome!r}")
+    return welcome["stats"]
+
+
+def run_session(
+    host: str,
+    port: int,
+    program: str,
+    net: Netlist,
+    *,
+    session_id: Optional[str] = None,
+    bob: BitSource = (),
+    bob_init: Sequence[int] = (),
+    public: BitSource = (),
+    public_init: Sequence[int] = (),
+    cycles: Optional[int] = None,
+    ot: str = "simplest",
+    ot_group: str = "modp512",
+    engine: str = "compiled",
+    timeout: Optional[float] = 30.0,
+    max_attempts: int = 6,
+    heartbeat: Optional[float] = None,
+    wrap=None,
+    obs=NULL_OBS,
+) -> SessionResult:
+    """Run one evaluator session against a garbling server.
+
+    ``net`` must be structurally identical to the server's program
+    netlist (the ``net-hello`` digest check enforces this).  ``cycles``
+    may be omitted — the server's welcome names it; if given, a
+    mismatch fails before any protocol traffic.  ``wrap(attempt, link)
+    -> link`` is the fault-injection splice point (tests wrap a
+    connection attempt in a
+    :class:`~repro.net.fault.FaultyTransport`).  Returns the
+    evaluator's :class:`~repro.net.session.SessionResult`.
+    """
+    sid = session_id or uuid.uuid4().hex
+    hello = {"op": "session", "session": sid, "program": program}
+    state = {"attempt": 0, "first": None}
+
+    def connect() -> Link:
+        attempt = state["attempt"]
+        state["attempt"] = attempt + 1
+        welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+        if cycles is not None and welcome.get("cycles") != cycles:
+            link.close()
+            raise ServeError(
+                f"server runs {welcome.get('cycles')} cycles, "
+                f"client expected {cycles}"
+            )
+        state["welcome"] = welcome
+        if wrap is not None:
+            link = wrap(attempt, link)
+        return link
+
+    # Eager first connect: the welcome carries the authoritative cycle
+    # count and checkpoint cadence the ResumableSession must be
+    # constructed with.  Admission rejects (ServerBusy) surface here,
+    # before any party state exists.
+    first = connect()
+    welcome = state["welcome"]
+    run_cycles = welcome["cycles"] if cycles is None else cycles
+    state["first"] = first
+
+    party = EvaluatorParty(
+        net,
+        run_cycles,
+        _expand_bits(net, "bob", bob, bob_init, run_cycles),
+        public=public,
+        public_init=public_init,
+        ot_group=ot_group,
+        ot=ot,
+        obs=obs,
+        engine=engine,
+    )
+
+    def connect_or_first() -> Link:
+        link = state["first"]
+        if link is not None:
+            state["first"] = None
+            return link
+        return connect()
+
+    session = ResumableSession(
+        party,
+        connect=connect_or_first,
+        checkpoint_every=welcome["checkpoint_every"],
+        timeout=timeout,
+        max_attempts=max_attempts,
+        heartbeat_interval=heartbeat,
+        obs=obs,
+    )
+    return session.run()
+
+
+def run_registry_session(
+    host: str,
+    port: int,
+    circuit: str,
+    value: int,
+    session_id: Optional[str] = None,
+    net: Optional[Netlist] = None,
+    **kwargs,
+) -> SessionResult:
+    """Run a session for a bench-registry circuit with operand
+    ``value`` as Bob.  ``net`` lets callers share one netlist instance
+    (and thus one compiled plan) across many client threads."""
+    from ..net.cli import _registry
+
+    entry = _registry()[circuit]
+    built, cycles = entry.build()
+    if net is None:
+        net = built
+    return run_session(
+        host,
+        port,
+        circuit,
+        net,
+        session_id=session_id,
+        bob=entry.bob_source(value, cycles),
+        cycles=cycles,
+        **kwargs,
+    )

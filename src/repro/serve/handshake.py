@@ -1,0 +1,113 @@
+"""Serve-layer control handshake: one hello, one welcome, then GC.
+
+Before a connection joins the garbled-circuit protocol proper, the
+evaluator introduces itself with a single ``serve-hello`` control
+frame naming the *program* it wants garbled and its *session id*; the
+server answers with one ``serve-welcome`` frame that either admits the
+session (carrying the authoritative cycle count and checkpoint
+cadence), routes a reconnect to its live session, or rejects it with a
+structured status (``busy``, ``draining``, ``error``).  A hello may
+also carry ``op: "stats"``, turning the connection into a one-shot
+stats probe.
+
+The control frames ride the same wire format as everything else
+(:mod:`repro.net.frame` + :mod:`repro.net.codec`) but are read with a
+throwaway :class:`~repro.net.frame.FrameDecoder` *outside* any
+:class:`~repro.net.transport.FramedEndpoint`: both sides exchange
+exactly one frame each, so the per-direction sequence numbers of the
+session endpoints created afterwards start fresh at 1 on both sides.
+Bytes of the peer's *next* frame that the control read may have
+already pulled off the link are preserved by returning them as a
+leftover, which callers wrap into a
+:class:`~repro.net.links.PrefacedLink`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
+from ..net.codec import CodecError, decode, encode
+from ..net.frame import FRAME_ABORT, FRAME_DATA, FrameDecoder, encode_frame
+from ..net.links import Link, LinkClosed, LinkTimeout
+
+#: Control-frame tags.  Sequence number 1 on both; each side sends at
+#: most one control frame per connection, then hands the link to a
+#: fresh FramedEndpoint.
+HELLO = "serve-hello"
+WELCOME = "serve-welcome"
+
+
+class ServeError(Exception):
+    """The server rejected the request (unknown program, bad hello,
+    finished session, ...).  Not retryable."""
+
+
+class ServerBusy(ServeError):
+    """Admission control rejected the session: worker pool saturated
+    and the accept queue is full (or the server is draining)."""
+
+    def __init__(self, message: str, welcome: Optional[dict] = None) -> None:
+        super().__init__(message)
+        #: The structured ``serve-welcome`` reject payload.
+        self.welcome = welcome or {}
+
+
+def send_control(link: Link, tag: str, payload: Any) -> None:
+    """Write one control frame to a raw link."""
+    try:
+        link.send_bytes(encode_frame(FRAME_DATA, 1, tag, encode(payload)))
+    except LinkClosed as exc:
+        raise ChannelClosed(f"connection lost: {exc}") from exc
+
+
+def recv_control(
+    link: Link, timeout: Optional[float] = None
+) -> Tuple[str, Any, bytes]:
+    """Read one control frame from a raw link.
+
+    Returns ``(tag, payload, leftover)`` where ``leftover`` is any
+    bytes past the frame that were already read off the link (the
+    beginning of the peer's next frame — see module docstring).
+    """
+    decoder = FrameDecoder()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ChannelTimeout(
+                    f"no control frame within {timeout}s"
+                )
+        try:
+            chunk = link.recv_bytes(timeout=remaining)
+        except LinkTimeout as exc:
+            raise ChannelTimeout(
+                f"no control frame within {timeout}s"
+            ) from exc
+        if chunk == b"":
+            raise ChannelClosed("connection closed during handshake")
+        frames = decoder.feed(chunk)
+        for i, frame in enumerate(frames):
+            if frame.ftype == FRAME_ABORT:
+                raise ChannelClosed("peer aborted during handshake")
+            if frame.ftype != FRAME_DATA:
+                continue  # a stray heartbeat cannot desync the control read
+            try:
+                payload = decode(frame.payload)
+            except CodecError as exc:
+                raise FrameCorruption(
+                    f"control frame {frame.tag!r} does not decode: {exc}"
+                ) from exc
+            # One chunk can carry frames *past* the control frame (the
+            # peer's first protocol frame rides the same TCP segment).
+            # Re-serialize them — encode_frame is deterministic, so the
+            # byte stream is reconstructed exactly — ahead of whatever
+            # partial frame the decoder still buffers.
+            leftover = b"".join(
+                encode_frame(f.ftype, f.seq, f.tag, f.payload)
+                for f in frames[i + 1:]
+            ) + decoder.buffered
+            return frame.tag, payload, leftover

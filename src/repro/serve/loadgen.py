@@ -1,0 +1,257 @@
+"""Load generator: K concurrent evaluator clients against one server.
+
+Spawns ``clients`` evaluator sessions (one thread each) against a
+running :class:`~repro.serve.server.GarbleServer`, with a configurable
+arrival pattern:
+
+* ``"burst"`` — all clients released simultaneously through a barrier
+  (stress admission control and worker-pool contention);
+* ``"paced"`` — client *i* starts at ``i * interval`` seconds
+  (steady-state arrivals).
+
+Every session is **verified**: all sessions over the same operand must
+be bit-identical to each other (outputs and non-XOR gate counts — the
+determinism the paper's cost metric rests on), and when the caller
+knows the server's garbler operand, each decoded value is additionally
+checked against the local plain-simulator run of the same circuit.
+
+The report carries sessions/sec and p50/p95 session latency — the
+numbers ``benchmarks/bench_serve_throughput.py`` tracks.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from time import perf_counter, sleep
+from typing import Dict, List, Optional
+
+from .client import run_registry_session
+from .handshake import ServerBusy
+
+
+@dataclass
+class SessionOutcome:
+    """One client's view of its session."""
+
+    session: str
+    value: int
+    ok: bool = False
+    busy: bool = False
+    seconds: float = 0.0
+    result_value: Optional[int] = None
+    outputs: Optional[List[int]] = None
+    garbled_nonxor: Optional[int] = None
+    reconnects: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregate of one load-generation run."""
+
+    circuit: str
+    clients: int
+    arrival: str
+    ok: int
+    busy: int
+    failed: int
+    wall_seconds: float
+    sessions_per_sec: float
+    p50_seconds: float
+    p95_seconds: float
+    outcomes: List[SessionOutcome] = field(default_factory=list)
+    verify_errors: List[str] = field(default_factory=list)
+
+    def to_record(self) -> dict:
+        """Flat JSON-able summary (the CLI's ``--json`` output)."""
+        return {
+            "circuit": self.circuit,
+            "clients": self.clients,
+            "arrival": self.arrival,
+            "ok": self.ok,
+            "busy": self.busy,
+            "failed": self.failed,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "sessions_per_sec": round(self.sessions_per_sec, 3),
+            "p50_seconds": round(self.p50_seconds, 4),
+            "p95_seconds": round(self.p95_seconds, 4),
+            "verify_errors": list(self.verify_errors),
+        }
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, int(round(q * (len(sorted_vals) - 1)))))
+    return sorted_vals[idx]
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    circuit: str,
+    clients: int = 4,
+    *,
+    arrival: str = "burst",
+    interval: float = 0.05,
+    base_value: int = 1000,
+    values: Optional[List[int]] = None,
+    server_value: Optional[int] = None,
+    session_prefix: Optional[str] = None,
+    timeout: Optional[float] = 30.0,
+    max_attempts: int = 3,
+    engine: str = "compiled",
+    ot: str = "simplest",
+    ot_group: str = "modp512",
+    verify: bool = True,
+) -> LoadgenReport:
+    """Run ``clients`` verified sessions and aggregate the outcome.
+
+    Client *i* uses Bob operand ``values[i]`` (default
+    ``base_value + i``).  ``server_value`` — the garbler's operand, if
+    the caller controls the server — arms full result verification
+    against the local simulator.  A :class:`ServerBusy` reject counts
+    as ``busy``, any other failure as ``failed``; both leave
+    ``ok`` sessions unaffected.
+    """
+    if arrival not in ("burst", "paced"):
+        raise ValueError(f"unknown arrival pattern {arrival!r}")
+    from ..net.cli import _registry
+
+    entry = _registry()[circuit]
+    #: One netlist shared by every client thread: same sharing shape
+    #: as the server, exercising the thread-safe plan cache.
+    net, cycles = entry.build()
+    vals = list(values) if values is not None else [
+        base_value + i for i in range(clients)
+    ]
+    if len(vals) != clients:
+        raise ValueError("values must have one entry per client")
+    prefix = session_prefix or f"loadgen-{uuid.uuid4().hex[:8]}"
+
+    outcomes = [
+        SessionOutcome(session=f"{prefix}-{i}", value=vals[i])
+        for i in range(clients)
+    ]
+    barrier = threading.Barrier(clients + 1)
+    t_zero: List[float] = [0.0]
+
+    def client_main(i: int) -> None:
+        out = outcomes[i]
+        barrier.wait()
+        if arrival == "paced":
+            wake = t_zero[0] + i * interval
+            delay = wake - perf_counter()
+            if delay > 0:
+                sleep(delay)
+        t0 = perf_counter()
+        try:
+            res = run_registry_session(
+                host, port, circuit, out.value,
+                session_id=out.session, net=net,
+                timeout=timeout, max_attempts=max_attempts,
+                engine=engine, ot=ot, ot_group=ot_group,
+            )
+        except ServerBusy as exc:
+            out.busy = True
+            out.error = str(exc)
+        except BaseException as exc:
+            out.error = f"{type(exc).__name__}: {exc}"
+        else:
+            out.ok = True
+            out.result_value = res.value
+            out.outputs = list(res.outputs)
+            out.garbled_nonxor = res.stats.garbled_nonxor
+            out.reconnects = res.reconnects
+        finally:
+            out.seconds = perf_counter() - t0
+
+    threads = [
+        threading.Thread(target=client_main, args=(i,),
+                         name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_zero[0] = perf_counter()
+    wall0 = perf_counter()
+    for t in threads:
+        t.join()
+    wall = perf_counter() - wall0
+
+    ok = [o for o in outcomes if o.ok]
+    busy = [o for o in outcomes if o.busy]
+    failed = [o for o in outcomes if not o.ok and not o.busy]
+    verify_errors: List[str] = []
+    if verify and ok:
+        verify_errors = _verify(entry, net, cycles, ok, server_value)
+
+    latencies = sorted(o.seconds for o in ok)
+    return LoadgenReport(
+        circuit=circuit,
+        clients=clients,
+        arrival=arrival,
+        ok=len(ok),
+        busy=len(busy),
+        failed=len(failed),
+        wall_seconds=wall,
+        sessions_per_sec=(len(ok) / wall) if wall > 0 else 0.0,
+        p50_seconds=_percentile(latencies, 0.50),
+        p95_seconds=_percentile(latencies, 0.95),
+        outcomes=outcomes,
+        verify_errors=verify_errors,
+    )
+
+
+def _verify(entry, net, cycles, ok_outcomes, server_value) -> List[str]:
+    """Cross-session and (optionally) against-simulator verification."""
+    errors: List[str] = []
+    # Sessions sharing an operand must be bit-identical to each other.
+    by_value: Dict[int, SessionOutcome] = {}
+    for o in ok_outcomes:
+        first = by_value.setdefault(o.value, o)
+        if first is not o:
+            if o.outputs != first.outputs:
+                errors.append(
+                    f"{o.session}: outputs diverge from {first.session} "
+                    f"for the same operand"
+                )
+            if o.garbled_nonxor != first.garbled_nonxor:
+                errors.append(
+                    f"{o.session}: gate count {o.garbled_nonxor} != "
+                    f"{first.garbled_nonxor} ({first.session})"
+                )
+    if server_value is None:
+        return errors
+    # Full result check against the local plain run of the circuit.
+    from .. import api
+
+    expected: Dict[int, object] = {}
+    for o in ok_outcomes:
+        ref = expected.get(o.value)
+        if ref is None:
+            ref = api.run(
+                net,
+                {
+                    "alice": entry.alice_source(server_value, cycles),
+                    "bob": entry.bob_source(o.value, cycles),
+                },
+                mode="local",
+                cycles=cycles,
+            )
+            expected[o.value] = ref
+        if o.result_value != ref.value or o.outputs != list(ref.outputs):
+            errors.append(
+                f"{o.session}: decoded value {o.result_value} != "
+                f"local reference {ref.value}"
+            )
+        if o.garbled_nonxor != ref.stats.garbled_nonxor:
+            errors.append(
+                f"{o.session}: gate count {o.garbled_nonxor} != local "
+                f"reference {ref.stats.garbled_nonxor}"
+            )
+    return errors

@@ -1,0 +1,594 @@
+"""`repro.serve`: a long-lived multi-session garbling server.
+
+One :class:`GarbleServer` process owns the garbler role for many
+concurrent evaluator sessions.  The paper's premise — a fixed public
+circuit garbled afresh per private input — makes this the natural
+scaling unit: the netlists and their compiled
+:class:`~repro.core.plan.CyclePlan` are built **once** at server
+construction and shared (read-only) by every session's engine, so N
+concurrent sessions pay one compile.
+
+Architecture::
+
+    TcpListener ── accept loop ── serve-hello handshake
+         │                            │
+         │          new session ──> bounded accept queue ──> worker pool
+         │                            │  (Full -> structured  (N threads,
+         │                            │   "busy" reject)       one
+         │          reconnect ─────> live session's link       GarblerParty
+         │                            queue                    session each)
+         └── stats probe ──> snapshot reply, close
+
+* **Admission control** — the accept queue is a bounded
+  ``queue.Queue``; when it is full a new hello is answered with an
+  immediate structured ``{"status": "busy", ...}`` welcome and the
+  connection is closed.  Reconnects for live sessions bypass
+  admission (they hold a worker already).
+* **Session lifecycle** — each admitted session runs the existing
+  :class:`~repro.net.session.ResumableSession` state machine around a
+  :class:`~repro.core.protocol.GarblerParty`; its ``connect`` callable
+  pops from the session's link queue, which the accept loop feeds on
+  every (re)connect.  A dropped evaluator therefore redials the same
+  server, names its session id in the hello, and resumes against the
+  checkpoints the worker already holds.
+* **Drain** — :meth:`GarbleServer.shutdown` (wired to SIGTERM/SIGINT
+  by the CLI) closes the listener, lets queued and active sessions
+  finish, then joins the workers.  New hellos racing the drain get a
+  structured ``draining`` reject.
+* **Stats** — counters and per-session records go to the obs layer
+  (``serve.*`` counters, ``serve-session`` trace events) and are
+  served over the wire to any client that sends a hello with
+  ``op: "stats"``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..circuit.netlist import Netlist
+from ..core.plan import compile_plan
+from ..core.protocol import GarblerParty, _expand_bits
+from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
+from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
+from ..net.session import ResumableSession, SessionResult
+from ..net.tcp import TcpListener
+from ..obs import NULL_OBS
+from .handshake import HELLO, WELCOME, recv_control, send_control
+
+BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServeProgram:
+    """One program the server is willing to garble.
+
+    The server plays Alice, so the program bundles the circuit with
+    the garbler-side inputs; the evaluator brings only its own private
+    bits.  ``net`` is shared by every session over this program —
+    engines never mutate the netlist, and the compiled plan cache is
+    thread-safe — which is exactly what makes N sessions pay one
+    compile.
+    """
+
+    net: Netlist
+    cycles: int
+    alice: BitSource = ()
+    alice_init: Sequence[int] = ()
+    public: BitSource = ()
+    public_init: Sequence[int] = ()
+
+
+def registry_program(name: str, value: int = 0) -> ServeProgram:
+    """Build a :class:`ServeProgram` from the bench-circuit registry
+    (the same registry ``python -m repro party`` serves), with
+    ``value`` as the garbler operand."""
+    from ..net.cli import _registry
+
+    entry = _registry()[name]
+    net, cycles = entry.build()
+    return ServeProgram(
+        net=net, cycles=cycles, alice=entry.alice_source(value, cycles)
+    )
+
+
+class ServeStats:
+    """Thread-safe serve counters plus a ring of per-session records."""
+
+    def __init__(self, keep_sessions: int = 64) -> None:
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.rejected_busy = 0
+        self.rejected_error = 0
+        self.completed = 0
+        self.failed = 0
+        self.active = 0
+        self.stats_probes = 0
+        self._recent: "deque" = deque(maxlen=keep_sessions)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def record_session(self, record: dict) -> None:
+        with self._lock:
+            self._recent.append(dict(record))
+
+    def snapshot(self) -> dict:
+        """Codec-safe snapshot (ints / strings / lists / dicts only)."""
+        with self._lock:
+            return {
+                "accepted": self.accepted,
+                "rejected_busy": self.rejected_busy,
+                "rejected_error": self.rejected_error,
+                "completed": self.completed,
+                "failed": self.failed,
+                "active": self.active,
+                "stats_probes": self.stats_probes,
+                "sessions": [dict(r) for r in self._recent],
+            }
+
+
+@dataclass
+class _ServeSession:
+    """Server-side record of one evaluator session."""
+
+    id: str
+    program: str
+    prog: ServeProgram
+    state: str = "queued"  # queued -> active -> done | failed
+    result: Optional[SessionResult] = None
+    error: Optional[BaseException] = None
+    wall_seconds: float = 0.0
+    _links: "queue.Queue" = field(default_factory=queue.Queue)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _sealed: bool = False
+
+    def push_link(self, link: Link) -> bool:
+        """Feed a (re)connect to the session's worker; False once the
+        session has finished (the caller closes the link)."""
+        with self._lock:
+            if self._sealed:
+                return False
+            self._links.put(link)
+            return True
+
+    def pop_link(self, timeout: Optional[float]) -> Link:
+        try:
+            return self._links.get(timeout=timeout)
+        except queue.Empty:
+            raise LinkTimeout(
+                f"session {self.id!r}: evaluator did not (re)connect "
+                f"within {timeout}s"
+            ) from None
+
+    def seal(self) -> None:
+        """Close any links that arrived after the session finished."""
+        with self._lock:
+            self._sealed = True
+            while True:
+                try:
+                    self._links.get_nowait().close()
+                except queue.Empty:
+                    return
+
+
+class GarbleServer:
+    """Multi-session garbling service (the garbler side, long-lived).
+
+    Construct with the programs to serve, :meth:`start` the accept
+    loop and worker pool, then either :meth:`serve_forever` (blocks
+    until :meth:`request_shutdown`, e.g. from a signal handler) or
+    drive clients directly in tests and call :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        programs: Dict[str, ServeProgram],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        queue_depth: int = 8,
+        checkpoint_every: int = 4,
+        timeout: Optional[float] = 30.0,
+        resume_window: Optional[float] = None,
+        max_attempts: int = 6,
+        hello_timeout: float = 5.0,
+        ot: str = "simplest",
+        ot_group: str = "modp512",
+        engine: str = "compiled",
+        heartbeat: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+        obs=NULL_OBS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.programs = dict(programs)
+        if not self.programs:
+            raise ValueError("a server needs at least one program")
+        # One compile for all sessions: warm the thread-safe plan
+        # cache now so no session thread pays netlist compilation.
+        for prog in self.programs.values():
+            if engine == "compiled":
+                compile_plan(prog.net)
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.timeout = timeout
+        #: How long a worker waits for a dropped evaluator to redial
+        #: before burning one of its reconnect attempts.
+        self.resume_window = timeout if resume_window is None else resume_window
+        self.max_attempts = max_attempts
+        self.hello_timeout = hello_timeout
+        self.ot = ot
+        self.ot_group = ot_group
+        self.engine = engine
+        self.heartbeat = heartbeat
+        self.max_sessions = max_sessions
+        self.obs = obs
+        self.stats = ServeStats()
+        self._listener = TcpListener(host=host, port=port)
+        self.host, self.port = self._listener.host, self._listener.port
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self.queue_depth = queue_depth
+        self._sessions: Dict[str, _ServeSession] = {}
+        self._lock = threading.Lock()
+        self._draining = False
+        self._stopped = False
+        self._shutdown_requested = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "GarbleServer":
+        if self._started:
+            return self
+        self._started = True
+        accept = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, args=(i,),
+                name=f"serve-worker-{i}", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to drain and exit (signal-safe)."""
+        self._shutdown_requested.set()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain and stop."""
+        self._shutdown_requested.wait()
+        self.shutdown(drain=True)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the server.
+
+        ``drain=True`` (graceful, the SIGTERM path): stop accepting,
+        let queued and active sessions run to completion, then join
+        the workers.  ``drain=False``: additionally discard queued
+        sessions that no worker has picked up yet (their evaluators
+        see EOF and fail on their side); active sessions still finish.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._draining = True
+        self._listener.close()  # accept loop exits on LinkClosed
+        if not drain:
+            while True:
+                try:
+                    sess = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                with self._lock:
+                    sess.state = "failed"
+                    sess.error = ChannelClosed("server shut down")
+                sess.seal()
+                self._queue.task_done()
+        # Wait for queued + active sessions to finish.  Task accounting
+        # (get -> task_done in the worker) has no gap between "popped
+        # from the queue" and "running", unlike qsize()+active checks.
+        q = self._queue
+        with q.all_tasks_done:
+            if timeout is None:
+                while q.unfinished_tasks:
+                    q.all_tasks_done.wait()
+            else:
+                endtime = perf_counter() + timeout
+                while q.unfinished_tasks:
+                    remaining = endtime - perf_counter()
+                    if remaining <= 0:
+                        break
+                    q.all_tasks_done.wait(remaining)
+        for _ in range(self.workers):
+            self._queue.put(_SENTINEL)
+        for t in self._threads:
+            t.join(timeout=10.0)
+        with self._lock:
+            self._stopped = True
+        self._shutdown_requested.set()
+        if self.obs.enabled:
+            self.obs.event("serve-shutdown", **self.counters())
+
+    def __enter__(self) -> "GarbleServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(drain=True)
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> dict:
+        snap = self.stats.snapshot()
+        del snap["sessions"]
+        return snap
+
+    def stats_snapshot(self) -> dict:
+        snap = self.stats.snapshot()
+        snap.update(
+            queued=self._queue.qsize(),
+            queue_depth=self.queue_depth,
+            workers=self.workers,
+            draining=self._draining,
+            programs=sorted(self.programs),
+        )
+        return snap
+
+    def session_result(self, session_id: str) -> Optional[SessionResult]:
+        with self._lock:
+            sess = self._sessions.get(session_id)
+        return None if sess is None else sess.result
+
+    # -- accept path ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        self.obs.set_thread_label("serve-accept")
+        while True:
+            try:
+                link = self._listener.accept(timeout=0.25)
+            except LinkTimeout:
+                if self._draining:
+                    return
+                continue
+            except LinkClosed:
+                return
+            try:
+                self._handle_connection(link)
+            except (ChannelClosed, ChannelTimeout, FrameCorruption,
+                    LinkClosed, LinkTimeout):
+                # A malformed, slow or vanished client must never take
+                # the accept loop down.
+                link.close()
+
+    def _reject(self, link: Link, welcome: dict, counter: str) -> None:
+        self.stats.bump(counter)
+        if self.obs.enabled:
+            self.obs.inc(f"serve.{counter}")
+        send_control(link, WELCOME, welcome)
+        link.close()
+
+    def _handle_connection(self, link: Link) -> None:
+        tag, hello, leftover = recv_control(link, timeout=self.hello_timeout)
+        if tag != HELLO or not isinstance(hello, dict):
+            raise FrameCorruption(f"expected {HELLO!r}, got {tag!r}")
+        op = hello.get("op", "session")
+        if op == "stats":
+            self.stats.bump("stats_probes")
+            send_control(
+                link, WELCOME,
+                {"status": "stats", "stats": self.stats_snapshot()},
+            )
+            link.close()
+            return
+        sid = hello.get("session")
+        name = hello.get("program")
+        if not isinstance(sid, str) or not sid:
+            self._reject(
+                link,
+                {"status": "error", "reason": "hello carries no session id"},
+                "rejected_error",
+            )
+            return
+
+        with self._lock:
+            sess = self._sessions.get(sid)
+            draining = self._draining
+        if sess is None:
+            # -- admission control for a brand-new session ----------------
+            if draining:
+                self._reject(
+                    link,
+                    {"status": "draining", "reason": "server is draining"},
+                    "rejected_busy",
+                )
+                return
+            prog = self.programs.get(name)
+            if prog is None:
+                self._reject(
+                    link,
+                    {"status": "error",
+                     "reason": f"unknown program {name!r}",
+                     "programs": sorted(self.programs)},
+                    "rejected_error",
+                )
+                return
+            sess = _ServeSession(id=sid, program=name, prog=prog)
+            with self._lock:
+                try:
+                    self._queue.put_nowait(sess)
+                except queue.Full:
+                    admitted = False
+                else:
+                    admitted = True
+                    self._sessions[sid] = sess
+            if not admitted:
+                self._reject(
+                    link,
+                    {"status": "busy",
+                     "reason": "accept queue is full",
+                     "active": self.stats.active,
+                     "queued": self._queue.qsize(),
+                     "queue_depth": self.queue_depth},
+                    "rejected_busy",
+                )
+                return
+            self.stats.bump("accepted")
+            if self.obs.enabled:
+                self.obs.inc("serve.accepted")
+            welcome = {
+                "status": "ok",
+                "session": sid,
+                "program": name,
+                "cycles": prog.cycles,
+                "checkpoint_every": self.checkpoint_every,
+                "resumed": False,
+            }
+        else:
+            # -- reconnect routing -----------------------------------------
+            if sess.program != name:
+                self._reject(
+                    link,
+                    {"status": "error",
+                     "reason": f"session {sid!r} is bound to program "
+                               f"{sess.program!r}"},
+                    "rejected_error",
+                )
+                return
+            if sess.state in ("done", "failed"):
+                self._reject(
+                    link,
+                    {"status": "error",
+                     "reason": f"session {sid!r} already finished "
+                               f"({sess.state})"},
+                    "rejected_error",
+                )
+                return
+            welcome = {
+                "status": "ok",
+                "session": sid,
+                "program": name,
+                "cycles": sess.prog.cycles,
+                "checkpoint_every": self.checkpoint_every,
+                "resumed": True,
+            }
+            if self.obs.enabled:
+                self.obs.inc("serve.reconnects")
+        # Welcome first, then feed the link: the worker writes to the
+        # socket the moment it sees the link, and the welcome must be
+        # the first thing the client reads.
+        send_control(link, WELCOME, welcome)
+        if not sess.push_link(PrefacedLink(link, leftover)):
+            link.close()  # finished between the check and the push
+
+    # -- worker path ---------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        self.obs.set_thread_label(f"serve-worker-{index}")
+        while True:
+            sess = self._queue.get()
+            if sess is _SENTINEL:
+                self._queue.task_done()
+                return
+            try:
+                self._run_session(sess)
+            finally:
+                self._queue.task_done()
+            if self.max_sessions is not None:
+                done = self.stats.completed + self.stats.failed
+                if done >= self.max_sessions:
+                    self.request_shutdown()
+
+    def _run_session(self, sess: _ServeSession) -> None:
+        prog = sess.prog
+        with self._lock:
+            sess.state = "active"
+        self.stats.bump("active")
+        t0 = perf_counter()
+        party = GarblerParty(
+            prog.net,
+            prog.cycles,
+            _expand_bits(
+                prog.net, "alice", prog.alice, prog.alice_init, prog.cycles
+            ),
+            public=prog.public,
+            public_init=prog.public_init,
+            ot_group=self.ot_group,
+            ot=self.ot,
+            obs=self.obs,
+            engine=self.engine,
+        )
+        session = ResumableSession(
+            party,
+            connect=lambda: sess.pop_link(self.resume_window),
+            checkpoint_every=self.checkpoint_every,
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            heartbeat_interval=self.heartbeat,
+            obs=self.obs,
+        )
+        try:
+            result = session.run()
+        except BaseException as exc:
+            with self._lock:
+                sess.state = "failed"
+                sess.error = exc
+            self.stats.bump("failed")
+            if self.obs.enabled:
+                self.obs.inc("serve.failed")
+        else:
+            with self._lock:
+                sess.state = "done"
+                sess.result = result
+            self.stats.bump("completed")
+            if self.obs.enabled:
+                self.obs.inc("serve.completed")
+                self.obs.inc("serve.gates", result.stats.garbled_nonxor)
+        finally:
+            sess.wall_seconds = perf_counter() - t0
+            self.stats.bump("active", -1)
+            sess.seal()
+            record = {
+                "session": sess.id,
+                "program": sess.program,
+                "state": sess.state,
+                "wall_ms": int(sess.wall_seconds * 1000),
+                "garbled_nonxor": (
+                    sess.result.stats.garbled_nonxor if sess.result else -1
+                ),
+                "tables_sent": (
+                    sess.result.tables_sent
+                    if sess.result and sess.result.tables_sent is not None
+                    else -1
+                ),
+                "reconnects": sess.result.reconnects if sess.result else -1,
+            }
+            self.stats.record_session(record)
+            if self.obs.enabled:
+                self.obs.event("serve-session", **record)
+
+
+def make_server(
+    circuits: Union[str, Sequence[str]],
+    value: int = 0,
+    **kwargs,
+) -> GarbleServer:
+    """Convenience: a server over registry circuits, all sharing one
+    garbler operand.  Keyword arguments go to :class:`GarbleServer`."""
+    names = [circuits] if isinstance(circuits, str) else list(circuits)
+    programs = {name: registry_program(name, value) for name in names}
+    return GarbleServer(programs, **kwargs)

@@ -152,3 +152,34 @@ class TestHeartbeat:
         assert a.heartbeats_sent == 0
         a.close()
         b.close()
+
+    def test_close_joins_heartbeat_thread(self):
+        """Satellite acceptance: churning endpoints must not leak
+        heartbeat threads — a serving process opens and closes
+        hundreds of sessions in one lifetime."""
+        baseline = threading.active_count()
+        for _ in range(50):
+            a, b = framed_memory_pair(heartbeat_interval=0.01)
+            a.send("x", 1)
+            assert b.recv("x", timeout=5.0) == 1
+            a.close()
+            b.close()
+        # close() joins each heartbeat loop, so no thread from any of
+        # the 100 endpoints may outlive its endpoint.
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= baseline
+        assert not [t for t in threading.enumerate()
+                    if t.name == "net-heartbeat"]
+
+    def test_abort_joins_heartbeat_thread(self):
+        baseline = threading.active_count()
+        a, b = framed_memory_pair(heartbeat_interval=0.01)
+        a.abort()
+        b.close()
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not [t for t in threading.enumerate()
+                    if t.name == "net-heartbeat"]

@@ -1,0 +1,121 @@
+"""Satellite acceptance: an evaluator killed mid-run reconnects to the
+*same* live server instance and finishes bit-identically.
+
+The server never restarts between attempts — the worker holding the
+session keeps its checkpoints, the accept loop routes the redial by
+session id, and the resumed run must reproduce the uninterrupted run's
+outputs and non-XOR gate counts exactly."""
+
+import pytest
+
+from repro.net.fault import FaultPlan, FaultRule, FaultyTransport
+from repro.serve import make_server, run_registry_session
+
+SERVER_VALUE = 4321
+CLIENT_VALUE = 1234
+# sum32-seq: bit-serial, 32 cycles — checkpoints exist mid-run, so a
+# resume replays from a real checkpoint instead of restarting.
+CIRCUIT = "sum32-seq"
+
+
+class TestResumeAgainstLiveServer:
+    def test_disconnect_mid_run_resumes_bit_identically(self):
+        with make_server([CIRCUIT], value=SERVER_VALUE, workers=2,
+                         checkpoint_every=4, timeout=5.0,
+                         resume_window=5.0, port=0) as srv:
+            clean = run_registry_session(
+                srv.host, srv.port, CIRCUIT, CLIENT_VALUE,
+                session_id="clean", max_attempts=1)
+            assert clean.reconnects == 0
+
+            faults = []
+
+            def wrap(attempt, link):
+                # Kill the evaluator's 30th frame of the first
+                # connection: deep enough that checkpoints exist, far
+                # from done (the 32-cycle run sends one OT answer per
+                # cycle plus the handshake).
+                if attempt == 0:
+                    faulty = FaultyTransport(
+                        link,
+                        FaultPlan([FaultRule("disconnect", frame_index=30)]),
+                    )
+                    faults.append(faulty)
+                    return faulty
+                return link
+
+            faulted = run_registry_session(
+                srv.host, srv.port, CIRCUIT, CLIENT_VALUE,
+                session_id="faulted", max_attempts=4, timeout=5.0,
+                wrap=wrap)
+
+            # The fault actually fired and forced at least one redial
+            # against the same server instance.
+            assert [f.action for ft in faults for f in ft.injected] == [
+                "disconnect"
+            ]
+            assert faulted.reconnects >= 1
+
+            # Bit-identity with the uninterrupted session: decoded
+            # value, raw output bits and the garbled non-XOR count the
+            # paper's cost metric rests on.
+            assert faulted.value == clean.value
+            assert faulted.value == (SERVER_VALUE + CLIENT_VALUE) & 0xFFFFFFFF
+            assert faulted.outputs == clean.outputs
+            assert faulted.stats.garbled_nonxor == clean.stats.garbled_nonxor
+            assert faulted.checkpoint_cycles == clean.checkpoint_cycles
+
+            # Server-side view agrees: both sessions done, same gates.
+            srv.shutdown(drain=True)
+            a = srv.session_result("clean")
+            b = srv.session_result("faulted")
+            assert a is not None and b is not None
+            assert a.outputs == b.outputs == faulted.outputs
+            assert a.stats.garbled_nonxor == b.stats.garbled_nonxor
+            assert b.reconnects >= 1
+            # Retransmitted traffic is real traffic: the faulted run
+            # may only send more than the clean one, never less.
+            assert b.sent.payload_bytes >= a.sent.payload_bytes
+
+    def test_disconnect_on_two_attempts_still_finishes(self):
+        with make_server([CIRCUIT], value=SERVER_VALUE, workers=1,
+                         checkpoint_every=4, timeout=5.0,
+                         resume_window=5.0, port=0) as srv:
+            def wrap(attempt, link):
+                # Frame 10 of each connection: past the handshake and
+                # several OT answers, so every resumed attempt advances
+                # beyond another checkpoint before dying again.
+                if attempt < 2:
+                    return FaultyTransport(
+                        link,
+                        FaultPlan([FaultRule("disconnect", frame_index=10)]),
+                    )
+                return link
+
+            res = run_registry_session(
+                srv.host, srv.port, CIRCUIT, CLIENT_VALUE,
+                session_id="twice", max_attempts=5, timeout=5.0,
+                wrap=wrap)
+            assert res.reconnects >= 2
+            assert res.value == (SERVER_VALUE + CLIENT_VALUE) & 0xFFFFFFFF
+
+    def test_exhausted_attempts_fail_the_server_session_too(self):
+        """When the evaluator never comes back, the worker's session
+        fails (after its resume window) instead of leaking."""
+        from repro.gc.channel import ChannelError
+        from repro.net.links import LinkClosed, LinkTimeout
+
+        with make_server([CIRCUIT], value=SERVER_VALUE, workers=1,
+                         checkpoint_every=4, timeout=1.0,
+                         resume_window=0.3, max_attempts=2, port=0) as srv:
+            def wrap(attempt, link):
+                return FaultyTransport(
+                    link, FaultPlan([FaultRule("disconnect", frame_index=5)]))
+
+            with pytest.raises((ChannelError, LinkClosed, LinkTimeout)):
+                run_registry_session(
+                    srv.host, srv.port, CIRCUIT, CLIENT_VALUE,
+                    session_id="doomed", max_attempts=2, timeout=1.0,
+                    wrap=wrap)
+            srv.shutdown(drain=True)
+            assert srv.stats.failed == 1
