@@ -10,13 +10,20 @@ what a deployment without the serve layer would do).  Outputs and
 non-XOR gate counts must be bit-identical between the two paths.
 
 Measures sessions/sec and p50/p95 session latency at 1, 4 and 16
-concurrent clients.  Runs under pytest
-(``pytest benchmarks/bench_serve_throughput.py``) or standalone
-(``python benchmarks/bench_serve_throughput.py``).  Writes the
-detailed report to ``results/serve_perf.json`` (or ``$SERVE_JSON``)
-and the flat time-series records to ``BENCH_serve.json`` at the repo
-root (see ``bench_schema``).  The assertion gate defaults to 2x
-(``$SERVE_MIN_SPEEDUP``) so noisy shared CI runners don't flap.
+concurrent clients — with the default (process) worker pool sized to
+the machine and *process* load-generator clients, so neither side's
+GIL caps the measured figure.  On a machine with at least 8 cores the
+``serve_sessions_per_sec_16_clients`` figure must be at least the
+4-client figure (throughput rises with client count up to the core
+count); ``$SERVE_SCALING_GATE`` =1/0 forces the gate on/off elsewhere.
+
+Runs under pytest (``pytest benchmarks/bench_serve_throughput.py``)
+or standalone (``python benchmarks/bench_serve_throughput.py``).
+Writes the detailed report to ``results/serve_perf.json`` (or
+``$SERVE_JSON``) and the flat time-series records to
+``BENCH_serve.json`` at the repo root (see ``bench_schema``).  The
+speedup assertion gate defaults to 2x (``$SERVE_MIN_SPEEDUP``) so
+noisy shared CI runners don't flap.
 """
 
 from __future__ import annotations
@@ -38,6 +45,19 @@ BASE_VALUE = 1000
 SEQ_SESSIONS = 4
 CLIENT_LEVELS = (1, 4, 16)
 MIN_SPEEDUP = float(os.environ.get("SERVE_MIN_SPEEDUP", "2.0"))
+CORES = os.cpu_count() or 1
+#: Worker processes: one per core up to the largest client level.
+WORKERS = max(4, min(CORES, max(CLIENT_LEVELS)))
+
+
+def _scaling_gate_enabled() -> bool:
+    """The 16-vs-4 scaling assertion only means something when the
+    machine has cores to scale onto; ``SERVE_SCALING_GATE`` overrides
+    the core-count heuristic either way."""
+    flag = os.environ.get("SERVE_SCALING_GATE")
+    if flag is not None:
+        return flag.strip().lower() not in ("0", "false", "no", "")
+    return CORES >= 8
 
 
 def _sequential_baseline() -> dict:
@@ -79,9 +99,10 @@ def _serve_levels() -> dict:
     """Loadgen runs at each concurrency level against one server."""
     levels = {}
     with make_server(
-        [CIRCUIT], value=SERVER_VALUE, workers=4,
+        [CIRCUIT], value=SERVER_VALUE, workers=WORKERS,
         queue_depth=32, port=0,
     ) as srv:
+        pool = srv.pool
         for clients in CLIENT_LEVELS:
             # Reuse the baseline's operand set so every serve session
             # has a fresh-process twin to compare against bit-for-bit.
@@ -90,18 +111,21 @@ def _serve_levels() -> dict:
             report = run_loadgen(
                 srv.host, srv.port, CIRCUIT, clients,
                 values=values, server_value=SERVER_VALUE,
+                # Process clients past 1: a thread loadgen shares one
+                # GIL and would cap a multi-core server's figure.
+                client_procs=clients > 1,
             )
             assert report.failed == 0 and report.busy == 0, (
                 f"{clients} clients: {report.to_record()}"
             )
             assert not report.verify_errors, report.verify_errors
             levels[clients] = report
-    return levels
+    return levels, pool
 
 
 def measure() -> dict:
     baseline = _sequential_baseline()
-    levels = _serve_levels()
+    levels, pool = _serve_levels()
 
     # Bit-identity: every serve session must match the fresh-process
     # run of the same operand pair (outputs AND gate counts).
@@ -121,6 +145,10 @@ def measure() -> dict:
     report = {
         "circuit": CIRCUIT,
         "min_speedup_gate": MIN_SPEEDUP,
+        "pool": pool,
+        "workers": WORKERS,
+        "cores": CORES,
+        "scaling_gate": _scaling_gate_enabled(),
         "sequential": {
             "sessions": baseline["sessions"],
             "wall_seconds": round(baseline["wall_seconds"], 4),
@@ -133,6 +161,9 @@ def measure() -> dict:
     report["speedup_4_clients"] = round(
         levels[4].sessions_per_sec / baseline["sessions_per_sec"], 2
     )
+    report["scaling_16_vs_4"] = round(
+        levels[16].sessions_per_sec / levels[4].sessions_per_sec, 3
+    ) if levels[4].sessions_per_sec > 0 else 0.0
     return report
 
 
@@ -145,8 +176,12 @@ def _write_artifacts(report: dict) -> str:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    records = [{"metric": "serve_speedup_4_clients",
-                "value": report["speedup_4_clients"], "unit": "x"}]
+    records = [
+        {"metric": "serve_speedup_4_clients",
+         "value": report["speedup_4_clients"], "unit": "x"},
+        {"metric": "serve_scaling_16_vs_4",
+         "value": report["scaling_16_vs_4"], "unit": "x"},
+    ]
     for clients, row in report["serve"].items():
         records.append({
             "metric": f"serve_sessions_per_sec_{clients}_clients",
@@ -172,11 +207,23 @@ def test_serve_throughput_speedup():
               f"p50 {row['p50_seconds']:.3f}s  p95 {row['p95_seconds']:.3f}s")
     print(f"speedup at 4 clients: {report['speedup_4_clients']:.2f}x "
           f"(gate: {MIN_SPEEDUP}x)")
+    print(f"scaling 16 vs 4 clients: {report['scaling_16_vs_4']:.3f}x "
+          f"(pool={report['pool']}, workers={report['workers']}, "
+          f"cores={report['cores']}, "
+          f"gate {'on' if report['scaling_gate'] else 'off'})")
     print(f"artifact -> {path}")
     assert report["speedup_4_clients"] >= MIN_SPEEDUP, (
         f"serve only {report['speedup_4_clients']:.2f}x the sequential "
         f"baseline at 4 clients (gate: {MIN_SPEEDUP}x)"
     )
+    if report["scaling_gate"]:
+        s16 = report["serve"]["16"]["sessions_per_sec"]
+        s4 = report["serve"]["4"]["sessions_per_sec"]
+        assert s16 >= s4, (
+            f"16-client throughput {s16:.2f}/s fell below the 4-client "
+            f"figure {s4:.2f}/s on a {report['cores']}-core machine — "
+            f"the process pool is not scaling with client count"
+        )
 
 
 if __name__ == "__main__":

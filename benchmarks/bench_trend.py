@@ -1,0 +1,176 @@
+"""Aggregate per-commit ``BENCH_*.json`` artifacts into a trend series.
+
+Every perf benchmark writes a flat ``BENCH_<name>.json`` at the repo
+root (see ``bench_schema``): ``metric/value/unit/commit`` rows for one
+commit.  CI uploads those as artifacts, but a single-commit snapshot
+can't answer the question the artifacts exist for — *is this metric
+drifting?*  This tool folds the current snapshot files into an
+append-only JSON-lines series (``results/bench_trend.jsonl`` by
+default, ``--trend`` / ``$BENCH_TREND`` to override) and prints a
+per-metric summary with the latest value and the delta against the
+previous recorded commit.
+
+The fold is idempotent per ``(commit, metric)``: re-running on the
+same checkout (or a CI retry) never duplicates rows, so the series
+file can live in a CI cache that is restored and re-saved on every
+build.
+
+Usage::
+
+    python benchmarks/bench_trend.py            # fold + table
+    python benchmarks/bench_trend.py --json     # fold + JSON summary
+    python benchmarks/bench_trend.py --no-fold  # summarize only
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_schema import REPO_ROOT  # noqa: E402
+
+_REQUIRED = ("metric", "value", "unit", "commit")
+
+
+def default_trend_path() -> str:
+    path = os.environ.get("BENCH_TREND")
+    if path:
+        return path
+    return os.path.join(REPO_ROOT, "results", "bench_trend.jsonl")
+
+
+def collect_snapshot(root: str = REPO_ROOT) -> List[dict]:
+    """All records from the ``BENCH_*.json`` files under ``root``.
+
+    Each record is stamped with ``bench`` (the file's ``<name>``);
+    malformed files or rows missing required keys raise — a benchmark
+    writing garbage should fail the aggregation loudly, not thin out
+    the series silently.
+    """
+    records: List[dict] = []
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        bench = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        with open(path) as fh:
+            rows = json.load(fh)
+        if not isinstance(rows, list):
+            raise ValueError(f"{path}: expected a JSON list of records")
+        for row in rows:
+            missing = [k for k in _REQUIRED if k not in row]
+            if missing:
+                raise ValueError(f"{path}: record missing {missing}: {row}")
+            records.append({**row, "bench": bench})
+    return records
+
+
+def load_trend(path: str) -> List[dict]:
+    if not os.path.exists(path):
+        return []
+    out: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def fold_snapshot(path: Optional[str] = None,
+                  root: str = REPO_ROOT) -> List[dict]:
+    """Append the current snapshot's new rows to the series; returns
+    the rows actually appended (empty when the commit is already in)."""
+    path = path or default_trend_path()
+    existing = load_trend(path)
+    seen = {(r["commit"], r["metric"]) for r in existing}
+    fresh = [
+        r for r in collect_snapshot(root)
+        if (r["commit"], r["metric"]) not in seen
+    ]
+    if fresh:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "a") as fh:
+            for r in fresh:
+                fh.write(json.dumps(r, sort_keys=True) + "\n")
+    return fresh
+
+
+def summarize(path: Optional[str] = None) -> Dict[str, dict]:
+    """Per-metric trend summary over the series file.
+
+    ``points`` is the number of distinct commits carrying the metric;
+    ``delta_pct`` compares the latest value to the previous commit's
+    (``None`` with fewer than two points).  Rows keep file order,
+    which is append order, which is commit order for a linear CI
+    history — no timestamps needed (or available: the schema is
+    deliberately minimal).
+    """
+    rows = load_trend(path or default_trend_path())
+    by_metric: Dict[str, List[dict]] = {}
+    for r in rows:
+        by_metric.setdefault(r["metric"], []).append(r)
+    summary: Dict[str, dict] = {}
+    for metric, series in sorted(by_metric.items()):
+        values = [r["value"] for r in series]
+        latest = series[-1]
+        prev = values[-2] if len(values) >= 2 else None
+        delta = None
+        if prev not in (None, 0):
+            delta = round(100.0 * (values[-1] - prev) / abs(prev), 2)
+        summary[metric] = {
+            "bench": latest.get("bench", "?"),
+            "unit": latest["unit"],
+            "points": len(values),
+            "latest": values[-1],
+            "min": min(values),
+            "max": max(values),
+            "delta_pct": delta,
+            "commit": latest["commit"][:12],
+        }
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Fold BENCH_*.json snapshots into a trend series "
+        "and summarize it."
+    )
+    ap.add_argument("--trend", default=None, metavar="PATH",
+                    help="series file (default results/bench_trend.jsonl "
+                         "or $BENCH_TREND)")
+    ap.add_argument("--no-fold", action="store_true",
+                    help="summarize the existing series without folding "
+                         "the current snapshot in")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the summary as one JSON object")
+    args = ap.parse_args(argv)
+    path = args.trend or default_trend_path()
+    appended: List[dict] = []
+    if not args.no_fold:
+        appended = fold_snapshot(path)
+    summary = summarize(path)
+    if args.json:
+        print(json.dumps(
+            {"trend": path, "appended": len(appended), "metrics": summary},
+            sort_keys=True, indent=2,
+        ))
+        return 0
+    print(f"trend series: {path} (+{len(appended)} rows)")
+    if not summary:
+        print("  (empty — no BENCH_*.json snapshots found)")
+        return 0
+    w = max(len(m) for m in summary)
+    for metric, row in summary.items():
+        delta = (f"{row['delta_pct']:+.2f}%" if row["delta_pct"] is not None
+                 else "  --  ")
+        print(f"  {metric:<{w}s}  {row['latest']:>10.3f} {row['unit']:<10s}"
+              f" {delta:>8s}  n={row['points']:<3d} [{row['min']:.3f}, "
+              f"{row['max']:.3f}]  @{row['commit']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

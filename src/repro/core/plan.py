@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from array import array
 from operator import itemgetter
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -58,7 +59,10 @@ from ..circuit.netlist import ALICE, BOB, Netlist, PUBLIC
 from .engine import MacroContext, SkipGateEngine, WireState
 from .stats import CycleStats
 
-__all__ = ["CyclePlan", "compile_plan", "CompiledSkipGateEngine", "make_engine"]
+__all__ = [
+    "CyclePlan", "GateRows", "compile_plan", "warm_plan",
+    "CompiledSkipGateEngine", "make_engine",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -87,13 +91,60 @@ class _PortPlan:
             ]
 
 
+class GateRows:
+    """One plan segment's static gates as typed flat columns (SoA).
+
+    Each column is an ``array('l')`` — one contiguous buffer of C
+    longs instead of ``n`` tuple objects holding ``5n`` boxed ints —
+    so a big netlist's plan is a handful of buffers per segment, and
+    every serve worker process that rebuilds the plan pays allocator
+    and cache cost proportional to five arrays, not to the gate count
+    times six objects.  Iteration still yields the classic
+    ``(tt, a, b, out, fanout)`` row tuples, so the interpreted loop
+    and the sweep codegen consume it unchanged.
+
+    The normal and final-cycle variants of a segment share the
+    ``tt``/``a``/``b``/``out`` columns and differ only in ``fanout``
+    (the final variant bakes in dead-store-eliminated fanouts); see
+    :meth:`with_fanout`.
+    """
+
+    __slots__ = ("tt", "a", "b", "out", "fanout")
+
+    def __init__(self, tt: array, a: array, b: array, out: array,
+                 fanout: array) -> None:
+        self.tt = tt
+        self.a = a
+        self.b = b
+        self.out = out
+        self.fanout = fanout
+
+    def __len__(self) -> int:
+        return len(self.out)
+
+    def __iter__(self):
+        return zip(self.tt, self.a, self.b, self.out, self.fanout)
+
+    def with_fanout(self, fanout: array) -> "GateRows":
+        """Sibling segment sharing every column except ``fanout``."""
+        return GateRows(self.tt, self.a, self.b, self.out, fanout)
+
+    def columns(self):
+        """The five columns as read-only memoryviews (in row order)."""
+        return tuple(
+            memoryview(c).toreadonly()
+            for c in (self.tt, self.a, self.b, self.out, self.fanout)
+        )
+
+
 class CyclePlan:
     """Flattened execution plan of one netlist (immutable, shareable).
 
     ``pairs`` / ``pairs_final`` are lists of ``(rows, port_plan)``
-    pairs: run the gate rows, then (if not ``None``) the port.  A row
-    is the 5-tuple ``(tt, a, b, out, fanout)``; the ``_final`` variant
-    bakes in the final-cycle fanouts (dead-store elimination).
+    pairs: run the gate rows, then (if not ``None``) the port.
+    ``rows`` is a :class:`GateRows` column block; the ``_final``
+    variant bakes in the final-cycle fanouts (dead-store elimination)
+    while sharing the other four columns with the normal variant.
 
     ``sweep_fn`` is the generated specialized sweep (built lazily by
     the first engine over this plan; see :func:`_compile_sweep`).
@@ -111,23 +162,34 @@ class CyclePlan:
         ]
         tts, gas, gbs, gouts = net.gate_tt, net.gate_a, net.gate_b, net.gate_out
 
-        def build(fanouts):
-            pairs: List[Tuple[list, Optional[_PortPlan]]] = []
-            rows: list = []
-            for entry in net.schedule:
-                if entry >= 0:
-                    rows.append(
-                        (tts[entry], gas[entry], gbs[entry],
-                         gouts[entry], fanouts[entry])
-                    )
-                else:
-                    pairs.append((rows, self.port_plans[-entry - 1]))
-                    rows = []
-            pairs.append((rows, None))
-            return pairs
+        # Chop the schedule into gate-index runs separated by ports,
+        # then materialize each run once as typed columns; the final
+        # variant reuses them via with_fanout.
+        segments: List[Tuple[List[int], Optional[_PortPlan]]] = []
+        idxs: List[int] = []
+        for entry in net.schedule:
+            if entry >= 0:
+                idxs.append(entry)
+            else:
+                segments.append((idxs, self.port_plans[-entry - 1]))
+                idxs = []
+        segments.append((idxs, None))
 
-        self.pairs = build(static_fanout)
-        self.pairs_final = build(final_fanout)
+        self.pairs = []
+        self.pairs_final = []
+        for idxs, pp in segments:
+            rows = GateRows(
+                array("l", [tts[e] for e in idxs]),
+                array("l", [gas[e] for e in idxs]),
+                array("l", [gbs[e] for e in idxs]),
+                array("l", [gouts[e] for e in idxs]),
+                array("l", [static_fanout[e] for e in idxs]),
+            )
+            final_rows = rows.with_fanout(
+                array("l", [final_fanout[e] for e in idxs])
+            )
+            self.pairs.append((rows, pp))
+            self.pairs_final.append((final_rows, pp))
         self.n_static_gates = net.n_gates
         self.sweep_fn = None
         self.sweep_source = None
@@ -173,6 +235,19 @@ def compile_plan(net: Netlist) -> CyclePlan:
             final, _ = SkipGateEngine._final_cycle_fanout(probe)
             plan = CyclePlan(net, static, final)
             _PLAN_CACHE[net] = plan
+    return plan
+
+
+def warm_plan(net: Netlist) -> CyclePlan:
+    """Fully pre-warm a netlist's compiled plan *including* the
+    generated sweep (which :func:`compile_plan` leaves to the first
+    engine).  Serve worker processes call this at spawn so the first
+    admitted session pays neither compile."""
+    plan = compile_plan(net)
+    if plan.sweep_fn is None and net.n_gates <= _CODEGEN_GATE_LIMIT:
+        with _PLAN_LOCK:
+            if plan.sweep_fn is None:
+                _compile_sweep(plan)
     return plan
 
 
@@ -397,6 +472,13 @@ class CompiledSkipGateEngine(SkipGateEngine):
         # store (secret init labels may already sit on wires).  Done
         # before handler construction: handlers capture this exact
         # list object (restore() mutates it in place).
+        #
+        # The interned store stays a plain list even though it holds
+        # only ints: array('l').__getitem__ boxes a fresh int per read
+        # (slower than a list's pointer fetch in CPython), and the port
+        # handlers' bulk stores (``S[o0:o1] = vals`` with a tuple RHS)
+        # are illegal on typed arrays.  The win from typing lives in
+        # the write-once gate rows instead (:class:`GateRows`).
         self.state = [
             s if type(s) is int else self._encode_nopush(s) for s in self.state
         ]

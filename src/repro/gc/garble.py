@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..circuit.gates import and_decomposition
-from .hashing import LABEL_MASK, hash_labels
+from .hashing import LABEL_MASK, hash_labels2, hash_labels4
 
 
 def random_label(rng=None) -> int:
@@ -60,10 +60,11 @@ def garble_and(a0: int, b0: int, delta: int, gid: int) -> Tuple[int, GarbledTabl
     j1 = 2 * gid + 1
     pa = a0 & 1
     pb = b0 & 1
-    # The four distinct hash points of one half-gate pair, as a batch
-    # (the straight-line form re-hashed H(a0,j0) and H(b0,j1)).
-    ha0, ha1, hb0, hb1 = hash_labels(
-        ((a0, j0), (a0 ^ delta, j0), (b0, j1), (b0 ^ delta, j1))
+    # The four distinct hash points of one half-gate pair, as one
+    # unrolled batch (the straight-line form re-hashed H(a0,j0) and
+    # H(b0,j1); the generic iterator batch paid per-pair overhead).
+    ha0, ha1, hb0, hb1 = hash_labels4(
+        a0, j0, a0 ^ delta, j0, b0, j1, b0 ^ delta, j1
     )
     # Generator half.
     tg = ha0 ^ ha1
@@ -84,7 +85,7 @@ def garble_and(a0: int, b0: int, delta: int, gid: int) -> Tuple[int, GarbledTabl
 def evaluate_and(a: int, b: int, table: GarbledTable, gid: int) -> int:
     """Evaluate a garbled AND gate on held labels ``a`` and ``b``."""
     j0 = 2 * gid
-    ha, hb = hash_labels(((a, j0), (b, j0 + 1)))
+    ha, hb = hash_labels2(a, j0, b, j0 + 1)
     w = ha ^ hb
     if a & 1:
         w ^= table.tg

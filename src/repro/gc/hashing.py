@@ -75,6 +75,56 @@ def hash_labels(pairs) -> list:
     return out
 
 
+def hash_labels2(l0: int, t0: int, l1: int, t1: int):
+    """Unrolled 2-point batch: ``(H(l0,t0), H(l1,t1))``.
+
+    The evaluator's per-gate hot path — two hash points per garbled
+    gate — called once per category-iv gate per cycle, so the generic
+    batch's iterator protocol and list building are worth shaving.
+    """
+    HASH_STATS.calls += 2
+    nbytes = LABEL_BYTES
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    return (
+        from_bytes(sha256(
+            l0.to_bytes(nbytes, "little")
+            + (t0 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+        from_bytes(sha256(
+            l1.to_bytes(nbytes, "little")
+            + (t1 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+    )
+
+
+def hash_labels4(l0: int, t0: int, l1: int, t1: int,
+                 l2: int, t2: int, l3: int, t3: int):
+    """Unrolled 4-point batch — the garbler's half-gate point set."""
+    HASH_STATS.calls += 4
+    nbytes = LABEL_BYTES
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    return (
+        from_bytes(sha256(
+            l0.to_bytes(nbytes, "little")
+            + (t0 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+        from_bytes(sha256(
+            l1.to_bytes(nbytes, "little")
+            + (t1 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+        from_bytes(sha256(
+            l2.to_bytes(nbytes, "little")
+            + (t2 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+        from_bytes(sha256(
+            l3.to_bytes(nbytes, "little")
+            + (t3 & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ).digest()[:nbytes], "little"),
+    )
+
+
 def kdf_bytes(secret: bytes, context: bytes, nbytes: int) -> bytes:
     """Derive ``nbytes`` of key material (used by the OT layer)."""
     out = b""

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from .channel import Endpoint
-from .hashing import LABEL_BYTES, LABEL_MASK, hash_label, kdf_bytes
+from .hashing import LABEL_BYTES, LABEL_MASK, hash_labels, kdf_bytes
 from .ot import OTReceiver, OTSender
 
 KAPPA = 128  #: security parameter / number of base OTs
@@ -102,15 +102,16 @@ class OTExtensionSender:
                 g ^= us[i]
             cols.append(g)
         rows = _transpose_columns(cols, m)
-        base = self.count
         # Tweak domain disjoint from the garbler's (which uses 2*gid
-        # and 2*gid+1 below 2^62).
+        # and 2*gid+1 below 2^62).  The whole pool hashes as one
+        # batch — 2m points in one tight hash_labels sweep instead of
+        # 2m point calls.
+        t0 = (1 << 62) + self.count
+        s = self._s
+        h0 = hash_labels((q, t0 + j) for j, q in enumerate(rows))
+        h1 = hash_labels((q ^ s, t0 + j) for j, q in enumerate(rows))
         self._pool = [
-            (
-                hash_label(q, (1 << 62) + base + j) & LABEL_MASK,
-                hash_label(q ^ self._s, (1 << 62) + base + j) & LABEL_MASK,
-            )
-            for j, q in enumerate(rows)
+            (x0 & LABEL_MASK, x1 & LABEL_MASK) for x0, x1 in zip(h0, h1)
         ]
 
     def send(self, m0: int, m1: int) -> None:
@@ -201,13 +202,12 @@ class OTExtensionReceiver:
             u_parts.append(u.to_bytes(col_bytes, "little"))
         self.chan.send("otx-u", b"".join(u_parts))
         rows = _transpose_columns(t_cols, m)
-        base = self.count
+        # Same batching as the sender: the pool's m points hash in one
+        # hash_labels sweep.
+        t0 = (1 << 62) + self.count
+        hs = hash_labels((t, t0 + j) for j, t in enumerate(rows))
         self._pool = [
-            (
-                (r >> j) & 1,
-                hash_label(t, (1 << 62) + base + j) & LABEL_MASK,
-            )
-            for j, t in enumerate(rows)
+            ((r >> j) & 1, h & LABEL_MASK) for j, h in enumerate(hs)
         ]
 
     def receive(self, choice: int) -> int:

@@ -35,9 +35,25 @@ from ..circuit.netlist import Netlist
 BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
 
 
+class _Stream1:
+    """One bit per cycle, LSB first (bit-serial circuits).
+
+    A class, not a lambda, so the bit source pickles: serve programs
+    cross a process boundary to the worker pool, and an unpicklable
+    source would silently demote the server to the thread pool.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __call__(self, c: int) -> Sequence[int]:
+        return [(self.value >> c) & 1]
+
+
 def _stream1(value: int) -> BitSource:
-    """One bit per cycle, LSB first (bit-serial circuits)."""
-    return lambda c: [(value >> c) & 1]
+    return _Stream1(value)
 
 
 def _block(value: int, width: int) -> BitSource:

@@ -95,6 +95,16 @@ class PrefacedLink(Link):
         self._link = link
         self._preface = bytes(preface)
 
+    @property
+    def inner(self) -> Link:
+        """The wrapped link (a handoff needs the real transport)."""
+        return self._link
+
+    @property
+    def preface(self) -> bytes:
+        """Bytes still owed to the first ``recv_bytes`` call."""
+        return self._preface
+
     def send_bytes(self, data: bytes) -> None:
         self._link.send_bytes(data)
 

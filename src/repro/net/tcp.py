@@ -35,6 +35,27 @@ class TcpLink(Link):
         self._sock = sock
         self._closed = False
 
+    @classmethod
+    def from_fd(cls, fd: int) -> "TcpLink":
+        """Adopt a connected-socket descriptor (e.g. one received over
+        an ``SCM_RIGHTS`` handoff).  The link owns the fd from here."""
+        sock = socket.socket(fileno=fd)
+        sock.settimeout(None)
+        return cls(sock)
+
+    def detach(self) -> int:
+        """Surrender the underlying descriptor without shutting the
+        connection down.
+
+        This is the send half of a cross-process handoff: ``close()``
+        does ``shutdown(SHUT_RDWR)``, which would kill the connection
+        for *every* process holding a duplicate of the fd, so a parent
+        that has passed the socket to a worker must relinquish its copy
+        this way instead.  The link is unusable afterwards.
+        """
+        self._closed = True
+        return self._sock.detach()
+
     def send_bytes(self, data: bytes) -> None:
         if self._closed:
             raise LinkClosed("link is closed")

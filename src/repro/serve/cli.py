@@ -64,6 +64,7 @@ def run_serve(args) -> int:
         engine=args.engine,
         heartbeat=args.heartbeat,
         max_sessions=args.max_sessions,
+        pool=args.pool,
         **({"obs": obs} if obs is not None else {}),
     )
 
@@ -79,7 +80,7 @@ def run_serve(args) -> int:
         json.dumps(
             {"event": "ready", "host": server.host, "port": server.port,
              "programs": sorted(programs), "workers": args.workers,
-             "queue_depth": args.queue_depth},
+             "queue_depth": args.queue_depth, "pool": server.pool},
             sort_keys=True,
         ),
         flush=True,
@@ -112,6 +113,7 @@ def run_loadgen_cmd(args) -> int:
         ot=args.ot,
         ot_group=args.ot_group,
         verify=not args.no_verify,
+        client_procs=args.client_procs,
     )
     _emit(args, report.to_record())
     if not args.json:
@@ -140,7 +142,15 @@ def add_serve_parser(sub) -> None:
                    help="the garbler operand used for every session")
     p.add_argument("--listen", default="127.0.0.1:9200", metavar="HOST:PORT")
     p.add_argument("--workers", type=int, default=4,
-                   help="concurrent session workers (default 4)")
+                   help="concurrent session workers — one OS process "
+                        "each under the default process pool (default 4)")
+    p.add_argument("--pool", choices=("auto", "process", "thread"),
+                   default="auto",
+                   help="worker pool kind: 'process' pins one forkserver "
+                        "process per worker (true multi-core garbling), "
+                        "'thread' keeps the in-process pool, 'auto' "
+                        "(default) picks process when the platform and "
+                        "programs allow it")
     p.add_argument("--queue-depth", type=int, default=8,
                    help="bounded accept queue; beyond it new sessions get "
                         "an immediate structured busy reject (default 8)")
@@ -192,6 +202,10 @@ def add_loadgen_parser(sub) -> None:
                    default="simplest")
     p.add_argument("--ot-group", choices=("modp512", "modp2048"),
                    default="modp512")
+    p.add_argument("--client-procs", action="store_true",
+                   help="run each client in its own OS process so the "
+                        "load generator scales past one core (use when "
+                        "measuring a multi-core server)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=run_loadgen_cmd)

@@ -1,13 +1,20 @@
 """Load generator: K concurrent evaluator clients against one server.
 
-Spawns ``clients`` evaluator sessions (one thread each) against a
-running :class:`~repro.serve.server.GarbleServer`, with a configurable
+Spawns ``clients`` evaluator sessions against a running
+:class:`~repro.serve.server.GarbleServer`, with a configurable
 arrival pattern:
 
 * ``"burst"`` — all clients released simultaneously through a barrier
   (stress admission control and worker-pool contention);
 * ``"paced"`` — client *i* starts at ``i * interval`` seconds
   (steady-state arrivals).
+
+Clients run as threads by default; ``client_procs=True`` runs each
+client in its own OS process (forkserver) instead.  Thread clients
+share one GIL, so with a multi-core *server* the load generator itself
+becomes the bottleneck — the evaluator does real garbled-circuit work
+per session.  The throughput-scaling benchmark uses process clients so
+the measured figure is the server's.
 
 Every session is **verified**: all sessions over the same operand must
 be bit-identical to each other (outputs and non-XOR gate counts — the
@@ -21,6 +28,8 @@ numbers ``benchmarks/bench_serve_throughput.py`` tracks.
 
 from __future__ import annotations
 
+import multiprocessing
+import queue
 import threading
 import uuid
 from dataclasses import dataclass, field
@@ -81,6 +90,64 @@ class LoadgenReport:
         }
 
 
+def _one_session(out: SessionOutcome, host: str, port: int, circuit: str,
+                 net, spec: dict) -> None:
+    """Run one evaluator session, recording the outcome in ``out``."""
+    t0 = perf_counter()
+    try:
+        res = run_registry_session(
+            host, port, circuit, out.value,
+            session_id=out.session, net=net,
+            timeout=spec["timeout"], max_attempts=spec["max_attempts"],
+            engine=spec["engine"], ot=spec["ot"],
+            ot_group=spec["ot_group"],
+        )
+    except ServerBusy as exc:
+        out.busy = True
+        out.error = str(exc)
+    except BaseException as exc:
+        out.error = f"{type(exc).__name__}: {exc}"
+    else:
+        out.ok = True
+        out.result_value = res.value
+        out.outputs = list(res.outputs)
+        out.garbled_nonxor = res.stats.garbled_nonxor
+        out.reconnects = res.reconnects
+    finally:
+        out.seconds = perf_counter() - t0
+
+
+def _proc_client_main(i: int, barrier, outq, host: str, port: int,
+                      circuit: str, arrival: str, interval: float,
+                      session: str, value: int, spec: dict) -> None:
+    """One process client (module-level so forkserver can import it).
+
+    Builds its own netlist *before* the release barrier so per-process
+    setup cost never pollutes the measured window, then runs exactly
+    the thread client's session path.
+    """
+    out = SessionOutcome(session=session, value=value)
+    try:
+        from ..core.plan import warm_plan
+        from ..net.cli import _registry
+
+        net, _cycles = _registry()[circuit].build()
+        if spec["engine"] == "compiled":
+            # Thread clients share one process-wide plan cache, so all
+            # but the first session ride a warm plan; give each client
+            # process the same footing before the measured window.
+            warm_plan(net)
+        barrier.wait()
+        if arrival == "paced" and i:
+            sleep(i * interval)
+        _one_session(out, host, port, circuit, net, spec)
+    except BaseException as exc:  # noqa: BLE001 - ship, don't hang parent
+        if out.error is None:
+            out.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        outq.put((i, out))
+
+
 def _percentile(sorted_vals: List[float], q: float) -> float:
     """Nearest-rank percentile of an ascending list (0 for empty)."""
     if not sorted_vals:
@@ -107,6 +174,7 @@ def run_loadgen(
     ot: str = "simplest",
     ot_group: str = "modp512",
     verify: bool = True,
+    client_procs: bool = False,
 ) -> LoadgenReport:
     """Run ``clients`` verified sessions and aggregate the outcome.
 
@@ -115,7 +183,8 @@ def run_loadgen(
     the caller controls the server — arms full result verification
     against the local simulator.  A :class:`ServerBusy` reject counts
     as ``busy``, any other failure as ``failed``; both leave
-    ``ok`` sessions unaffected.
+    ``ok`` sessions unaffected.  ``client_procs=True`` runs each
+    client in its own process (see the module docstring).
     """
     if arrival not in ("burst", "paced"):
         raise ValueError(f"unknown arrival pattern {arrival!r}")
@@ -123,7 +192,8 @@ def run_loadgen(
 
     entry = _registry()[circuit]
     #: One netlist shared by every client thread: same sharing shape
-    #: as the server, exercising the thread-safe plan cache.
+    #: as the server, exercising the thread-safe plan cache.  (Process
+    #: clients each rebuild their own; this one still feeds _verify.)
     net, cycles = entry.build()
     vals = list(values) if values is not None else [
         base_value + i for i in range(clients)
@@ -131,57 +201,24 @@ def run_loadgen(
     if len(vals) != clients:
         raise ValueError("values must have one entry per client")
     prefix = session_prefix or f"loadgen-{uuid.uuid4().hex[:8]}"
+    spec = {
+        "timeout": timeout, "max_attempts": max_attempts,
+        "engine": engine, "ot": ot, "ot_group": ot_group,
+    }
 
     outcomes = [
         SessionOutcome(session=f"{prefix}-{i}", value=vals[i])
         for i in range(clients)
     ]
-    barrier = threading.Barrier(clients + 1)
-    t_zero: List[float] = [0.0]
 
-    def client_main(i: int) -> None:
-        out = outcomes[i]
-        barrier.wait()
-        if arrival == "paced":
-            wake = t_zero[0] + i * interval
-            delay = wake - perf_counter()
-            if delay > 0:
-                sleep(delay)
-        t0 = perf_counter()
-        try:
-            res = run_registry_session(
-                host, port, circuit, out.value,
-                session_id=out.session, net=net,
-                timeout=timeout, max_attempts=max_attempts,
-                engine=engine, ot=ot, ot_group=ot_group,
-            )
-        except ServerBusy as exc:
-            out.busy = True
-            out.error = str(exc)
-        except BaseException as exc:
-            out.error = f"{type(exc).__name__}: {exc}"
-        else:
-            out.ok = True
-            out.result_value = res.value
-            out.outputs = list(res.outputs)
-            out.garbled_nonxor = res.stats.garbled_nonxor
-            out.reconnects = res.reconnects
-        finally:
-            out.seconds = perf_counter() - t0
-
-    threads = [
-        threading.Thread(target=client_main, args=(i,),
-                         name=f"loadgen-{i}", daemon=True)
-        for i in range(clients)
-    ]
-    for t in threads:
-        t.start()
-    barrier.wait()
-    t_zero[0] = perf_counter()
-    wall0 = perf_counter()
-    for t in threads:
-        t.join()
-    wall = perf_counter() - wall0
+    if client_procs:
+        wall = _run_process_clients(
+            outcomes, host, port, circuit, arrival, interval, spec
+        )
+    else:
+        wall = _run_thread_clients(
+            outcomes, host, port, circuit, net, arrival, interval, spec
+        )
 
     ok = [o for o in outcomes if o.ok]
     busy = [o for o in outcomes if o.busy]
@@ -205,6 +242,93 @@ def run_loadgen(
         outcomes=outcomes,
         verify_errors=verify_errors,
     )
+
+
+def _run_thread_clients(outcomes: List[SessionOutcome], host: str,
+                        port: int, circuit: str, net, arrival: str,
+                        interval: float, spec: dict) -> float:
+    """Thread clients behind a release barrier; returns wall seconds."""
+    clients = len(outcomes)
+    barrier = threading.Barrier(clients + 1)
+    t_zero: List[float] = [0.0]
+
+    def client_main(i: int) -> None:
+        barrier.wait()
+        if arrival == "paced":
+            wake = t_zero[0] + i * interval
+            delay = wake - perf_counter()
+            if delay > 0:
+                sleep(delay)
+        _one_session(outcomes[i], host, port, circuit, net, spec)
+
+    threads = [
+        threading.Thread(target=client_main, args=(i,),
+                         name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t_zero[0] = perf_counter()
+    wall0 = perf_counter()
+    for t in threads:
+        t.join()
+    return perf_counter() - wall0
+
+
+def _run_process_clients(outcomes: List[SessionOutcome], host: str,
+                         port: int, circuit: str, arrival: str,
+                         interval: float, spec: dict) -> float:
+    """One OS process per client; returns wall seconds.
+
+    The barrier releases only after every process has built its
+    netlist, so the measured window starts with all clients poised to
+    dial, matching the thread path's semantics.
+    """
+    clients = len(outcomes)
+    ctx = multiprocessing.get_context("forkserver")
+    barrier = ctx.Barrier(clients + 1)
+    outq = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_proc_client_main,
+            args=(i, barrier, outq, host, port, circuit, arrival,
+                  interval, outcomes[i].session, outcomes[i].value, spec),
+            name=f"loadgen-{i}", daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for p in procs:
+        p.start()
+    try:
+        # A child that dies before reaching the barrier (import error,
+        # OOM kill) must break it rather than deadlock the run; the
+        # break propagates to the surviving children, whose outcome
+        # messages then carry the BrokenBarrierError.
+        barrier.wait(timeout=120.0)
+    except threading.BrokenBarrierError:
+        pass
+    wall0 = perf_counter()
+    got = 0
+    while got < clients:
+        try:
+            i, out = outq.get(timeout=5.0)
+        except queue.Empty:
+            if any(p.is_alive() for p in procs):
+                continue
+            # Every process exited without reporting (killed hard):
+            # whatever outcomes are missing stay at their error-free
+            # defaults with ok=False, which counts as failed below.
+            for o in outcomes:
+                if o.error is None and not o.ok and not o.busy:
+                    o.error = "client process died without reporting"
+            break
+        outcomes[i] = out
+        got += 1
+    wall = perf_counter() - wall0
+    for p in procs:
+        p.join()
+    return wall
 
 
 def _verify(entry, net, cycles, ok_outcomes, server_value) -> List[str]:

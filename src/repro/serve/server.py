@@ -1,49 +1,74 @@
 """`repro.serve`: a long-lived multi-session garbling server.
 
-One :class:`GarbleServer` process owns the garbler role for many
-concurrent evaluator sessions.  The paper's premise — a fixed public
-circuit garbled afresh per private input — makes this the natural
-scaling unit: the netlists and their compiled
-:class:`~repro.core.plan.CyclePlan` are built **once** at server
-construction and shared (read-only) by every session's engine, so N
-concurrent sessions pay one compile.
+One :class:`GarbleServer` owns the garbler role for many concurrent
+evaluator sessions.  The paper's premise — a fixed public circuit
+garbled afresh per private input — makes this the natural scaling
+unit: the netlists and their compiled
+:class:`~repro.core.plan.CyclePlan` are built **once per worker
+process** at spawn and shared (read-only) by every session that worker
+runs, so N concurrent sessions pay ``workers`` compiles, not N.
 
-Architecture::
+Architecture (process pool, the default)::
 
     TcpListener ── accept loop ── serve-hello handshake
          │                            │
-         │          new session ──> bounded accept queue ──> worker pool
-         │                            │  (Full -> structured  (N threads,
-         │                            │   "busy" reject)       one
-         │          reconnect ─────> live session's link       GarblerParty
-         │                            queue                    session each)
-         └── stats probe ──> snapshot reply, close
+         │          new session ──> bounded accept queue ── dispatcher
+         │                            │  (Full -> structured     │
+         │                            │   "busy" reject)    idle worker?
+         │                            │                          │
+         │          reconnect ──── fd passed (SCM_RIGHTS) ──> worker
+         │                          to the owning worker      processes
+         └── stats probe ──> snapshot reply, close            (1 session
+                                                               at a time)
 
+* **Worker pool** — ``workers`` forkserver processes, each of which
+  rebuilds and pre-warms one compiled plan per served program at
+  spawn (:mod:`repro.serve.worker`).  Sessions are handed to workers
+  over a per-worker control channel (:mod:`repro.serve.ipc`); every
+  (re)connected socket crosses to the owning worker as a file
+  descriptor via ``socket.send_fds``, so checkpoint/resume routing
+  keeps working across the process boundary.  Garbling therefore runs
+  on ``min(workers, cores)`` cores instead of serializing on one GIL.
+  ``pool="thread"`` retains the in-process pool (used automatically
+  when the programs are not picklable, e.g. callable bit sources).
 * **Admission control** — the accept queue is a bounded
   ``queue.Queue``; when it is full a new hello is answered with an
   immediate structured ``{"status": "busy", ...}`` welcome and the
   connection is closed.  Reconnects for live sessions bypass
-  admission (they hold a worker already).
+  admission (they hold a worker already).  The ``accepted`` counter
+  is bumped only once the welcome has actually reached the client; a
+  client that vanishes mid-handshake has its queue entry cancelled so
+  no worker burns a resume window on a linkless session.
 * **Session lifecycle** — each admitted session runs the existing
   :class:`~repro.net.session.ResumableSession` state machine around a
   :class:`~repro.core.protocol.GarblerParty`; its ``connect`` callable
-  pops from the session's link queue, which the accept loop feeds on
-  every (re)connect.  A dropped evaluator therefore redials the same
-  server, names its session id in the hello, and resumes against the
-  checkpoints the worker already holds.
+  pops from the session's link queue, which (re)connects feed.  A
+  dropped evaluator redials the same server, names its session id in
+  the hello, and resumes against the checkpoints the worker holds.
+  Session state transitions and the ``completed``/``failed`` counters
+  move together under the parent's lock, so a finished-counter
+  observation implies the finished state is visible.
+* **Stats** — counters live in a shared-memory block
+  (``multiprocessing.Array``) written by both the parent (admission,
+  rejects, probes) and the workers (the ``active`` gauge); per-session
+  records are shipped back over the control channel into the parent's
+  ring and the obs layer (``serve.*`` counters, ``serve-session``
+  trace events), and served over the wire to any ``op: "stats"``
+  hello.
 * **Drain** — :meth:`GarbleServer.shutdown` (wired to SIGTERM/SIGINT
-  by the CLI) closes the listener, lets queued and active sessions
-  finish, then joins the workers.  New hellos racing the drain get a
-  structured ``draining`` reject.
-* **Stats** — counters and per-session records go to the obs layer
-  (``serve.*`` counters, ``serve-session`` trace events) and are
-  served over the wire to any client that sends a hello with
-  ``op: "stats"``.
+  by the CLI) closes the listener, waits out the accept queue's task
+  accounting (every admitted session gets exactly one ``task_done``,
+  whether it completed, failed, was cancelled, or was discarded by a
+  hard stop), then stops the workers.  New hellos racing the drain
+  get a structured ``draining`` reject.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import queue
+import socket as socket_mod
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -51,18 +76,60 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..circuit.netlist import Netlist
-from ..core.plan import compile_plan
+from ..core.plan import warm_plan
 from ..core.protocol import GarblerParty, _expand_bits
 from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
 from ..net.session import ResumableSession, SessionResult
-from ..net.tcp import TcpListener
+from ..net.tcp import TcpLink, TcpListener
 from ..obs import NULL_OBS
 from .handshake import HELLO, WELCOME, recv_control, send_control
+from .ipc import IpcClosed, MsgChannel
+from .worker import STAT_FIELDS, worker_main
 
 BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
 
 _SENTINEL = object()
+_SEALED = object()
+
+#: set_forkserver_preload must happen before the forkserver boots;
+#: guard so repeated server construction doesn't re-set it.
+_FORKSERVER_PRELOADED = False
+
+
+def _forkserver_context():
+    import multiprocessing as mp
+
+    global _FORKSERVER_PRELOADED
+    ctx = mp.get_context("forkserver")
+    if not _FORKSERVER_PRELOADED:
+        try:
+            ctx.set_forkserver_preload(["repro.serve.worker"])
+        except Exception:
+            pass  # forkserver already running; workers import lazily
+        _FORKSERVER_PRELOADED = True
+    return ctx
+
+
+def _main_module_spawnable() -> bool:
+    """Whether worker processes can boot in this interpreter.
+
+    Spawn/forkserver re-prepare ``__main__`` in the child from its
+    module name or file path; a ``__main__`` that is neither (a stdin
+    script, some embedded interpreters) makes every worker die during
+    bootstrap, so ``pool="auto"`` must fall back to threads.
+    """
+    import sys
+
+    main = sys.modules.get("__main__")
+    if main is None:
+        return True
+    if getattr(getattr(main, "__spec__", None), "name", None):
+        return True
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return True  # interactive: nothing to re-run, spawn skips it
+    return os.path.exists(path)
 
 
 @dataclass(frozen=True)
@@ -74,7 +141,7 @@ class ServeProgram:
     bits.  ``net`` is shared by every session over this program —
     engines never mutate the netlist, and the compiled plan cache is
     thread-safe — which is exactly what makes N sessions pay one
-    compile.
+    compile per process.
     """
 
     net: Netlist
@@ -99,40 +166,63 @@ def registry_program(name: str, value: int = 0) -> ServeProgram:
 
 
 class ServeStats:
-    """Thread-safe serve counters plus a ring of per-session records."""
+    """Serve counters plus a ring of per-session records.
 
-    def __init__(self, keep_sessions: int = 64) -> None:
-        self._lock = threading.Lock()
-        self.accepted = 0
-        self.rejected_busy = 0
-        self.rejected_error = 0
-        self.completed = 0
-        self.failed = 0
-        self.active = 0
-        self.stats_probes = 0
+    The counters live in a flat block — a plain list under a
+    ``threading.Lock`` for the thread pool, a shared-memory
+    ``multiprocessing.Array`` (with its cross-process lock) for the
+    process pool, where the workers write the ``active`` gauge
+    directly.  Field layout is :data:`~repro.serve.worker.STAT_FIELDS`;
+    each field also reads as a plain attribute (``stats.completed``).
+    """
+
+    def __init__(self, keep_sessions: int = 64, block=None,
+                 lock=None) -> None:
+        if block is None:
+            block = [0] * len(STAT_FIELDS)
+            lock = threading.Lock()
+        self._block = block
+        self._block_lock = lock
+        self._ring_lock = threading.Lock()
         self._recent: "deque" = deque(maxlen=keep_sessions)
 
     def bump(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            setattr(self, name, getattr(self, name) + n)
+        i = STAT_FIELDS.index(name)
+        with self._block_lock:
+            self._block[i] += n
+
+    def done_snapshot(self) -> int:
+        """``completed + failed`` as one atomic read (the
+        ``max_sessions`` trigger must not see a torn pair)."""
+        with self._block_lock:
+            return (self._block[STAT_FIELDS.index("completed")]
+                    + self._block[STAT_FIELDS.index("failed")])
 
     def record_session(self, record: dict) -> None:
-        with self._lock:
+        with self._ring_lock:
             self._recent.append(dict(record))
 
     def snapshot(self) -> dict:
         """Codec-safe snapshot (ints / strings / lists / dicts only)."""
-        with self._lock:
-            return {
-                "accepted": self.accepted,
-                "rejected_busy": self.rejected_busy,
-                "rejected_error": self.rejected_error,
-                "completed": self.completed,
-                "failed": self.failed,
-                "active": self.active,
-                "stats_probes": self.stats_probes,
-                "sessions": [dict(r) for r in self._recent],
-            }
+        with self._block_lock:
+            snap = {name: self._block[i]
+                    for i, name in enumerate(STAT_FIELDS)}
+        with self._ring_lock:
+            snap["sessions"] = [dict(r) for r in self._recent]
+        return snap
+
+
+def _stat_property(index: int) -> property:
+    def get(self: ServeStats) -> int:
+        with self._block_lock:
+            return self._block[index]
+
+    return property(get)
+
+
+for _i, _name in enumerate(STAT_FIELDS):
+    setattr(ServeStats, _name, _stat_property(_i))
+del _i, _name
 
 
 @dataclass
@@ -142,10 +232,16 @@ class _ServeSession:
     id: str
     program: str
     prog: ServeProgram
-    state: str = "queued"  # queued -> active -> done | failed
+    #: queued -> active -> done | failed; ``cancelled`` is the
+    #: admission-unwind terminal (welcome never reached the client).
+    state: str = "queued"
     result: Optional[SessionResult] = None
     error: Optional[BaseException] = None
     wall_seconds: float = 0.0
+    #: Process pool: index of the worker running this session (None
+    #: until dispatched; links arriving earlier wait in ``_pending``).
+    owner: Optional[int] = None
+    _pending: List[tuple] = field(default_factory=list)
     _links: "queue.Queue" = field(default_factory=queue.Queue)
     _lock: threading.Lock = field(default_factory=threading.Lock)
     _sealed: bool = False
@@ -161,22 +257,33 @@ class _ServeSession:
 
     def pop_link(self, timeout: Optional[float]) -> Link:
         try:
-            return self._links.get(timeout=timeout)
+            item = self._links.get(timeout=timeout)
         except queue.Empty:
             raise LinkTimeout(
                 f"session {self.id!r}: evaluator did not (re)connect "
                 f"within {timeout}s"
             ) from None
+        if item is _SEALED:
+            self._links.put(item)  # keep failing fast for later pops
+            raise LinkClosed(f"session {self.id!r} is sealed")
+        return item
 
     def seal(self) -> None:
-        """Close any links that arrived after the session finished."""
+        """Close pending/queued links and wake a blocked ``pop_link``
+        so a cancelled session never costs a full resume window."""
         with self._lock:
             self._sealed = True
+            pending, self._pending = self._pending, []
             while True:
                 try:
-                    self._links.get_nowait().close()
+                    item = self._links.get_nowait()
                 except queue.Empty:
-                    return
+                    break
+                if item is not _SEALED:
+                    item.close()
+            self._links.put(_SEALED)
+        for link, _preface in pending:
+            link.close()
 
 
 class GarbleServer:
@@ -186,6 +293,11 @@ class GarbleServer:
     loop and worker pool, then either :meth:`serve_forever` (blocks
     until :meth:`request_shutdown`, e.g. from a signal handler) or
     drive clients directly in tests and call :meth:`shutdown`.
+
+    ``pool`` selects the worker pool: ``"process"`` (one OS process
+    per worker — true multi-core garbling), ``"thread"`` (the
+    in-process pool), or ``"auto"`` (default: processes when the
+    programs can cross a process boundary, threads otherwise).
     """
 
     def __init__(
@@ -205,6 +317,7 @@ class GarbleServer:
         engine: str = "compiled",
         heartbeat: Optional[float] = None,
         max_sessions: Optional[int] = None,
+        pool: str = "auto",
         obs=NULL_OBS,
     ) -> None:
         if workers < 1:
@@ -214,11 +327,6 @@ class GarbleServer:
         self.programs = dict(programs)
         if not self.programs:
             raise ValueError("a server needs at least one program")
-        # One compile for all sessions: warm the thread-safe plan
-        # cache now so no session thread pays netlist compilation.
-        for prog in self.programs.values():
-            if engine == "compiled":
-                compile_plan(prog.net)
         self.workers = workers
         self.checkpoint_every = checkpoint_every
         self.timeout = timeout
@@ -233,7 +341,30 @@ class GarbleServer:
         self.heartbeat = heartbeat
         self.max_sessions = max_sessions
         self.obs = obs
-        self.stats = ServeStats()
+        self.pool = self._resolve_pool(pool)
+        if self.pool == "process":
+            self._ctx = _forkserver_context()
+            self._stats_block = self._ctx.Array("l", len(STAT_FIELDS))
+            self.stats = ServeStats(
+                block=self._stats_block,
+                lock=self._stats_block.get_lock(),
+            )
+            self._procs: List[Optional[object]] = [None] * workers
+            self._chans: List[Optional[MsgChannel]] = [None] * workers
+            #: Workers that completed their pre-warm at least once; a
+            #: worker dying *before* ready means spawning is broken in
+            #: this environment, and respawning would loop forever.
+            self._worker_ready: List[bool] = [False] * workers
+            #: Tokens of workers ready for a session (fed by "ready"
+            #: and session-finished messages).
+            self._idle: "queue.Queue" = queue.Queue()
+        else:
+            self.stats = ServeStats()
+            # One compile for all sessions: warm the thread-safe plan
+            # cache now so no session thread pays netlist compilation.
+            if engine == "compiled":
+                for prog in self.programs.values():
+                    warm_plan(prog.net)
         self._listener = TcpListener(host=host, port=port)
         self.host, self.port = self._listener.host, self._listener.port
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
@@ -246,6 +377,38 @@ class GarbleServer:
         self._threads: List[threading.Thread] = []
         self._started = False
 
+    def _resolve_pool(self, pool: str) -> str:
+        if pool == "thread":
+            return "thread"
+        if pool not in ("auto", "process"):
+            raise ValueError(
+                f"unknown pool {pool!r} (use 'auto', 'process' or 'thread')"
+            )
+        try:
+            pickle.dumps(self.programs)
+        except Exception as exc:
+            if pool == "process":
+                raise ValueError(
+                    "pool='process' needs picklable programs (callable "
+                    f"bit sources cannot cross the process boundary): {exc}"
+                ) from exc
+            return "thread"
+        if not _main_module_spawnable():
+            if pool == "process":
+                raise ValueError(
+                    "pool='process' cannot boot workers: __main__ is not "
+                    "importable (run from a file or module, or use "
+                    "pool='thread')"
+                )
+            return "thread"
+        try:
+            _forkserver_context()
+        except Exception:
+            if pool == "process":
+                raise
+            return "thread"
+        return "process"
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "GarbleServer":
@@ -257,13 +420,23 @@ class GarbleServer:
         )
         accept.start()
         self._threads.append(accept)
-        for i in range(self.workers):
-            t = threading.Thread(
-                target=self._worker_loop, args=(i,),
-                name=f"serve-worker-{i}", daemon=True,
+        if self.pool == "process":
+            for i in range(self.workers):
+                self._spawn_worker(i)
+            dispatch = threading.Thread(
+                target=self._dispatch_loop, name="serve-dispatch",
+                daemon=True,
             )
-            t.start()
-            self._threads.append(t)
+            dispatch.start()
+            self._threads.append(dispatch)
+        else:
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop, args=(i,),
+                    name=f"serve-worker-{i}", daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
         return self
 
     def request_shutdown(self) -> None:
@@ -279,7 +452,7 @@ class GarbleServer:
         """Stop the server.
 
         ``drain=True`` (graceful, the SIGTERM path): stop accepting,
-        let queued and active sessions run to completion, then join
+        let queued and active sessions run to completion, then stop
         the workers.  ``drain=False``: additionally discard queued
         sessions that no worker has picked up yet (their evaluators
         see EOF and fail on their side); active sessions still finish.
@@ -295,14 +468,18 @@ class GarbleServer:
                     sess = self._queue.get_nowait()
                 except queue.Empty:
                     break
+                if sess is _SENTINEL:
+                    self._queue.task_done()
+                    continue
                 with self._lock:
                     sess.state = "failed"
                     sess.error = ChannelClosed("server shut down")
                 sess.seal()
                 self._queue.task_done()
         # Wait for queued + active sessions to finish.  Task accounting
-        # (get -> task_done in the worker) has no gap between "popped
-        # from the queue" and "running", unlike qsize()+active checks.
+        # (one task_done per admitted session, wherever it ends) has no
+        # gap between "popped from the queue" and "running", unlike
+        # qsize()+active checks.
         q = self._queue
         with q.all_tasks_done:
             if timeout is None:
@@ -315,8 +492,30 @@ class GarbleServer:
                     if remaining <= 0:
                         break
                     q.all_tasks_done.wait(remaining)
-        for _ in range(self.workers):
-            self._queue.put(_SENTINEL)
+        if self.pool == "process":
+            if self._started:
+                # Unblock the dispatcher whichever queue it waits on.
+                self._idle.put(_SENTINEL)
+                self._queue.put(_SENTINEL)
+            for chan in self._chans:
+                if chan is not None:
+                    try:
+                        chan.send({"type": "stop"})
+                    except IpcClosed:
+                        pass
+            for proc in self._procs:
+                if proc is not None:
+                    proc.join(timeout=10.0)
+            for chan in self._chans:
+                if chan is not None:
+                    chan.close()
+            for proc in self._procs:
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+        else:
+            for _ in range(self.workers):
+                self._queue.put(_SENTINEL)
         for t in self._threads:
             t.join(timeout=10.0)
         with self._lock:
@@ -344,6 +543,7 @@ class GarbleServer:
             queued=self._queue.qsize(),
             queue_depth=self.queue_depth,
             workers=self.workers,
+            pool=self.pool,
             draining=self._draining,
             programs=sorted(self.programs),
         )
@@ -405,9 +605,16 @@ class GarbleServer:
             )
             return
 
+        # Snapshot session + drain state under the lock: a worker
+        # transitions sessions to done/failed under this same lock, so
+        # the routing decision below never reads a torn state (the
+        # old unlocked read could welcome a redial into a session that
+        # sealed a microsecond later).
         with self._lock:
             sess = self._sessions.get(sid)
             draining = self._draining
+            if sess is not None:
+                sess_program, sess_state = sess.program, sess.state
         if sess is None:
             # -- admission control for a brand-new session ----------------
             if draining:
@@ -447,9 +654,6 @@ class GarbleServer:
                     "rejected_busy",
                 )
                 return
-            self.stats.bump("accepted")
-            if self.obs.enabled:
-                self.obs.inc("serve.accepted")
             welcome = {
                 "status": "ok",
                 "session": sid,
@@ -458,23 +662,40 @@ class GarbleServer:
                 "checkpoint_every": self.checkpoint_every,
                 "resumed": False,
             }
+            # Welcome before counting the admission: if the client
+            # vanished between hello and welcome, unwind the queue
+            # entry (the seal fails any worker that raced onto it
+            # immediately) instead of leaving a linkless session to
+            # burn a worker for a full resume window.
+            try:
+                send_control(link, WELCOME, welcome)
+            except (ChannelClosed, LinkClosed, OSError):
+                with self._lock:
+                    sess.state = "cancelled"
+                    self._sessions.pop(sid, None)
+                sess.seal()
+                link.close()
+                return
+            self.stats.bump("accepted")
+            if self.obs.enabled:
+                self.obs.inc("serve.accepted")
         else:
-            # -- reconnect routing -----------------------------------------
-            if sess.program != name:
+            # -- reconnect routing (on the locked snapshot) ----------------
+            if sess_program != name:
                 self._reject(
                     link,
                     {"status": "error",
                      "reason": f"session {sid!r} is bound to program "
-                               f"{sess.program!r}"},
+                               f"{sess_program!r}"},
                     "rejected_error",
                 )
                 return
-            if sess.state in ("done", "failed"):
+            if sess_state in ("done", "failed", "cancelled"):
                 self._reject(
                     link,
                     {"status": "error",
                      "reason": f"session {sid!r} already finished "
-                               f"({sess.state})"},
+                               f"({sess_state})"},
                     "rejected_error",
                 )
                 return
@@ -488,14 +709,232 @@ class GarbleServer:
             }
             if self.obs.enabled:
                 self.obs.inc("serve.reconnects")
-        # Welcome first, then feed the link: the worker writes to the
-        # socket the moment it sees the link, and the welcome must be
-        # the first thing the client reads.
-        send_control(link, WELCOME, welcome)
-        if not sess.push_link(PrefacedLink(link, leftover)):
-            link.close()  # finished between the check and the push
+            # Welcome first, then feed the link: the worker writes to
+            # the socket the moment it sees the link, and the welcome
+            # must be the first thing the client reads.
+            send_control(link, WELCOME, welcome)
+        if not self._deliver_link(sess, link, leftover):
+            link.close()  # finished between the snapshot and the push
 
-    # -- worker path ---------------------------------------------------------
+    def _deliver_link(self, sess: _ServeSession, link: Link,
+                      leftover: bytes) -> bool:
+        """Hand a (re)connected link to whatever runs the session:
+        the session's in-process queue (thread pool) or the owning
+        worker process via fd passing.  False if the session sealed."""
+        if self.pool != "process":
+            return sess.push_link(PrefacedLink(link, leftover))
+        with sess._lock:
+            if sess._sealed:
+                return False
+            if sess.owner is None:
+                # Not dispatched yet: the dispatcher flushes these to
+                # the worker right after the "run" message.
+                sess._pending.append((link, leftover))
+                return True
+            owner = sess.owner
+        self._send_link(owner, sess.id, link, leftover)
+        return True
+
+    def _send_link(self, owner: int, sid: str, link: Link,
+                   leftover: bytes) -> None:
+        """fd-pass one connected socket to a worker.  ``send_fds``
+        duplicates the descriptor into the message, so the parent
+        detaches (not closes — ``close()`` would shut the connection
+        down for the worker too) and drops its copy."""
+        if isinstance(link, TcpLink):
+            fd = link.detach()
+        else:  # pragma: no cover - accept loop only produces TcpLinks
+            link.close()
+            return
+        chan = self._chans[owner]
+        try:
+            if chan is not None:
+                chan.send(
+                    {"type": "link", "session": sid, "preface": leftover},
+                    fds=[fd],
+                )
+        except IpcClosed:
+            pass  # worker died; _on_worker_exit fails the session
+        finally:
+            os.close(fd)
+
+    # -- process pool --------------------------------------------------------
+
+    def _worker_config(self) -> dict:
+        return {
+            "checkpoint_every": self.checkpoint_every,
+            "timeout": self.timeout,
+            "resume_window": self.resume_window,
+            "max_attempts": self.max_attempts,
+            "ot": self.ot,
+            "ot_group": self.ot_group,
+            "engine": self.engine,
+            "heartbeat": self.heartbeat,
+        }
+
+    def _spawn_worker(self, index: int) -> None:
+        parent_sock, child_sock = socket_mod.socketpair(
+            socket_mod.AF_UNIX, socket_mod.SOCK_STREAM
+        )
+        chan = MsgChannel(parent_sock)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(index, child_sock, self._stats_block, self.programs,
+                  self._worker_config()),
+            name=f"serve-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_sock.close()  # the worker holds the only live copy now
+        self._procs[index] = proc
+        self._chans[index] = chan
+        reader = threading.Thread(
+            target=self._reader_loop, args=(index, chan),
+            name=f"serve-reader-{index}", daemon=True,
+        )
+        reader.start()
+        self._threads.append(reader)
+
+    def _reader_loop(self, index: int, chan: MsgChannel) -> None:
+        """Parent-side drain of one worker's control channel."""
+        while True:
+            try:
+                msg, fds = chan.recv()
+            except IpcClosed:
+                self._on_worker_exit(index)
+                return
+            for fd in fds:  # pragma: no cover - workers never send fds
+                os.close(fd)
+            mtype = msg.get("type")
+            if mtype == "ready":
+                self._worker_ready[index] = True
+                self._idle.put(index)
+            elif mtype in ("done", "failed"):
+                self._finish_session(msg)
+                self._idle.put(index)
+
+    def _finish_session(self, msg: dict) -> None:
+        """Apply a worker's session outcome: state transition and the
+        terminal counter move together under the parent lock."""
+        sid = msg["session"]
+        ok = msg["type"] == "done"
+        record = msg.get("record") or {}
+        with self._lock:
+            sess = self._sessions.get(sid)
+            if sess is not None:
+                sess.state = "done" if ok else "failed"
+                sess.result = msg.get("result")
+                sess.wall_seconds = msg.get("wall", 0.0)
+                if msg.get("error"):
+                    sess.error = RuntimeError(msg["error"])
+        self.stats.bump("completed" if ok else "failed")
+        if sess is not None:
+            sess.seal()
+        self.stats.record_session(record)
+        if self.obs.enabled:
+            if ok:
+                self.obs.inc("serve.completed")
+                gates = record.get("garbled_nonxor", 0)
+                if gates > 0:
+                    self.obs.inc("serve.gates", gates)
+            else:
+                self.obs.inc("serve.failed")
+            self.obs.event("serve-session", **record)
+        self._queue.task_done()
+        if self.max_sessions is not None:
+            if self.stats.done_snapshot() >= self.max_sessions:
+                self.request_shutdown()
+
+    def _on_worker_exit(self, index: int) -> None:
+        """A worker's channel hit EOF.  During drain that is the
+        normal exit; otherwise the process died and its in-flight
+        session (if any) must be failed and the worker replaced."""
+        with self._lock:
+            if self._draining or self._stopped:
+                return
+            owned = [
+                s for s in self._sessions.values()
+                if s.owner == index and s.state == "active"
+            ]
+            for sess in owned:
+                sess.state = "failed"
+                sess.error = ChannelClosed("worker process died")
+        for sess in owned:
+            sess.seal()
+            self.stats.bump("failed")
+            self.stats.bump("active", -1)  # the dead worker cannot
+            record = {
+                "session": sess.id,
+                "program": sess.program,
+                "state": "failed",
+                "wall_ms": -1,
+                "garbled_nonxor": -1,
+                "tables_sent": -1,
+                "reconnects": -1,
+            }
+            self.stats.record_session(record)
+            if self.obs.enabled:
+                self.obs.inc("serve.failed")
+                self.obs.event("serve-session", **record)
+            self._queue.task_done()
+        if not self._worker_ready[index]:
+            return  # bootstrap is broken here; don't respawn-loop
+        self._worker_ready[index] = False
+        try:
+            self._spawn_worker(index)
+        except Exception:  # pragma: no cover - spawn failure at exit
+            pass
+
+    def _dispatch_loop(self) -> None:
+        """Marry idle workers to admitted sessions, preserving the
+        accept queue's admission semantics: a session leaves the queue
+        only when a worker is ready to run it."""
+        self.obs.set_thread_label("serve-dispatch")
+        while True:
+            tok = self._idle.get()
+            if tok is _SENTINEL:
+                return
+            sess = None
+            while sess is None:
+                cand = self._queue.get()
+                if cand is _SENTINEL:
+                    self._queue.task_done()
+                    return
+                with self._lock:
+                    if cand.state == "cancelled":
+                        cancelled = True
+                    else:
+                        cancelled = False
+                        cand.state = "active"
+                if cancelled:
+                    self._queue.task_done()
+                    continue  # same worker token, next session
+                sess = cand
+            with sess._lock:
+                sess.owner = tok
+                pending, sess._pending = sess._pending, []
+            chan = self._chans[tok]
+            try:
+                if chan is None:
+                    raise IpcClosed("worker is gone")
+                chan.send({"type": "run", "session": sess.id,
+                           "program": sess.program})
+            except IpcClosed:
+                # Worker died between going idle and the handoff; fail
+                # the session (the evaluator redials into an error).
+                with self._lock:
+                    sess.state = "failed"
+                    sess.error = ChannelClosed("worker process died")
+                for link, _preface in pending:
+                    link.close()
+                sess.seal()
+                self.stats.bump("failed")
+                self._queue.task_done()
+                continue
+            for link, leftover in pending:
+                self._send_link(tok, sess.id, link, leftover)
+
+    # -- thread pool ---------------------------------------------------------
 
     def _worker_loop(self, index: int) -> None:
         self.obs.set_thread_label(f"serve-worker-{index}")
@@ -504,13 +943,19 @@ class GarbleServer:
             if sess is _SENTINEL:
                 self._queue.task_done()
                 return
+            with self._lock:
+                cancelled = sess.state == "cancelled"
+            if cancelled:
+                self._queue.task_done()
+                continue
             try:
                 self._run_session(sess)
             finally:
                 self._queue.task_done()
             if self.max_sessions is not None:
-                done = self.stats.completed + self.stats.failed
-                if done >= self.max_sessions:
+                # One locked read: two separate attribute loads could
+                # straddle a concurrent bump and miss the threshold.
+                if self.stats.done_snapshot() >= self.max_sessions:
                     self.request_shutdown()
 
     def _run_session(self, sess: _ServeSession) -> None:
@@ -541,15 +986,27 @@ class GarbleServer:
             heartbeat_interval=self.heartbeat,
             obs=self.obs,
         )
+        reraise: Optional[BaseException] = None
         try:
             result = session.run()
-        except BaseException as exc:
+        except Exception as exc:
             with self._lock:
                 sess.state = "failed"
                 sess.error = exc
             self.stats.bump("failed")
             if self.obs.enabled:
                 self.obs.inc("serve.failed")
+        except BaseException as exc:
+            # KeyboardInterrupt / SystemExit: record the failure but
+            # re-raise so interpreter shutdown reaches the worker loop
+            # instead of being booked as an ordinary failed session.
+            with self._lock:
+                sess.state = "failed"
+                sess.error = exc
+            self.stats.bump("failed")
+            if self.obs.enabled:
+                self.obs.inc("serve.failed")
+            reraise = exc
         else:
             with self._lock:
                 sess.state = "done"
@@ -580,6 +1037,8 @@ class GarbleServer:
             self.stats.record_session(record)
             if self.obs.enabled:
                 self.obs.event("serve-session", **record)
+        if reraise is not None:
+            raise reraise
 
 
 def make_server(

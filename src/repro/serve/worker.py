@@ -1,0 +1,278 @@
+"""Serve worker process: one core, one pre-warmed plan per program.
+
+``worker_main`` is the target of every process the
+:class:`~repro.serve.server.GarbleServer` pool spawns (forkserver
+context, so this module is importable and preloadable).  At spawn the
+worker rebuilds each served program's compiled
+:class:`~repro.core.plan.CyclePlan` — including the generated sweep —
+in its *own* interpreter, so the first admitted session pays no
+compile and the parent's plan cache is never shared across the process
+boundary.
+
+Control flow mirrors the thread pool, split across the process
+boundary:
+
+* a **reader thread** drains the parent's control channel
+  (:class:`~repro.serve.ipc.MsgChannel`): ``run`` registers a session
+  and enqueues it for the main loop, ``link`` adopts a passed-in
+  socket fd (a fresh connect or a resume redial) and feeds it to the
+  owning session's link queue, ``stop`` ends the worker after the
+  current session;
+* the **main loop** runs one
+  :class:`~repro.net.session.ResumableSession` at a time around a
+  :class:`~repro.core.protocol.GarblerParty`, exactly as the thread
+  pool's ``_run_session`` does, and ships the outcome (record plus the
+  pickled :class:`~repro.net.session.SessionResult`) back to the
+  parent, which owns all session bookkeeping.
+
+Only the ``active`` gauge lives in the shared-memory counter block —
+the one number admission control needs *while* a session runs.
+Terminal counters (``completed``/``failed``) are bumped by the parent
+when it processes the outcome message, keeping counter and session
+state transitions atomic under the parent's lock (a client that has
+observed ``completed == n`` must see those n sessions as finished).
+
+``SIGINT`` is ignored: a Ctrl-C against the CLI hits the whole
+process group, and shutdown must flow through the parent's drain so
+in-flight sessions finish.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import socket
+import threading
+from time import perf_counter
+from typing import Optional
+
+from ..core.plan import warm_plan
+from ..core.protocol import GarblerParty, _expand_bits
+from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
+from ..net.session import ResumableSession
+from ..net.tcp import TcpLink
+from ..obs import NULL_OBS
+from .ipc import IpcClosed, MsgChannel
+
+__all__ = ["STAT_FIELDS", "worker_main"]
+
+#: Layout of the shared-memory counter block (one ``long`` per field).
+#: Defined here — not in ``server`` — so the worker never imports the
+#: server module (the parent imports the worker, not vice versa).
+STAT_FIELDS = (
+    "accepted",
+    "rejected_busy",
+    "rejected_error",
+    "completed",
+    "failed",
+    "active",
+    "stats_probes",
+)
+
+_IDX_ACTIVE = STAT_FIELDS.index("active")
+
+_STOP = object()
+_SEALED = object()
+
+
+class _WorkerSession:
+    """Worker-side link mailbox for one session (mirrors the parent's
+    ``_ServeSession`` push/pop/seal semantics)."""
+
+    __slots__ = ("id", "_links", "_lock", "_sealed")
+
+    def __init__(self, sid: str) -> None:
+        self.id = sid
+        self._links: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._sealed = False
+
+    def push_link(self, link: Link) -> bool:
+        with self._lock:
+            if self._sealed:
+                return False
+            self._links.put(link)
+            return True
+
+    def pop_link(self, timeout: Optional[float]) -> Link:
+        try:
+            item = self._links.get(timeout=timeout)
+        except queue.Empty:
+            raise LinkTimeout(
+                f"session {self.id!r}: evaluator did not (re)connect "
+                f"within {timeout}s"
+            ) from None
+        if item is _SEALED:
+            self._links.put(item)  # later pops fail fast too
+            raise LinkClosed(f"session {self.id!r} is sealed")
+        return item
+
+    def seal(self) -> None:
+        with self._lock:
+            self._sealed = True
+            while True:
+                try:
+                    item = self._links.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SEALED:
+                    item.close()
+            # Wake (and permanently fail) any pop_link in flight so a
+            # cancelled session never burns a full resume window.
+            self._links.put(_SEALED)
+
+
+def _bump_active(stats_block, n: int) -> None:
+    with stats_block.get_lock():
+        stats_block[_IDX_ACTIVE] += n
+
+
+def _reader_loop(chan: MsgChannel, runq: "queue.Queue", sessions: dict,
+                 lock: threading.Lock) -> None:
+    """Drain the control channel; orderable because run/link/stop for
+    one worker ride one SOCK_STREAM channel."""
+    while True:
+        try:
+            msg, fds = chan.recv()
+        except IpcClosed:
+            runq.put(_STOP)
+            return
+        mtype = msg.get("type")
+        if mtype == "run":
+            sid = msg["session"]
+            sess = _WorkerSession(sid)
+            with lock:
+                sessions[sid] = sess
+            runq.put((sid, msg["program"]))
+        elif mtype == "link":
+            if not fds:
+                continue
+            link: Link = TcpLink.from_fd(fds[0])
+            preface = msg.get("preface", b"")
+            if preface:
+                link = PrefacedLink(link, preface)
+            with lock:
+                sess = sessions.get(msg["session"])
+            if sess is None or not sess.push_link(link):
+                # Finished (or never assigned here) between the
+                # parent's routing decision and delivery: the redial
+                # sees EOF and the evaluator re-resolves via a fresh
+                # hello.
+                link.close()
+        elif mtype == "stop":
+            runq.put(_STOP)
+            return
+
+
+def _run_one(chan: MsgChannel, sess: _WorkerSession, name: str, prog,
+             config: dict, stats_block) -> None:
+    """One session end-to-end; mirrors the thread pool's
+    ``_run_session`` including its exception semantics: ``Exception``
+    fails the session, ``KeyboardInterrupt``/``SystemExit`` fail it
+    *and* propagate so interpreter shutdown is never swallowed."""
+    _bump_active(stats_block, 1)
+    t0 = perf_counter()
+    result = None
+    error: Optional[BaseException] = None
+    reraise: Optional[BaseException] = None
+    party = GarblerParty(
+        prog.net,
+        prog.cycles,
+        _expand_bits(prog.net, "alice", prog.alice, prog.alice_init,
+                     prog.cycles),
+        public=prog.public,
+        public_init=prog.public_init,
+        ot_group=config["ot_group"],
+        ot=config["ot"],
+        obs=NULL_OBS,
+        engine=config["engine"],
+    )
+    session = ResumableSession(
+        party,
+        connect=lambda: sess.pop_link(config["resume_window"]),
+        checkpoint_every=config["checkpoint_every"],
+        timeout=config["timeout"],
+        max_attempts=config["max_attempts"],
+        heartbeat_interval=config["heartbeat"],
+        obs=NULL_OBS,
+    )
+    try:
+        result = session.run()
+    except Exception as exc:
+        error = exc
+    except BaseException as exc:
+        error = exc
+        reraise = exc
+    finally:
+        wall = perf_counter() - t0
+        sess.seal()
+        _bump_active(stats_block, -1)
+        state = "done" if error is None else "failed"
+        record = {
+            "session": sess.id,
+            "program": name,
+            "state": state,
+            "wall_ms": int(wall * 1000),
+            "garbled_nonxor": (
+                result.stats.garbled_nonxor if result is not None else -1
+            ),
+            "tables_sent": (
+                result.tables_sent
+                if result is not None and result.tables_sent is not None
+                else -1
+            ),
+            "reconnects": result.reconnects if result is not None else -1,
+        }
+        msg = {"type": state, "session": sess.id, "record": record,
+               "wall": wall}
+        if result is not None:
+            msg["result"] = result
+        if error is not None:
+            msg["error"] = f"{type(error).__name__}: {error}"
+        try:
+            chan.send(msg)
+        except IpcClosed:
+            pass  # parent gone; nothing left to report to
+    if reraise is not None:
+        raise reraise
+
+
+def worker_main(index: int, sock: socket.socket, stats_block,
+                programs: dict, config: dict) -> None:
+    """Entry point of one pool process (must be module-level so the
+    forkserver can pickle the target by reference)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    chan = MsgChannel(sock)
+    # Pre-warm: one compiled plan (and generated sweep) per served
+    # program, in this process's own cache.
+    if config["engine"] == "compiled":
+        for prog in programs.values():
+            warm_plan(prog.net)
+    runq: "queue.Queue" = queue.Queue()
+    sessions: dict = {}
+    lock = threading.Lock()
+    reader = threading.Thread(
+        target=_reader_loop, args=(chan, runq, sessions, lock),
+        name=f"serve-worker-{index}-reader", daemon=True,
+    )
+    reader.start()
+    try:
+        chan.send({"type": "ready", "index": index})
+    except IpcClosed:
+        return
+    try:
+        while True:
+            item = runq.get()
+            if item is _STOP:
+                return
+            sid, name = item
+            with lock:
+                sess = sessions[sid]
+            try:
+                _run_one(chan, sess, name, programs[name], config,
+                         stats_block)
+            finally:
+                with lock:
+                    sessions.pop(sid, None)
+    finally:
+        chan.close()
