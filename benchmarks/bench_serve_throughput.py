@@ -17,6 +17,19 @@ GIL caps the measured figure.  On a machine with at least 8 cores the
 4-client figure (throughput rises with client count up to the core
 count); ``$SERVE_SCALING_GATE`` =1/0 forces the gate on/off elsewhere.
 
+A second section measures the **offline/online split**: with
+``ot="extension"`` the per-session fixed cost is dominated by the
+kappa base OTs plus inline garbling, both of which the split moves off
+the connection path (pre-garbled material epochs + per-client base-OT
+reuse).  The "full" wave runs 4 clients against a ``precompute=False``
+server with anonymous clients (every session pays base OTs and
+garbling inline); the "online" wave runs the same 4 operands against a
+pre-warmed material cache with named client identities and one warmup
+session per client (measured sessions are material replay + cached
+base extension only).  The online wave must verify bit-identically and
+reach at least 1.5x the full wave's sessions/sec
+(``$SERVE_ONLINE_MIN_SPEEDUP``).
+
 Runs under pytest (``pytest benchmarks/bench_serve_throughput.py``)
 or standalone (``python benchmarks/bench_serve_throughput.py``).
 Writes the detailed report to ``results/serve_perf.json`` (or
@@ -35,6 +48,7 @@ import sys
 import time
 
 from repro.serve import make_server, run_loadgen
+from repro.serve.client import forget_receiver_bases
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_schema import REPO_ROOT, write_bench_records  # noqa: E402
@@ -45,9 +59,17 @@ BASE_VALUE = 1000
 SEQ_SESSIONS = 4
 CLIENT_LEVELS = (1, 4, 16)
 MIN_SPEEDUP = float(os.environ.get("SERVE_MIN_SPEEDUP", "2.0"))
+ONLINE_MIN_SPEEDUP = float(os.environ.get("SERVE_ONLINE_MIN_SPEEDUP", "1.5"))
 CORES = os.cpu_count() or 1
 #: Worker processes: one per core up to the largest client level.
 WORKERS = max(4, min(CORES, max(CLIENT_LEVELS)))
+#: Clients for the offline/online split waves.
+SPLIT_CLIENTS = 4
+#: Material epochs pre-garbled for the online wave: one per warmup
+#: session plus one per measured session, so the cache never drains
+#: below low-water and no refill garbling lands inside the measured
+#: window.
+SPLIT_DEPTH = 4 * SPLIT_CLIENTS
 
 
 def _scaling_gate_enabled() -> bool:
@@ -123,9 +145,75 @@ def _serve_levels() -> dict:
     return levels, pool
 
 
+def _online_vs_full() -> dict:
+    """Measure the offline/online split at SPLIT_CLIENTS clients.
+
+    Both waves run ``ot="extension"`` over the thread pool (the
+    material cache and its build stats live in the parent there, and
+    pool choice cancels out of the ratio).  The *full* wave garbles
+    inline and runs anonymous clients, so every session pays the kappa
+    base OTs plus garbling; the *online* wave replays pre-garbled
+    material to named identities whose warmup session seeded the
+    base-OT caches on both sides, so the measured path is
+    evaluate + extension OT only.
+    """
+    values = [BASE_VALUE + i for i in range(SPLIT_CLIENTS)]
+    kw = dict(value=SERVER_VALUE, workers=SPLIT_CLIENTS, queue_depth=32,
+              pool="thread", ot="extension", port=0)
+    lg_kw = dict(values=values, server_value=SERVER_VALUE, ot="extension")
+
+    forget_receiver_bases()
+    with make_server([CIRCUIT], precompute=False, **kw) as srv:
+        full = run_loadgen(srv.host, srv.port, CIRCUIT, SPLIT_CLIENTS,
+                           **lg_kw)
+    assert full.failed == 0 and full.busy == 0, full.to_record()
+    assert not full.verify_errors, full.verify_errors
+
+    with make_server([CIRCUIT], precompute=True,
+                     material_depth=SPLIT_DEPTH, **kw) as srv:
+        cache = srv._materials[CIRCUIT]
+        offline_built = cache.built
+        offline_seconds = cache.build_seconds
+        online = run_loadgen(srv.host, srv.port, CIRCUIT, SPLIT_CLIENTS,
+                             client_prefix="bench", warmup=1, **lg_kw)
+        snap = srv.stats_snapshot()
+    assert online.failed == 0 and online.busy == 0, online.to_record()
+    assert not online.verify_errors, online.verify_errors
+    # Every session (warmup + measured) consumed pre-garbled material.
+    assert snap["material_misses"] == 0, snap
+    assert snap["material_hits"] == 2 * SPLIT_CLIENTS, snap
+
+    # Bit-identity across the split: same operand, same outputs.
+    full_out = {o.value: (o.outputs, o.garbled_nonxor)
+                for o in full.outcomes}
+    for o in online.outcomes:
+        assert full_out[o.value] == (o.outputs, o.garbled_nonxor), (
+            f"value {o.value}: online session diverges from full garbling"
+        )
+
+    speedup = (online.sessions_per_sec / full.sessions_per_sec
+               if full.sessions_per_sec > 0 else 0.0)
+    return {
+        "clients": SPLIT_CLIENTS,
+        "material_depth": SPLIT_DEPTH,
+        "min_speedup_gate": ONLINE_MIN_SPEEDUP,
+        "offline": {
+            "epochs_built": offline_built,
+            "garble_seconds_total": round(offline_seconds, 4),
+            "garble_seconds_per_epoch": round(
+                offline_seconds / max(1, offline_built), 6
+            ),
+        },
+        "full": full.to_record(),
+        "online": online.to_record(),
+        "online_speedup_vs_full": round(speedup, 2),
+    }
+
+
 def measure() -> dict:
     baseline = _sequential_baseline()
     levels, pool = _serve_levels()
+    split = _online_vs_full()
 
     # Bit-identity: every serve session must match the fresh-process
     # run of the same operand pair (outputs AND gate counts).
@@ -157,6 +245,7 @@ def measure() -> dict:
         "serve": {
             str(clients): lg.to_record() for clients, lg in levels.items()
         },
+        "split": split,
     }
     report["speedup_4_clients"] = round(
         levels[4].sessions_per_sec / baseline["sessions_per_sec"], 2
@@ -191,6 +280,22 @@ def _write_artifacts(report: dict) -> str:
             "metric": f"serve_p95_seconds_{clients}_clients",
             "value": row["p95_seconds"], "unit": "s",
         })
+    split = report["split"]
+    n = split["clients"]
+    records.extend([
+        {"metric": f"serve_online_sessions_per_sec_{n}_clients",
+         "value": split["online"]["sessions_per_sec"],
+         "unit": "sessions/s"},
+        {"metric": f"serve_online_p95_seconds_{n}_clients",
+         "value": split["online"]["p95_seconds"], "unit": "s"},
+        {"metric": f"serve_full_p95_seconds_{n}_clients",
+         "value": split["full"]["p95_seconds"], "unit": "s"},
+        {"metric": "serve_online_speedup_vs_full",
+         "value": split["online_speedup_vs_full"], "unit": "x"},
+        {"metric": "serve_offline_garble_seconds_per_epoch",
+         "value": split["offline"]["garble_seconds_per_epoch"],
+         "unit": "s"},
+    ])
     write_bench_records("serve", records)
     return path
 
@@ -211,10 +316,30 @@ def test_serve_throughput_speedup():
           f"(pool={report['pool']}, workers={report['workers']}, "
           f"cores={report['cores']}, "
           f"gate {'on' if report['scaling_gate'] else 'off'})")
+    split = report["split"]
+    print(f"offline/online split ({split['clients']} clients, "
+          f"ot=extension): full "
+          f"{split['full']['sessions_per_sec']:.2f}/s "
+          f"p95 {split['full']['p95_seconds']:.3f}s | online "
+          f"{split['online']['sessions_per_sec']:.2f}/s "
+          f"p95 {split['online']['p95_seconds']:.3f}s | "
+          f"speedup {split['online_speedup_vs_full']:.2f}x "
+          f"(gate: {ONLINE_MIN_SPEEDUP}x) | offline garble "
+          f"{split['offline']['garble_seconds_per_epoch']*1000:.1f}ms/epoch "
+          f"x {split['offline']['epochs_built']} epochs")
     print(f"artifact -> {path}")
     assert report["speedup_4_clients"] >= MIN_SPEEDUP, (
         f"serve only {report['speedup_4_clients']:.2f}x the sequential "
         f"baseline at 4 clients (gate: {MIN_SPEEDUP}x)"
+    )
+    assert split["online_speedup_vs_full"] >= ONLINE_MIN_SPEEDUP, (
+        f"online phase only {split['online_speedup_vs_full']:.2f}x the "
+        f"full-garble wave (gate: {ONLINE_MIN_SPEEDUP}x) — the split is "
+        f"not moving the fixed cost offline"
+    )
+    assert split["online"]["p95_seconds"] < split["full"]["p95_seconds"], (
+        f"online p95 {split['online']['p95_seconds']:.3f}s is not below "
+        f"the full-garble p95 {split['full']['p95_seconds']:.3f}s"
     )
     if report["scaling_gate"]:
         s16 = report["serve"]["16"]["sessions_per_sec"]

@@ -106,6 +106,8 @@ def run(
     # serve-mode options
     workers: int = 4,
     queue_depth: int = 8,
+    precompute: bool = True,
+    material_depth: int = 2,
 ):
     """Run a garbled computation.
 
@@ -162,7 +164,9 @@ def run(
         ``(garbler, evaluator)`` pair for ``role="both"``.
         ``mode="serve"``: the started
         :class:`~repro.serve.server.GarbleServer` (listening on
-        ``server.port``; ``workers`` / ``queue_depth`` size the pool).
+        ``server.port``; ``workers`` / ``queue_depth`` size the pool;
+        ``precompute`` / ``material_depth`` control the offline
+        pre-garbling phase).
     """
     obs = _make_obs(profile, obs)
     bits = _split_inputs(inputs)
@@ -263,6 +267,8 @@ def run(
             ot_group=ot_group,
             engine=engine,
             heartbeat=heartbeat,
+            precompute=precompute,
+            material_depth=material_depth,
             obs=NULL_OBS if obs is None else obs,
         )
         return server.start()

@@ -241,8 +241,10 @@ def compile_plan(net: Netlist) -> CyclePlan:
 def warm_plan(net: Netlist) -> CyclePlan:
     """Fully pre-warm a netlist's compiled plan *including* the
     generated sweep (which :func:`compile_plan` leaves to the first
-    engine).  Serve worker processes call this at spawn so the first
-    admitted session pays neither compile."""
+    engine).  Serve worker processes call this at spawn — right before
+    pre-garbling their material pools (:mod:`repro.gc.material`), which
+    runs the plan and so rides the warm cache — so the first admitted
+    session pays neither compile."""
     plan = compile_plan(net)
     if plan.sweep_fn is None and net.n_gates <= _CODEGEN_GATE_LIMIT:
         with _PLAN_LOCK:

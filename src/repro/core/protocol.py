@@ -83,13 +83,18 @@ class GarblerBackend(Backend):
         ot_group: str = "modp2048",
         ot: str = "simplest",
         rng=None,
+        ot_factory=None,
     ) -> None:
         self.chan = chan
         self.delta = random_delta(rng)
         self._rng = rng
         self._memo: Dict[Hashable, int] = {}
         self._alice_bits = alice_bits
-        if ot == "extension":
+        if ot_factory is not None:
+            # The serve layer injects pre-configured OT objects (cached
+            # base OTs, session-unique salts) or recording stand-ins.
+            self._ot = ot_factory(chan)
+        elif ot == "extension":
             self._ot = OTExtensionSender(chan, group=ot_group, rng=rng)
         else:
             self._ot = OTSender(chan, group=ot_group)
@@ -172,12 +177,15 @@ class EvaluatorBackend(Backend):
         ot_group: str = "modp2048",
         ot: str = "simplest",
         rng=None,
+        ot_factory=None,
     ) -> None:
         self.chan = chan
         self._rng = rng
         self._memo: Dict[Hashable, int] = {}
         self._bob_bits = bob_bits
-        if ot == "extension":
+        if ot_factory is not None:
+            self._ot = ot_factory(chan)
+        elif ot == "extension":
             self._ot = OTExtensionReceiver(chan, group=ot_group, rng=rng)
         else:
             self._ot = OTReceiver(chan, group=ot_group)
@@ -279,6 +287,7 @@ class _Party:
         rng=None,
         obs=None,
         engine: str = "compiled",
+        ot_factory=None,
     ) -> None:
         self.net = net
         self.cycles = cycles
@@ -287,6 +296,7 @@ class _Party:
         self._public_init = public_init
         self._ot_group = ot_group
         self._ot_kind = ot
+        self._ot_factory = ot_factory
         self._rng = rng
         self._engine_kind = engine
         self.obs = NULL_OBS if obs is None else obs
@@ -365,6 +375,7 @@ class GarblerParty(_Party):
             ot_group=self._ot_group,
             ot=self._ot_kind,
             rng=self._rng,
+            ot_factory=self._ot_factory,
         )
 
     def finish(self) -> List[int]:
@@ -415,6 +426,7 @@ class EvaluatorParty(_Party):
             ot_group=self._ot_group,
             ot=self._ot_kind,
             rng=self._rng,
+            ot_factory=self._ot_factory,
         )
 
     def finish(self) -> List[int]:

@@ -34,7 +34,14 @@ def random_label(rng=None) -> int:
 
 
 def random_delta(rng=None) -> int:
-    """Fresh free-XOR offset R with the permute bit forced to 1."""
+    """Fresh free-XOR offset R with the permute bit forced to 1.
+
+    One delta garbles one evaluation: an evaluator that ever sees both
+    labels of a wire learns R and with it every secret under that
+    delta.  Layers that garble ahead of time (:mod:`repro.gc.material`)
+    must therefore treat each delta *epoch* as single-use — never
+    serve material from one epoch to two evaluator identities.
+    """
     return random_label(rng) | 1
 
 

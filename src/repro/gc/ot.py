@@ -25,7 +25,8 @@ a replay re-runs exactly the transfers the peer also rolled back.
 from __future__ import annotations
 
 import secrets
-from typing import Tuple
+import threading
+from typing import Any, Dict, Optional, Tuple
 
 from .channel import Endpoint
 from .hashing import LABEL_BYTES, kdf_bytes
@@ -68,6 +69,47 @@ def _encrypt(key: bytes, message: int, index: int) -> bytes:
 def _decrypt(key: bytes, blob: bytes, index: int) -> int:
     pad = kdf_bytes(key, b"ot-msg%d" % index, LABEL_BYTES)
     return int.from_bytes(bytes(x ^ y for x, y in zip(blob, pad)), "little")
+
+
+class BaseOTCache:
+    """Thread-safe per-identity store of OT-extension base material.
+
+    The :math:`\\kappa` public-key base OTs are the dominant fixed cost
+    of an OT-extension session.  Semi-honestly, the base *seeds* may be
+    reused across sessions between the same two parties (they never
+    cross the wire again); only the PRG expansion must be
+    session-unique (see :func:`repro.gc.ot_extension.session_salt`).
+    The serve layer keeps one cache per side, keyed by client identity:
+    the server stores the sender-side ``(s, seeds)``, the client stores
+    its receiver-side seed pairs.  Entries are opaque to the cache.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Any, Any] = {}
+
+    def get(self, identity: Any) -> Optional[Any]:
+        if identity is None:
+            return None
+        with self._lock:
+            return self._entries.get(identity)
+
+    def put(self, identity: Any, base: Any) -> None:
+        if identity is None or base is None:
+            return
+        with self._lock:
+            self._entries[identity] = base
+
+    def discard(self, identity: Any) -> None:
+        with self._lock:
+            self._entries.pop(identity, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, identity: Any) -> bool:
+        return self.get(identity) is not None
 
 
 class OTSender:

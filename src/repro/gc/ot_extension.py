@@ -31,13 +31,27 @@ drop-in for the protocol backends via ``ot="extension"``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .channel import Endpoint
 from .hashing import LABEL_BYTES, LABEL_MASK, hash_labels, kdf_bytes
 from .ot import OTReceiver, OTSender
 
 KAPPA = 128  #: security parameter / number of base OTs
+
+
+def session_salt(session_id: str) -> bytes:
+    """PRG salt prefix binding an extension run to one session.
+
+    Base-OT seeds may be reused across a client's sessions (semi-honest
+    reuse is sound: the seeds never leave either party), but the PRG
+    expansion must differ per session or the t/u columns — and hence
+    the pool pads — would repeat verbatim.  Both parties derive the
+    salt from the session id agreed in the serve handshake.  The ``:``
+    keeps the namespace disjoint from the default ``b"iknp" + batch``
+    salts, which are all-digit suffixed.
+    """
+    return b"iknp:" + session_id.encode("utf-8")
 
 
 def _prg(seed: int, n_bits: int, salt: bytes) -> int:
@@ -47,12 +61,51 @@ def _prg(seed: int, n_bits: int, salt: bytes) -> int:
     return int.from_bytes(data, "little") & ((1 << n_bits) - 1)
 
 
+#: byte -> spread int lookup tables, keyed by column count (bit k of
+#: the byte lands at bit ``k * ncols`` of the table entry).
+_SPREAD_TABLES: Dict[int, List[int]] = {}
+
+
+def _spread_table(ncols: int) -> List[int]:
+    table = _SPREAD_TABLES.get(ncols)
+    if table is None:
+        table = []
+        for byte in range(256):
+            v = 0
+            for k in range(8):
+                if (byte >> k) & 1:
+                    v |= 1 << (k * ncols)
+            table.append(v)
+        _SPREAD_TABLES[ncols] = table
+    return table
+
+
 def _transpose_columns(cols: List[int], n_rows: int) -> List[int]:
-    """Columns (one int per column, bit j = row j) -> per-row ints."""
-    rows = [0] * n_rows
-    for i, col in enumerate(cols):
-        for j in range(n_rows):
-            rows[j] |= ((col >> j) & 1) << i
+    """Columns (one int per column, bit j = row j) -> per-row ints.
+
+    Byte-table block transpose: each column is split into bytes, and a
+    256-entry table spreads byte bit ``k`` to bit ``k * ncols`` so one
+    lookup places eight row-bits of a column at once.  A block of
+    eight rows then accumulates as one big int and is sliced back into
+    the per-row ints, replacing the per-bit O(kappa * m) loop.
+    """
+    ncols = len(cols)
+    if ncols == 0 or n_rows == 0:
+        return [0] * n_rows
+    table = _spread_table(ncols)
+    nbytes = (n_rows + 7) // 8
+    col_mask = (1 << n_rows) - 1
+    col_bytes = [(c & col_mask).to_bytes(nbytes, "little") for c in cols]
+    row_mask = (1 << ncols) - 1
+    rows: List[int] = []
+    for b in range(nbytes):
+        chunk = 0
+        for i in range(ncols):
+            y = col_bytes[i][b]
+            if y:
+                chunk |= table[y] << i
+        for k in range(min(8, n_rows - 8 * b)):
+            rows.append((chunk >> (k * ncols)) & row_mask)
     return rows
 
 
@@ -61,7 +114,8 @@ class OTExtensionSender:
 
     def __init__(
         self, chan: Endpoint, pool_size: int = 256, group: str = "modp512",
-        rng=None,
+        rng=None, base: Optional[Tuple[int, List[int]]] = None,
+        salt: bytes = b"iknp",
     ) -> None:
         import secrets
 
@@ -69,10 +123,18 @@ class OTExtensionSender:
         self.pool_size = pool_size
         self._rng = rng
         rand = rng.getrandbits if rng else secrets.randbits
-        self._s = rand(KAPPA)
         self._base = OTReceiver(chan, group=group)
         self._pool: List[Tuple[int, int]] = []  # random (x0, x1) pairs
-        self._seeds: Optional[List[int]] = None
+        self._salt = bytes(salt)
+        if base is not None:
+            # Reuse base material from an earlier session with the same
+            # peer: (s, seeds).  The peer must agree (negotiated in the
+            # serve handshake) and the salt must be session-unique.
+            self._s, seeds = base
+            self._seeds: Optional[List[int]] = list(seeds)
+        else:
+            self._s = rand(KAPPA)
+            self._seeds = None
         self._batch = 0
         self.count = 0
 
@@ -82,12 +144,18 @@ class OTExtensionSender:
             self._base.receive((self._s >> i) & 1) for i in range(KAPPA)
         ]
 
+    def export_base(self) -> Optional[Tuple[int, List[int]]]:
+        """Base material for reuse, or ``None`` if no base phase ran."""
+        if self._seeds is None:
+            return None
+        return (self._s, list(self._seeds))
+
     def _extend(self) -> None:
         if self._seeds is None:
             self._base_phase()
         m = self.pool_size
         col_bytes = (m + 7) // 8
-        salt = b"iknp%d" % self._batch
+        salt = self._salt + b"%d" % self._batch
         self._batch += 1
         # One fixed-width blob: KAPPA columns of (m+7)//8 bytes each.
         u_blob = self.chan.recv("otx-u")
@@ -164,7 +232,8 @@ class OTExtensionReceiver:
 
     def __init__(
         self, chan: Endpoint, pool_size: int = 256, group: str = "modp512",
-        rng=None,
+        rng=None, base: Optional[List[Tuple[int, int]]] = None,
+        salt: bytes = b"iknp",
     ) -> None:
         import secrets
 
@@ -172,8 +241,11 @@ class OTExtensionReceiver:
         self.pool_size = pool_size
         self._rand = rng.getrandbits if rng else secrets.randbits
         self._base = OTSender(chan, group=group)
-        self._seed_pairs: Optional[List[Tuple[int, int]]] = None
+        self._seed_pairs: Optional[List[Tuple[int, int]]] = (
+            None if base is None else [tuple(p) for p in base]
+        )
         self._pool: List[Tuple[int, int]] = []  # (choice bit c, x_c)
+        self._salt = bytes(salt)
         self._batch = 0
         self.count = 0
 
@@ -185,11 +257,17 @@ class OTExtensionReceiver:
             self._seed_pairs.append((k0, k1))
             self._base.send(k0, k1)
 
+    def export_base(self) -> Optional[List[Tuple[int, int]]]:
+        """Base material for reuse, or ``None`` if no base phase ran."""
+        if self._seed_pairs is None:
+            return None
+        return [tuple(p) for p in self._seed_pairs]
+
     def _extend(self) -> None:
         if self._seed_pairs is None:
             self._base_phase()
         m = self.pool_size
-        salt = b"iknp%d" % self._batch
+        salt = self._salt + b"%d" % self._batch
         self._batch += 1
         r = self._rand(m)  # random choice bits for the pool
         col_bytes = (m + 7) // 8

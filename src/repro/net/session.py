@@ -105,6 +105,11 @@ class SessionResult:
     checkpoint_cycles: List[int] = field(default_factory=list)
     #: Garbler only: total garbled tables shipped (None for Bob).
     tables_sent: Optional[int] = None
+    #: Garbler only: delta epoch of the pre-garbled material consumed
+    #: by this session (None when the session garbled fresh).  Every
+    #: checkpoint carries the same epoch — a resume can never stitch
+    #: material from two different deltas together.
+    material_epoch: Optional[int] = None
 
 
 class ResumableSession:
@@ -256,6 +261,7 @@ class ResumableSession:
             reconnects=self.reconnects,
             checkpoint_cycles=sorted(self._checkpoints),
             tables_sent=getattr(backend, "tables_sent", None),
+            material_epoch=getattr(self.party, "material_epoch", None),
         )
 
 

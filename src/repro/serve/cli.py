@@ -65,6 +65,8 @@ def run_serve(args) -> int:
         heartbeat=args.heartbeat,
         max_sessions=args.max_sessions,
         pool=args.pool,
+        precompute=not args.no_precompute,
+        material_depth=args.material_depth,
         **({"obs": obs} if obs is not None else {}),
     )
 
@@ -114,6 +116,8 @@ def run_loadgen_cmd(args) -> int:
         ot_group=args.ot_group,
         verify=not args.no_verify,
         client_procs=args.client_procs,
+        client_prefix=args.client_prefix,
+        warmup=args.warmup,
     )
     _emit(args, report.to_record())
     if not args.json:
@@ -169,6 +173,12 @@ def add_serve_parser(sub) -> None:
                    default="simplest")
     p.add_argument("--ot-group", choices=("modp512", "modp2048"),
                    default="modp512")
+    p.add_argument("--no-precompute", action="store_true",
+                   help="disable the offline phase (pre-garbled material "
+                        "per program); every session garbles inline")
+    p.add_argument("--material-depth", type=int, default=2, metavar="N",
+                   help="delta epochs pre-garbled per program per worker "
+                        "in the offline phase (default 2)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write serve/session trace events as JSON lines")
     p.add_argument("--json", action="store_true",
@@ -206,6 +216,14 @@ def add_loadgen_parser(sub) -> None:
                    help="run each client in its own OS process so the "
                         "load generator scales past one core (use when "
                         "measuring a multi-core server)")
+    p.add_argument("--client-prefix", default=None, metavar="PREFIX",
+                   help="give client i the stable identity "
+                        "PREFIX-client-i across its sessions, arming "
+                        "per-client base-OT reuse on the server")
+    p.add_argument("--warmup", type=int, default=0, metavar="N",
+                   help="unmeasured sessions per client before the "
+                        "release barrier (measure the steady online "
+                        "phase)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=run_loadgen_cmd)

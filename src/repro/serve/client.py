@@ -10,17 +10,28 @@ own private bits.  On a dropped connection the session redials the
 link to the live worker and both sides resume from the last common
 checkpoint.
 
+A client that names itself (``client_id=``) opts into **base-OT
+reuse**: after its first successful ``ot="extension"`` session the
+receiver-side base-OT seeds are cached per ``(host, port, client_id)``,
+the next hello advertises them (``"base_ot": True``), and a server
+still holding the matching sender side answers ``"base_ot": "cached"``
+— both sides then skip the kappa base DH OTs and re-derive fresh
+extension pools under a session-unique PRG salt.  Any disagreement
+degrades to a fresh base phase, never to a protocol error.
+
 :func:`fetch_stats` is the one-shot stats probe
 (``op: "stats"`` hello), used by the CLI and the load generator.
 """
 
 from __future__ import annotations
 
+import threading
 import uuid
 from typing import Callable, Optional, Sequence, Union
 
 from ..circuit.netlist import Netlist
 from ..core.protocol import EvaluatorParty, _expand_bits
+from ..gc.ot_extension import OTExtensionReceiver, session_salt
 from ..net.links import Link, PrefacedLink
 from ..net.session import ResumableSession, SessionResult
 from ..net.tcp import connect_with_backoff
@@ -35,6 +46,30 @@ from .handshake import (
 )
 
 BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
+
+#: Receiver-side base-OT seeds by (host, port, client_id).  Process
+#: local by design: the seeds are secret key material, so they never
+#: leave the process that ran the base phase.
+_RECEIVER_BASES: dict = {}
+_RECEIVER_BASES_LOCK = threading.Lock()
+
+
+def _cached_receiver_base(key):
+    with _RECEIVER_BASES_LOCK:
+        return _RECEIVER_BASES.get(key)
+
+
+def _store_receiver_base(key, base) -> None:
+    if base is None:
+        return
+    with _RECEIVER_BASES_LOCK:
+        _RECEIVER_BASES[key] = base
+
+
+def forget_receiver_bases() -> None:
+    """Drop every cached receiver base (tests and key-rotation)."""
+    with _RECEIVER_BASES_LOCK:
+        _RECEIVER_BASES.clear()
 
 
 def _hello_exchange(
@@ -96,6 +131,7 @@ def run_session(
     net: Netlist,
     *,
     session_id: Optional[str] = None,
+    client_id: Optional[str] = None,
     bob: BitSource = (),
     bob_init: Sequence[int] = (),
     public: BitSource = (),
@@ -115,14 +151,28 @@ def run_session(
     ``net`` must be structurally identical to the server's program
     netlist (the ``net-hello`` digest check enforces this).  ``cycles``
     may be omitted — the server's welcome names it; if given, a
-    mismatch fails before any protocol traffic.  ``wrap(attempt, link)
-    -> link`` is the fault-injection splice point (tests wrap a
-    connection attempt in a
+    mismatch fails before any protocol traffic.  ``client_id`` is a
+    stable identity across sessions; with ``ot="extension"`` it
+    enables base-OT reuse (see the module docstring) and lets the
+    server audit that pre-garbled delta epochs are never shared across
+    identities.  ``wrap(attempt, link) -> link`` is the
+    fault-injection splice point (tests wrap a connection attempt in a
     :class:`~repro.net.fault.FaultyTransport`).  Returns the
     evaluator's :class:`~repro.net.session.SessionResult`.
     """
     sid = session_id or uuid.uuid4().hex
     hello = {"op": "session", "session": sid, "program": program}
+    base_key = None
+    advertised_base = None
+    if client_id:
+        hello["client"] = client_id
+        base_key = (host, port, client_id)
+        if ot == "extension":
+            # Snapshot the cached base now: the hello's advertisement
+            # and the base actually used must be the same material.
+            advertised_base = _cached_receiver_base(base_key)
+            if advertised_base is not None:
+                hello["base_ot"] = True
     state = {"attempt": 0, "first": None}
 
     def connect() -> Link:
@@ -149,6 +199,21 @@ def run_session(
     run_cycles = welcome["cycles"] if cycles is None else cycles
     state["first"] = first
 
+    # A welcome carrying "base_ot" marks a material-aware extension-OT
+    # server: both sides then derive their extension pools under the
+    # session-unique salt, and skip the base phase entirely when the
+    # server answered "cached" (it kept our sender side).
+    base_mode = welcome.get("base_ot") if ot == "extension" else None
+    ot_factory = None
+    if base_mode is not None:
+        reuse = advertised_base if base_mode == "cached" else None
+        salt = session_salt(sid)
+
+        def ot_factory(chan, _base=reuse, _salt=salt):
+            return OTExtensionReceiver(
+                chan, group=ot_group, base=_base, salt=_salt
+            )
+
     party = EvaluatorParty(
         net,
         run_cycles,
@@ -159,6 +224,7 @@ def run_session(
         ot=ot,
         obs=obs,
         engine=engine,
+        ot_factory=ot_factory,
     )
 
     def connect_or_first() -> Link:
@@ -177,7 +243,14 @@ def run_session(
         heartbeat_interval=heartbeat,
         obs=obs,
     )
-    return session.run()
+    result = session.run()
+    if base_mode == "fresh" and base_key is not None:
+        # This session ran a real base phase: keep the receiver side so
+        # the next session under this identity can skip it.
+        export = getattr(party.backend._ot, "export_base", None)
+        if export is not None:
+            _store_receiver_base(base_key, export())
+    return result
 
 
 def run_registry_session(

@@ -33,6 +33,7 @@ import queue
 import threading
 import uuid
 from dataclasses import dataclass, field
+from math import ceil
 from time import perf_counter, sleep
 from typing import Dict, List, Optional
 
@@ -90,14 +91,40 @@ class LoadgenReport:
         }
 
 
+def _client_id(spec: dict, i: int) -> Optional[str]:
+    """Stable per-client identity (None when the run is anonymous)."""
+    prefix = spec.get("client_prefix")
+    return f"{prefix}-client-{i}" if prefix else None
+
+
+def _warmup_client(i: int, value: int, host: str, port: int, circuit: str,
+                   net, spec: dict) -> None:
+    """Unmeasured sessions before the release barrier.
+
+    Primes the serve-side caches for this client's identity (base-OT
+    material after the first extension session) so the measured window
+    observes the steady online phase, not first-contact costs.
+    """
+    for w in range(spec.get("warmup", 0)):
+        run_registry_session(
+            host, port, circuit, value,
+            session_id=f"{spec['prefix']}-warm-{i}-{w}", net=net,
+            client_id=_client_id(spec, i),
+            timeout=spec["timeout"], max_attempts=spec["max_attempts"],
+            engine=spec["engine"], ot=spec["ot"],
+            ot_group=spec["ot_group"],
+        )
+
+
 def _one_session(out: SessionOutcome, host: str, port: int, circuit: str,
-                 net, spec: dict) -> None:
+                 net, spec: dict, client_id: Optional[str] = None) -> None:
     """Run one evaluator session, recording the outcome in ``out``."""
     t0 = perf_counter()
     try:
         res = run_registry_session(
             host, port, circuit, out.value,
             session_id=out.session, net=net,
+            client_id=client_id,
             timeout=spec["timeout"], max_attempts=spec["max_attempts"],
             engine=spec["engine"], ot=spec["ot"],
             ot_group=spec["ot_group"],
@@ -137,10 +164,20 @@ def _proc_client_main(i: int, barrier, outq, host: str, port: int,
             # but the first session ride a warm plan; give each client
             # process the same footing before the measured window.
             warm_plan(net)
+        warmed = True
+        try:
+            _warmup_client(i, value, host, port, circuit, net, spec)
+        except BaseException as exc:
+            # Reach the barrier regardless: one client's warmup failure
+            # must not strand the others' release.
+            out.error = f"warmup failed: {type(exc).__name__}: {exc}"
+            warmed = False
         barrier.wait()
-        if arrival == "paced" and i:
-            sleep(i * interval)
-        _one_session(out, host, port, circuit, net, spec)
+        if warmed:
+            if arrival == "paced" and i:
+                sleep(i * interval)
+            _one_session(out, host, port, circuit, net, spec,
+                         client_id=_client_id(spec, i))
     except BaseException as exc:  # noqa: BLE001 - ship, don't hang parent
         if out.error is None:
             out.error = f"{type(exc).__name__}: {exc}"
@@ -149,10 +186,18 @@ def _proc_client_main(i: int, barrier, outq, host: str, port: int,
 
 
 def _percentile(sorted_vals: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 for empty)."""
-    if not sorted_vals:
+    """Nearest-rank percentile of an ascending list (0 for empty).
+
+    Uses the ceil-based nearest-rank definition: the smallest value
+    with at least ``q`` of the sample at or below it.  The previous
+    ``round(q * (n - 1))`` form leaned on banker's rounding, so at
+    small N the p95 could land *below* the p50's rank neighbourhood
+    (e.g. n=2 gave p95 = the minimum).
+    """
+    n = len(sorted_vals)
+    if not n:
         return 0.0
-    idx = min(len(sorted_vals) - 1, max(0, int(round(q * (len(sorted_vals) - 1)))))
+    idx = min(n - 1, max(0, ceil(q * n) - 1))
     return sorted_vals[idx]
 
 
@@ -175,6 +220,8 @@ def run_loadgen(
     ot_group: str = "modp512",
     verify: bool = True,
     client_procs: bool = False,
+    client_prefix: Optional[str] = None,
+    warmup: int = 0,
 ) -> LoadgenReport:
     """Run ``clients`` verified sessions and aggregate the outcome.
 
@@ -185,9 +232,20 @@ def run_loadgen(
     as ``busy``, any other failure as ``failed``; both leave
     ``ok`` sessions unaffected.  ``client_procs=True`` runs each
     client in its own process (see the module docstring).
+
+    ``client_prefix`` gives client *i* the stable identity
+    ``f"{client_prefix}-client-{i}"`` across its sessions, arming the
+    serve layer's per-client caches (base-OT reuse).  ``warmup`` runs
+    that many unmeasured sessions per client *before* the release
+    barrier, so the measured window is the steady online phase — the
+    offline/online split benchmark measures its "online" wave this
+    way.  A warmup failure marks the client failed without running its
+    measured session.
     """
     if arrival not in ("burst", "paced"):
         raise ValueError(f"unknown arrival pattern {arrival!r}")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
     from ..net.cli import _registry
 
     entry = _registry()[circuit]
@@ -204,6 +262,8 @@ def run_loadgen(
     spec = {
         "timeout": timeout, "max_attempts": max_attempts,
         "engine": engine, "ot": ot, "ot_group": ot_group,
+        "client_prefix": client_prefix, "warmup": warmup,
+        "prefix": prefix,
     }
 
     outcomes = [
@@ -253,13 +313,25 @@ def _run_thread_clients(outcomes: List[SessionOutcome], host: str,
     t_zero: List[float] = [0.0]
 
     def client_main(i: int) -> None:
+        warmed = True
+        try:
+            _warmup_client(i, outcomes[i].value, host, port, circuit, net,
+                           spec)
+        except BaseException as exc:
+            outcomes[i].error = (
+                f"warmup failed: {type(exc).__name__}: {exc}"
+            )
+            warmed = False
         barrier.wait()
+        if not warmed:
+            return
         if arrival == "paced":
             wake = t_zero[0] + i * interval
             delay = wake - perf_counter()
             if delay > 0:
                 sleep(delay)
-        _one_session(outcomes[i], host, port, circuit, net, spec)
+        _one_session(outcomes[i], host, port, circuit, net, spec,
+                     client_id=_client_id(spec, i))
 
     threads = [
         threading.Thread(target=client_main, args=(i,),

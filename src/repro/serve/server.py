@@ -77,15 +77,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..circuit.netlist import Netlist
 from ..core.plan import warm_plan
-from ..core.protocol import GarblerParty, _expand_bits
 from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
+from ..gc.ot import BaseOTCache
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
 from ..net.session import ResumableSession, SessionResult
 from ..net.tcp import TcpLink, TcpListener
 from ..obs import NULL_OBS
 from .handshake import HELLO, WELCOME, recv_control, send_control
 from .ipc import IpcClosed, MsgChannel
-from .worker import STAT_FIELDS, worker_main
+from .worker import (
+    STAT_FIELDS,
+    build_material_caches,
+    exportable_ot_base,
+    make_garbler_party,
+    worker_main,
+)
 
 BitSource = Union[Sequence[int], Callable[[int], Sequence[int]]]
 
@@ -106,8 +112,13 @@ def _forkserver_context():
         try:
             ctx.set_forkserver_preload(["repro.serve.worker"])
         except Exception:
-            pass  # forkserver already running; workers import lazily
-        _FORKSERVER_PRELOADED = True
+            # Forkserver already running (or transiently unable to take
+            # the preload): workers import lazily.  Do NOT latch the
+            # flag — a later fresh forkserver context should retry the
+            # preload instead of silently never getting it.
+            pass
+        else:
+            _FORKSERVER_PRELOADED = True
     return ctx
 
 
@@ -241,6 +252,12 @@ class _ServeSession:
     #: Process pool: index of the worker running this session (None
     #: until dispatched; links arriving earlier wait in ``_pending``).
     owner: Optional[int] = None
+    #: Client identity from the hello (material epoch audit trail and
+    #: base-OT cache key); None for anonymous sessions.
+    client: Optional[str] = None
+    #: Sender-side base-OT material negotiated at welcome time (the
+    #: decision is snapshotted here so welcome and dispatch agree).
+    ot_base: Optional[tuple] = None
     _pending: List[tuple] = field(default_factory=list)
     _links: "queue.Queue" = field(default_factory=queue.Queue)
     _lock: threading.Lock = field(default_factory=threading.Lock)
@@ -318,6 +335,8 @@ class GarbleServer:
         heartbeat: Optional[float] = None,
         max_sessions: Optional[int] = None,
         pool: str = "auto",
+        precompute: bool = True,
+        material_depth: int = 2,
         obs=NULL_OBS,
     ) -> None:
         if workers < 1:
@@ -340,6 +359,15 @@ class GarbleServer:
         self.engine = engine
         self.heartbeat = heartbeat
         self.max_sessions = max_sessions
+        #: Offline/online split: pre-garble ``material_depth`` delta
+        #: epochs per program before serving, so admitted sessions
+        #: replay cached material and the online path is evaluate+OT.
+        self.precompute = precompute
+        self.material_depth = material_depth
+        #: Sender-side base-OT material per client identity (survives
+        #: worker churn — the parent owns it, workers get it in the
+        #: ``run`` message and return fresh exports with ``done``).
+        self._client_bases = BaseOTCache()
         self.obs = obs
         self.pool = self._resolve_pool(pool)
         if self.pool == "process":
@@ -365,6 +393,13 @@ class GarbleServer:
             if engine == "compiled":
                 for prog in self.programs.values():
                     warm_plan(prog.net)
+            # Offline phase (thread pool): pre-garble material in the
+            # parent; process-pool workers do the same at spawn.
+            self._materials = build_material_caches(
+                self.programs, self._worker_config()
+            )
+            for cache in self._materials.values():
+                self.stats.bump("material_epochs", cache.prewarm())
         self._listener = TcpListener(host=host, port=port)
         self.host, self.port = self._listener.host, self._listener.port
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
@@ -635,6 +670,21 @@ class GarbleServer:
                 )
                 return
             sess = _ServeSession(id=sid, program=name, prog=prog)
+            client = hello.get("client")
+            if isinstance(client, str) and client:
+                sess.client = client
+            # Base-OT reuse negotiation: a returning client that
+            # advertises cached receiver material ("base_ot" in the
+            # hello) gets "cached" back iff the server still holds the
+            # matching sender side; otherwise "fresh" tells it to run
+            # the base phase again.  Decided here, snapshotted on the
+            # session, so the welcome and the worker dispatch agree
+            # even if the cache churns in between.
+            base_mode = None
+            if self.ot == "extension":
+                if sess.client is not None and hello.get("base_ot"):
+                    sess.ot_base = self._client_bases.get(sess.client)
+                base_mode = "cached" if sess.ot_base is not None else "fresh"
             with self._lock:
                 try:
                     self._queue.put_nowait(sess)
@@ -662,6 +712,8 @@ class GarbleServer:
                 "checkpoint_every": self.checkpoint_every,
                 "resumed": False,
             }
+            if base_mode is not None:
+                welcome["base_ot"] = base_mode
             # Welcome before counting the admission: if the client
             # vanished between hello and welcome, unwind the queue
             # entry (the seal fails any worker that raced onto it
@@ -770,6 +822,8 @@ class GarbleServer:
             "ot_group": self.ot_group,
             "engine": self.engine,
             "heartbeat": self.heartbeat,
+            "precompute": self.precompute,
+            "material_depth": self.material_depth,
         }
 
     def _spawn_worker(self, index: int) -> None:
@@ -830,6 +884,11 @@ class GarbleServer:
         self.stats.bump("completed" if ok else "failed")
         if sess is not None:
             sess.seal()
+            # A worker that ran a fresh base-OT phase exports the
+            # sender side so this client's next session can reuse it.
+            export = msg.get("ot_base_export")
+            if ok and export is not None and sess.client is not None:
+                self._client_bases.put(sess.client, tuple(export))
         self.stats.record_session(record)
         if self.obs.enabled:
             if ok:
@@ -871,6 +930,7 @@ class GarbleServer:
                 "garbled_nonxor": -1,
                 "tables_sent": -1,
                 "reconnects": -1,
+                "epoch": -1,
             }
             self.stats.record_session(record)
             if self.obs.enabled:
@@ -918,7 +978,9 @@ class GarbleServer:
                 if chan is None:
                     raise IpcClosed("worker is gone")
                 chan.send({"type": "run", "session": sess.id,
-                           "program": sess.program})
+                           "program": sess.program,
+                           "client": sess.client,
+                           "ot_base": sess.ot_base})
             except IpcClosed:
                 # Worker died between going idle and the handoff; fail
                 # the session (the evaluator redials into an error).
@@ -964,19 +1026,19 @@ class GarbleServer:
             sess.state = "active"
         self.stats.bump("active")
         t0 = perf_counter()
-        party = GarblerParty(
-            prog.net,
-            prog.cycles,
-            _expand_bits(
-                prog.net, "alice", prog.alice, prog.alice_init, prog.cycles
-            ),
-            public=prog.public,
-            public_init=prog.public_init,
-            ot_group=self.ot_group,
-            ot=self.ot,
+        run_msg = {"session": sess.id, "program": sess.program,
+                   "client": sess.client, "ot_base": sess.ot_base}
+        config = self._worker_config()
+        party, material_hit = make_garbler_party(
+            sess.program, prog, config, run_msg, self._materials,
             obs=self.obs,
-            engine=self.engine,
         )
+        if material_hit is not None:
+            self.stats.bump(
+                "material_hits" if material_hit else "material_misses"
+            )
+            if not material_hit:
+                self.stats.bump("material_epochs")
         session = ResumableSession(
             party,
             connect=lambda: sess.pop_link(self.resume_window),
@@ -1015,6 +1077,9 @@ class GarbleServer:
             if self.obs.enabled:
                 self.obs.inc("serve.completed")
                 self.obs.inc("serve.gates", result.stats.garbled_nonxor)
+            export = exportable_ot_base(party, config, run_msg)
+            if export is not None and sess.client is not None:
+                self._client_bases.put(sess.client, export)
         finally:
             sess.wall_seconds = perf_counter() - t0
             self.stats.bump("active", -1)
@@ -1033,10 +1098,20 @@ class GarbleServer:
                     else -1
                 ),
                 "reconnects": sess.result.reconnects if sess.result else -1,
+                "epoch": (
+                    sess.result.material_epoch
+                    if sess.result and sess.result.material_epoch is not None
+                    else -1
+                ),
             }
             self.stats.record_session(record)
             if self.obs.enabled:
                 self.obs.event("serve-session", **record)
+            # Offline phase between sessions: top the pool back up only
+            # after the outcome is booked, never on the client's path.
+            cache = self._materials.get(sess.program)
+            if cache is not None:
+                self.stats.bump("material_epochs", cache.refill())
         if reraise is not None:
             raise reraise
 

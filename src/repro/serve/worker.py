@@ -48,6 +48,8 @@ from typing import Optional
 
 from ..core.plan import warm_plan
 from ..core.protocol import GarblerParty, _expand_bits
+from ..gc.material import MaterialCache, MaterialGarblerParty
+from ..gc.ot_extension import OTExtensionSender, session_salt
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
 from ..net.session import ResumableSession
 from ..net.tcp import TcpLink
@@ -67,9 +69,15 @@ STAT_FIELDS = (
     "failed",
     "active",
     "stats_probes",
+    "material_epochs",   # delta epochs garbled offline (prewarm + refill)
+    "material_hits",     # sessions served from pre-garbled material
+    "material_misses",   # sessions that garbled material synchronously
 )
 
 _IDX_ACTIVE = STAT_FIELDS.index("active")
+_IDX_EPOCHS = STAT_FIELDS.index("material_epochs")
+_IDX_HITS = STAT_FIELDS.index("material_hits")
+_IDX_MISSES = STAT_FIELDS.index("material_misses")
 
 _STOP = object()
 _SEALED = object()
@@ -127,6 +135,52 @@ def _bump_active(stats_block, n: int) -> None:
         stats_block[_IDX_ACTIVE] += n
 
 
+def _bump(stats_block, idx: int, n: int = 1) -> None:
+    if n:
+        with stats_block.get_lock():
+            stats_block[idx] += n
+
+
+def build_material_caches(programs: dict, config: dict) -> dict:
+    """Offline phase: one :class:`MaterialCache` per served program,
+    pre-garbled ``material_depth`` epochs deep.  Shared by the process
+    worker (per-worker caches) and the thread pool (one shared cache,
+    the class is thread-safe).  Returns ``{}`` when precompute is off.
+    """
+    if not config.get("precompute"):
+        return {}
+    materials = {}
+    for name, prog in programs.items():
+        materials[name] = MaterialCache(
+            prog.net,
+            prog.cycles,
+            alice=prog.alice,
+            alice_init=prog.alice_init,
+            public=prog.public,
+            public_init=prog.public_init,
+            ot_group=config["ot_group"],
+            ot=config["ot"],
+            engine=config["engine"],
+            depth=config.get("material_depth", 2),
+        )
+    return materials
+
+
+def _sender_ot_factory(config: dict, sid: str, ot_base):
+    """Garbler-side OT factory for one serve session: session-unique
+    PRG salt always, cached base material when the handshake agreed."""
+    if config["ot"] != "extension":
+        return None
+    salt = session_salt(sid)
+
+    def factory(chan):
+        return OTExtensionSender(
+            chan, group=config["ot_group"], base=ot_base, salt=salt
+        )
+
+    return factory
+
+
 def _reader_loop(chan: MsgChannel, runq: "queue.Queue", sessions: dict,
                  lock: threading.Lock) -> None:
     """Drain the control channel; orderable because run/link/stop for
@@ -143,7 +197,7 @@ def _reader_loop(chan: MsgChannel, runq: "queue.Queue", sessions: dict,
             sess = _WorkerSession(sid)
             with lock:
                 sessions[sid] = sess
-            runq.put((sid, msg["program"]))
+            runq.put((sid, msg))
         elif mtype == "link":
             if not fds:
                 continue
@@ -164,17 +218,34 @@ def _reader_loop(chan: MsgChannel, runq: "queue.Queue", sessions: dict,
             return
 
 
-def _run_one(chan: MsgChannel, sess: _WorkerSession, name: str, prog,
-             config: dict, stats_block) -> None:
-    """One session end-to-end; mirrors the thread pool's
-    ``_run_session`` including its exception semantics: ``Exception``
-    fails the session, ``KeyboardInterrupt``/``SystemExit`` fail it
-    *and* propagate so interpreter shutdown is never swallowed."""
-    _bump_active(stats_block, 1)
-    t0 = perf_counter()
-    result = None
-    error: Optional[BaseException] = None
-    reraise: Optional[BaseException] = None
+def make_garbler_party(name: str, prog, config: dict, run_msg: dict,
+                       materials: dict, obs=NULL_OBS):
+    """Build the garbler party for one admitted session.
+
+    With pre-garbled material available this is a
+    :class:`MaterialGarblerParty` consuming one cached delta epoch
+    (keyed to the client identity from the handshake — the cache
+    enforces that an epoch is never handed to two identities);
+    otherwise a fresh :class:`GarblerParty`.  Either way the OT factory
+    applies the session salt and any cached base-OT material the
+    parent negotiated into the ``run`` message.  Returns
+    ``(party, material_hit)`` where ``material_hit`` is ``None`` for
+    fresh garbling, else whether the pool had an epoch ready.
+    """
+    sid = run_msg["session"]
+    client = run_msg.get("client")
+    ot_factory = _sender_ot_factory(config, sid, run_msg.get("ot_base"))
+    cache = materials.get(name)
+    if cache is not None:
+        material, hit = cache.acquire(client)
+        party = MaterialGarblerParty(
+            material,
+            ot_group=config["ot_group"],
+            ot=config["ot"],
+            ot_factory=ot_factory,
+            obs=obs,
+        )
+        return party, hit
     party = GarblerParty(
         prog.net,
         prog.cycles,
@@ -184,9 +255,43 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, name: str, prog,
         public_init=prog.public_init,
         ot_group=config["ot_group"],
         ot=config["ot"],
-        obs=NULL_OBS,
+        obs=obs,
         engine=config["engine"],
+        ot_factory=ot_factory,
     )
+    return party, None
+
+
+def exportable_ot_base(party, config: dict, run_msg: dict):
+    """Sender-side base-OT material worth caching: only when this
+    session ran a *fresh* base phase (nothing cached was supplied)."""
+    if config["ot"] != "extension" or run_msg.get("ot_base") is not None:
+        return None
+    ot = getattr(party.backend, "_ot", None)
+    export = getattr(ot, "export_base", None)
+    return export() if export is not None else None
+
+
+def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
+             programs: dict, config: dict, stats_block,
+             materials: dict) -> None:
+    """One session end-to-end; mirrors the thread pool's
+    ``_run_session`` including its exception semantics: ``Exception``
+    fails the session, ``KeyboardInterrupt``/``SystemExit`` fail it
+    *and* propagate so interpreter shutdown is never swallowed."""
+    _bump_active(stats_block, 1)
+    t0 = perf_counter()
+    name = run_msg["program"]
+    result = None
+    error: Optional[BaseException] = None
+    reraise: Optional[BaseException] = None
+    party, material_hit = make_garbler_party(
+        name, programs[name], config, run_msg, materials
+    )
+    if material_hit is not None:
+        _bump(stats_block, _IDX_HITS if material_hit else _IDX_MISSES)
+        if not material_hit:
+            _bump(stats_block, _IDX_EPOCHS)
     session = ResumableSession(
         party,
         connect=lambda: sess.pop_link(config["resume_window"]),
@@ -222,17 +327,32 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, name: str, prog,
                 else -1
             ),
             "reconnects": result.reconnects if result is not None else -1,
+            "epoch": (
+                result.material_epoch
+                if result is not None and result.material_epoch is not None
+                else -1
+            ),
         }
         msg = {"type": state, "session": sess.id, "record": record,
                "wall": wall}
         if result is not None:
             msg["result"] = result
+        if error is None:
+            base = exportable_ot_base(party, config, run_msg)
+            if base is not None:
+                msg["ot_base_export"] = base
         if error is not None:
             msg["error"] = f"{type(error).__name__}: {error}"
         try:
             chan.send(msg)
         except IpcClosed:
             pass  # parent gone; nothing left to report to
+    # Top the material pool back up *after* the outcome shipped: the
+    # refill is the offline phase running between sessions, never on a
+    # reporting path the client is waiting on.
+    cache = materials.get(name)
+    if cache is not None:
+        _bump(stats_block, _IDX_EPOCHS, cache.refill())
     if reraise is not None:
         raise reraise
 
@@ -248,6 +368,12 @@ def worker_main(index: int, sock: socket.socket, stats_block,
     if config["engine"] == "compiled":
         for prog in programs.values():
             warm_plan(prog.net)
+    # Offline phase: pre-garble material_depth delta epochs per program
+    # before signalling ready, so the first admitted session is already
+    # pure replay.
+    materials = build_material_caches(programs, config)
+    for cache in materials.values():
+        _bump(stats_block, _IDX_EPOCHS, cache.prewarm())
     runq: "queue.Queue" = queue.Queue()
     sessions: dict = {}
     lock = threading.Lock()
@@ -265,12 +391,12 @@ def worker_main(index: int, sock: socket.socket, stats_block,
             item = runq.get()
             if item is _STOP:
                 return
-            sid, name = item
+            sid, run_msg = item
             with lock:
                 sess = sessions[sid]
             try:
-                _run_one(chan, sess, name, programs[name], config,
-                         stats_block)
+                _run_one(chan, sess, run_msg, programs, config,
+                         stats_block, materials)
             finally:
                 with lock:
                     sessions.pop(sid, None)

@@ -1,0 +1,102 @@
+"""Unit tests for the small serve-layer fixes riding this change.
+
+* ``_percentile`` — nearest-rank percentile must not round *down* past
+  observed tail latencies at small N (the old ``round()`` used banker's
+  rounding, so p95 of two samples returned the p50 value).
+* ``_forkserver_context`` — the preload latch must only stick when
+  ``set_forkserver_preload`` actually succeeded, so a transient failure
+  retries on the next fresh context instead of silently never
+  preloading.
+"""
+
+import pytest
+
+from repro.serve import server as server_mod
+from repro.serve.loadgen import _percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.95) == 0.0
+
+    def test_single_sample_is_that_sample(self):
+        assert _percentile([5.0], 0.5) == 5.0
+        assert _percentile([5.0], 0.95) == 5.0
+
+    def test_two_samples_p95_is_the_max(self):
+        # The old round(0.95 * 2) - 1 == round(1.9) - 1 == 1 happened
+        # to work, but round(0.95 * 2 - 1) style variants and banker's
+        # rounding at N=10 (round(9.5) == 10 -> IndexError territory,
+        # round(0.5) == 0) did not.  Nearest-rank: ceil(q*n) - 1.
+        assert _percentile([1.0, 2.0], 0.95) == 2.0
+
+    def test_ten_samples_p50_is_fifth(self):
+        vals = [float(i) for i in range(1, 11)]
+        # ceil(0.5 * 10) - 1 == 4 -> the 5th sample.  Banker's rounding
+        # (round(5.0) staying 5 but round(4.5) -> 4) made this depend
+        # on parity of the intermediate.
+        assert _percentile(vals, 0.5) == 5.0
+
+    def test_hundred_samples_match_nearest_rank(self):
+        vals = [float(i) for i in range(1, 101)]
+        assert _percentile(vals, 0.95) == 95.0
+        assert _percentile(vals, 0.50) == 50.0
+        assert _percentile(vals, 1.0) == 100.0
+
+    def test_monotone_in_q(self):
+        vals = [0.1, 0.2, 0.3, 0.9]
+        qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+        got = [_percentile(vals, q) for q in qs]
+        assert got == sorted(got)
+        assert _percentile(vals, 0.95) >= _percentile(vals, 0.5)
+
+
+class _FakeCtx:
+    """Stand-in forkserver context recording preload attempts."""
+
+    def __init__(self, fail: bool) -> None:
+        self.fail = fail
+        self.preloads = []
+
+    def set_forkserver_preload(self, modules):
+        self.preloads.append(list(modules))
+        if self.fail:
+            raise ValueError("forkserver already running")
+
+
+class TestForkserverPreloadLatch:
+    @pytest.fixture(autouse=True)
+    def _unlatched(self, monkeypatch):
+        monkeypatch.setattr(server_mod, "_FORKSERVER_PRELOADED", False)
+
+    def _patch_ctx(self, monkeypatch, ctx):
+        import multiprocessing as mp
+
+        monkeypatch.setattr(
+            mp, "get_context", lambda method=None: ctx
+        )
+
+    def test_failed_preload_does_not_latch(self, monkeypatch):
+        bad = _FakeCtx(fail=True)
+        self._patch_ctx(monkeypatch, bad)
+        assert server_mod._forkserver_context() is bad
+        assert bad.preloads == [["repro.serve.worker"]]
+        assert server_mod._FORKSERVER_PRELOADED is False
+
+        # A later fresh context gets the preload retried...
+        good = _FakeCtx(fail=False)
+        self._patch_ctx(monkeypatch, good)
+        server_mod._forkserver_context()
+        assert good.preloads == [["repro.serve.worker"]]
+        assert server_mod._FORKSERVER_PRELOADED is True
+
+    def test_successful_preload_latches_and_is_not_repeated(
+        self, monkeypatch
+    ):
+        ctx = _FakeCtx(fail=False)
+        self._patch_ctx(monkeypatch, ctx)
+        server_mod._forkserver_context()
+        server_mod._forkserver_context()
+        # One preload total: the second call saw the latch.
+        assert ctx.preloads == [["repro.serve.worker"]]
+        assert server_mod._FORKSERVER_PRELOADED is True
