@@ -45,12 +45,19 @@ def write_bench_records(
     name: str,
     records: List[dict],
     commit: Optional[str] = None,
+    merge: bool = False,
 ) -> str:
     """Write ``BENCH_<name>.json`` at the repo root; returns the path.
 
     Each record must carry ``metric``, ``value`` and ``unit``; the
     commit id is stamped onto every record here so callers can't
     forget it.
+
+    ``merge=True`` folds the records into an existing file instead of
+    replacing it: rows whose ``metric`` is re-reported are replaced,
+    every other existing row is kept.  This lets independent
+    benchmarks (throughput, idle-connection capacity, ...) share one
+    ``BENCH_<name>.json`` without clobbering each other.
     """
     commit = commit or bench_commit()
     rows = []
@@ -60,6 +67,17 @@ def write_bench_records(
             raise ValueError(f"bench record missing {sorted(missing)}: {rec}")
         rows.append({**rec, "commit": commit})
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    if merge and os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = []
+        fresh = {row["metric"] for row in rows}
+        if isinstance(existing, list):
+            rows = [row for row in existing
+                    if isinstance(row, dict)
+                    and row.get("metric") not in fresh] + rows
     with open(path, "w") as fh:
         json.dump(rows, fh, indent=2)
         fh.write("\n")

@@ -245,11 +245,16 @@ def main(argv=None) -> int:
     p_rep.set_defaults(func=cmd_report)
 
     from .net.cli import add_party_parser
-    from .serve.cli import add_loadgen_parser, add_serve_parser
+    from .serve.cli import (
+        add_chaos_parser,
+        add_loadgen_parser,
+        add_serve_parser,
+    )
 
     add_party_parser(sub)
     add_serve_parser(sub)
     add_loadgen_parser(sub)
+    add_chaos_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -406,6 +406,11 @@ class GarblerParty(_Party):
                 else:
                     raise AssertionError("Bob returned an unknown output label")
                 outputs.append(raw ^ flip)
+        # Stash the decoded result before waiting for the goodbye: a
+        # Bob that dies right here leaves the session failed, but the
+        # output is already known — the serve layer parks it for
+        # replay so a redial recovers it instead of losing it.
+        self.last_outputs = list(outputs)
         chan.send("result", outputs)
         # Bob acknowledges receipt so a lost result frame is detected
         # here (and replayed by the resume layer) instead of leaving

@@ -491,6 +491,10 @@ class MaterialGarblerParty:
                 else:
                     raise AssertionError("Bob returned an unknown output label")
                 outputs.append(raw ^ flip)
+        # Same stash as GarblerParty.finish: the result survives a Bob
+        # that dies between here and the goodbye, so the serve layer
+        # can park it for redial replay.
+        self.last_outputs = list(outputs)
         chan.send("result", outputs)
         chan.recv("bye")
         return outputs

@@ -19,6 +19,7 @@ None       `N`   nothing
 False      `F`   nothing
 True       `T`   nothing
 int        `i`   varint(len) + two's-complement little-endian bytes
+float      `f`   8 bytes IEEE-754 binary64, big-endian
 bytes      `b`   varint(len) + raw bytes
 str        `s`   varint(len) + UTF-8 bytes
 list       `l`   varint(n) + encoded items
@@ -36,6 +37,7 @@ bytes regardless of leading zeros).
 
 from __future__ import annotations
 
+import struct
 from typing import Any, List, Tuple
 
 
@@ -82,6 +84,11 @@ def _encode_into(out: List[bytes], obj: Any) -> None:
         out.append(b"i")
         _write_varint(out, len(raw))
         out.append(raw)
+    elif type(obj) is float:
+        # Fixed-width binary64: bit-exact round trip, deterministic
+        # size (timeout/backoff hints in serve control frames).
+        out.append(b"f")
+        out.append(struct.pack(">d", obj))
     elif type(obj) in (bytes, bytearray):
         out.append(b"b")
         _write_varint(out, len(obj))
@@ -140,6 +147,11 @@ def _decode_at(data: bytes, pos: int) -> Tuple[Any, int]:
         return True, pos
     if kind == b"F":
         return False, pos
+    if kind == b"f":
+        end = pos + 8
+        if end > len(data):
+            raise CodecError("truncated float")
+        return struct.unpack(">d", data[pos:end])[0], end
     if kind in (b"i", b"b", b"s"):
         n, pos = _read_varint(data, pos)
         end = pos + n

@@ -110,6 +110,11 @@ class SessionResult:
     #: checkpoint carries the same epoch — a resume can never stitch
     #: material from two different deltas together.
     material_epoch: Optional[int] = None
+    #: True when this result was recovered from the server's replay
+    #: buffer (a redial of a finished session) rather than computed by
+    #: running the protocol; ``stats``/``sent``/``received`` then
+    #: describe the recovery exchange, not a protocol run.
+    replayed: bool = False
 
 
 class ResumableSession:

@@ -56,6 +56,18 @@ class TcpLink(Link):
         self._closed = True
         return self._sock.detach()
 
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Arm a socket-level deadline for the *next* blocking call.
+
+        ``recv_bytes`` re-arms its own timeout on every call, so the
+        practical use is bounding a send against a peer that stops
+        reading (e.g. the serve edge's welcome-ack deadline): a full
+        send buffer turns into ``LinkClosed`` instead of a stuck
+        thread.
+        """
+        if not self._closed:
+            self._sock.settimeout(timeout)
+
     def send_bytes(self, data: bytes) -> None:
         if self._closed:
             raise LinkClosed("link is closed")

@@ -1,28 +1,46 @@
 """Multi-session garbling service: one long-lived garbler, N sessions.
 
 The serve layer turns the one-shot ``python -m repro party`` garbler
-into a server: a persistent TCP listener, a ``serve-hello`` handshake
-that multiplexes sessions, a bounded worker pool running
+into a server: an asyncio front door (:mod:`repro.serve.edge`) with
+hardened handshake parsing and per-state deadlines, a ``serve-hello``
+handshake that multiplexes sessions, a bounded worker pool running
 :class:`~repro.core.protocol.GarblerParty` state machines, admission
-control with structured busy rejects, and checkpoint/resume routing so
-a dropped evaluator reconnects to the *same* server and session.  See
-:mod:`repro.serve.server` for the architecture.
+control with structured busy rejects, checkpoint/resume routing so a
+dropped evaluator reconnects to the *same* server and session, and a
+bounded TTL'd replay buffer (:mod:`repro.serve.replay`) so a client
+that dies after the final frame redials and recovers its result
+bit-identically.  See :mod:`repro.serve.server` for the architecture.
 """
 
-from .handshake import ServeError, ServerBusy
+from .handshake import (
+    HandshakeReject,
+    ResultPending,
+    ServeError,
+    ServerBusy,
+)
 from .loadgen import LoadgenReport, SessionOutcome, run_loadgen
-from .client import fetch_stats, run_registry_session, run_session
+from .client import (
+    fetch_stats,
+    recover_result,
+    run_registry_session,
+    run_session,
+)
+from .replay import ReplayBuffer
 from .server import (
     GarbleServer,
     ServeProgram,
     ServeStats,
     make_server,
+    registry_keyed_program,
     registry_program,
 )
 
 __all__ = [
     "GarbleServer",
+    "HandshakeReject",
     "LoadgenReport",
+    "ReplayBuffer",
+    "ResultPending",
     "ServeError",
     "ServeProgram",
     "ServeStats",
@@ -30,6 +48,8 @@ __all__ = [
     "SessionOutcome",
     "fetch_stats",
     "make_server",
+    "recover_result",
+    "registry_keyed_program",
     "registry_program",
     "run_loadgen",
     "run_registry_session",

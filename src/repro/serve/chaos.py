@@ -1,0 +1,352 @@
+"""Chaos harness: adversarial clients alongside a verified load.
+
+``python -m repro chaos`` points three adversary archetypes at a
+running ``repro serve`` instance *while* a well-behaved load
+generator runs against the same listener:
+
+* **slow-loris** — connects and trickles its hello one byte at a
+  time.  Expected outcome: a structured ``handshake-timeout`` reject
+  at the handshake deadline; the trickle must never stall admission
+  for anyone else.
+* **mid-handshake disconnect** — sends half a hello and vanishes.
+  Expected outcome: nothing visible (the edge counts a truncated
+  handshake and moves on).
+* **post-result crash** — runs a complete verified session, kills its
+  connection between the last table batch and the output-decode ack,
+  then redials and must recover its result **bit-identically** from
+  the server's replay buffer.
+
+The run fails (non-zero exit) if any well-behaved session failed, was
+rejected or mis-verified; if any adversary saw an outcome other than
+its expected one; if the p95 session latency under adversarial load
+blew past the no-adversary baseline by more than the budget; or if
+the server's hardening counters did not move (which would mean the
+adversaries never actually exercised the edge).  Server-side "no
+unhandled exceptions / no stalls" is asserted by the CI job wrapping
+this command: it greps the server log for tracebacks and requires the
+final stats record to report zero failed sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..net.codec import encode
+from ..net.frame import FRAME_DATA, encode_frame
+from ..net.links import Link, LinkClosed, LinkTimeout
+from ..net.tcp import connect_with_backoff
+from .client import fetch_stats, recover_result, run_registry_session
+from .handshake import HELLO, WELCOME, recv_control
+from .loadgen import LoadgenReport, run_loadgen
+
+
+@dataclass
+class AdversaryOutcome:
+    """What one adversarial client observed."""
+
+    kind: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate verdict of one chaos run."""
+
+    baseline: LoadgenReport
+    adversarial: LoadgenReport
+    adversaries: List[AdversaryOutcome]
+    stats_before: dict
+    stats_after: dict
+    p95_ratio: float
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_record(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "baseline_p95_s": round(self.baseline.p95_seconds, 4),
+            "adversarial_p95_s": round(self.adversarial.p95_seconds, 4),
+            "p95_ratio": round(self.p95_ratio, 3),
+            "baseline_ok": self.baseline.ok,
+            "adversarial_ok": self.adversarial.ok,
+            "adversaries": [
+                {"kind": a.kind, "ok": a.ok, "detail": a.detail}
+                for a in self.adversaries
+            ],
+            "handshake_rejects": self.stats_after.get("handshake_rejects", 0)
+            - self.stats_before.get("handshake_rejects", 0),
+            "handshake_timeouts": self.stats_after.get("handshake_timeouts", 0)
+            - self.stats_before.get("handshake_timeouts", 0),
+            "replay_hits": self.stats_after.get("replay_hits", 0)
+            - self.stats_before.get("replay_hits", 0),
+        }
+
+
+def _hello_frame(sid: str, program: str) -> bytes:
+    return encode_frame(
+        FRAME_DATA, 1, HELLO,
+        encode({"op": "session", "session": sid, "program": program}),
+    )
+
+
+def slow_loris(host: str, port: int, program: str, *,
+               byte_interval: float = 0.2,
+               give_up_after: float = 30.0) -> AdversaryOutcome:
+    """Trickle a hello one byte at a time until the server rejects us.
+
+    ``ok`` iff the server answered with a structured
+    ``handshake-timeout`` (or ``bad-hello``) welcome before
+    ``give_up_after`` — i.e. the deadline fired instead of the server
+    waiting out the whole trickle."""
+    frame = _hello_frame("chaos-loris", program)
+    deadline = time.monotonic() + give_up_after
+    try:
+        link = connect_with_backoff(host, port, attempts=4)
+    except (OSError, LinkClosed, LinkTimeout) as exc:
+        return AdversaryOutcome("slow-loris", False, f"dial failed: {exc}")
+    result: List[Optional[str]] = [None]
+
+    def _reader() -> None:
+        try:
+            tag, payload, _ = recv_control(link, timeout=give_up_after)
+            if tag == WELCOME and isinstance(payload, dict):
+                result[0] = payload.get("status")
+        except Exception:  # noqa: BLE001 — close races are fine
+            pass
+    reader = threading.Thread(target=_reader, daemon=True)
+    reader.start()
+    try:
+        for i in range(len(frame)):
+            if not reader.is_alive() or time.monotonic() > deadline:
+                break
+            try:
+                link.send_bytes(frame[i:i + 1])
+            except (LinkClosed, OSError):
+                break  # the edge hung up — the reject is on its way
+            time.sleep(byte_interval)
+        reader.join(timeout=max(0.0, deadline - time.monotonic()))
+        status = result[0]
+    finally:
+        link.close()
+        reader.join(timeout=1.0)
+    if status in ("handshake-timeout", "bad-hello"):
+        return AdversaryOutcome("slow-loris", True, f"rejected: {status}")
+    return AdversaryOutcome(
+        "slow-loris", False,
+        f"expected a handshake-timeout reject, saw {status!r}")
+
+
+def mid_handshake_disconnect(host: str, port: int,
+                             program: str) -> AdversaryOutcome:
+    """Send half a hello, then vanish.  Succeeds unless the dial
+    itself failed — the server-side effect (a counted truncated
+    handshake, no exception) is asserted via the stats delta."""
+    frame = _hello_frame("chaos-cut", program)
+    try:
+        link = connect_with_backoff(host, port, attempts=4)
+    except (OSError, LinkClosed, LinkTimeout) as exc:
+        return AdversaryOutcome("mid-handshake-disconnect", False,
+                                f"dial failed: {exc}")
+    try:
+        link.send_bytes(frame[: len(frame) // 2])
+        time.sleep(0.1)
+    except (LinkClosed, OSError) as exc:
+        return AdversaryOutcome("mid-handshake-disconnect", False,
+                                f"send failed: {exc}")
+    finally:
+        link.close()
+    return AdversaryOutcome("mid-handshake-disconnect", True)
+
+
+class _DieBeforeBye(Link):
+    """Link wrapper that kills the connection on the final ack —
+    the client that crashes after the garbler decoded its output."""
+
+    def __init__(self, inner: Link) -> None:
+        self._inner = inner
+
+    def send_bytes(self, data: bytes) -> None:
+        if b"bye" in data:
+            self._inner.close()
+            raise LinkClosed("chaos: crashed before acking the result")
+        self._inner.send_bytes(data)
+
+    def recv_bytes(self, timeout=None) -> bytes:
+        return self._inner.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def post_result_crash(host: str, port: int, program: str, value: int, *,
+                      session_id: str = "chaos-crash",
+                      server_value: Optional[int] = None,
+                      timeout: float = 30.0) -> AdversaryOutcome:
+    """Run a session, crash before the decode ack, redial, recover.
+
+    ``ok`` iff the redial recovered a replayed result — and, when
+    ``server_value`` is known, iff that result matches the local
+    simulator bit-for-bit."""
+    kind = "post-result-crash"
+    try:
+        run_registry_session(
+            host, port, program, value, session_id=session_id,
+            max_attempts=1, timeout=timeout,
+            wrap=lambda attempt, link: _DieBeforeBye(link))
+        return AdversaryOutcome(
+            kind, False, "session survived its own crash?")
+    except Exception:  # noqa: BLE001 — the crash is the point
+        pass
+    # The server holds the session open for its resume window before
+    # declaring it failed and parking the decoded result — keep
+    # probing through the "pending" answers until it lands.
+    from .handshake import ResultPending
+
+    recovered = None
+    deadline = time.monotonic() + max(timeout, 10.0)
+    while recovered is None:
+        try:
+            recovered = recover_result(host, port, session_id,
+                                       attempts=1, timeout=5.0)
+        except ResultPending:
+            if time.monotonic() > deadline:
+                return AdversaryOutcome(
+                    kind, False,
+                    f"result still pending after {timeout}s — the "
+                    "server never gave up on the dead connection")
+            time.sleep(0.5)
+        except Exception as exc:  # noqa: BLE001
+            return AdversaryOutcome(kind, False, f"recovery failed: {exc}")
+    if not getattr(recovered, "replayed", False):
+        return AdversaryOutcome(kind, False, "result was not a replay")
+    if server_value is not None:
+        from .. import api
+        from ..net.cli import _registry
+
+        entry = _registry()[program]
+        net, cycles = entry.build()
+        ref = api.run(
+            net,
+            {"alice": entry.alice_source(server_value, cycles),
+             "bob": entry.bob_source(value, cycles)},
+            mode="local",
+            cycles=cycles,
+        )
+        if recovered.value != ref.value or \
+                recovered.outputs != list(ref.outputs):
+            return AdversaryOutcome(
+                kind, False,
+                f"replayed result {recovered.value} != simulator "
+                f"{ref.value} (bit-identity broken)")
+    return AdversaryOutcome(kind, True,
+                            f"recovered value {recovered.value}")
+
+
+def run_chaos(
+    host: str,
+    port: int,
+    program: str = "sum32",
+    *,
+    clients: int = 4,
+    server_value: Optional[int] = None,
+    loris: int = 2,
+    disconnects: int = 2,
+    crashes: int = 1,
+    p95_factor: float = 1.2,
+    p95_slack: float = 0.25,
+    timeout: float = 30.0,
+    byte_interval: float = 0.2,
+) -> ChaosReport:
+    """Baseline loadgen, then the same loadgen with adversaries.
+
+    The p95 budget is ``baseline_p95 * p95_factor + p95_slack`` — the
+    multiplicative part is the real claim (adversaries must not slow
+    honest sessions down), the additive slack absorbs scheduler noise
+    on sub-100ms baselines."""
+    stats_before = fetch_stats(host, port)
+    baseline = run_loadgen(
+        host, port, program, clients=clients, server_value=server_value,
+        timeout=timeout, session_prefix="chaos-base")
+
+    adversaries: List[AdversaryOutcome] = []
+    lock = threading.Lock()
+
+    def spawn(fn, *args, **kwargs):
+        def run():
+            out = fn(*args, **kwargs)
+            with lock:
+                adversaries.append(out)
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        return t
+
+    threads = []
+    for _ in range(loris):
+        threads.append(spawn(slow_loris, host, port, program,
+                             byte_interval=byte_interval))
+    for _ in range(disconnects):
+        threads.append(spawn(mid_handshake_disconnect, host, port, program))
+    for i in range(crashes):
+        threads.append(spawn(
+            post_result_crash, host, port, program, 7000 + i,
+            session_id=f"chaos-crash-{i}", server_value=server_value,
+            timeout=timeout))
+
+    adversarial = run_loadgen(
+        host, port, program, clients=clients, server_value=server_value,
+        timeout=timeout, session_prefix="chaos-adv")
+    for t in threads:
+        t.join(timeout=timeout + 60.0)
+    stats_after = fetch_stats(host, port)
+
+    failures: List[str] = []
+    if adversarial.ok != clients:
+        failures.append(
+            f"well-behaved sessions: {adversarial.ok}/{clients} ok "
+            f"({adversarial.busy} busy, {adversarial.failed} failed)")
+    failures.extend(f"verify: {e}" for e in adversarial.verify_errors)
+    for a in adversaries:
+        if not a.ok:
+            failures.append(f"{a.kind}: {a.detail}")
+    expected_adversaries = loris + disconnects + crashes
+    if len(adversaries) != expected_adversaries:
+        failures.append(
+            f"only {len(adversaries)}/{expected_adversaries} adversaries "
+            "reported back (one hung?)")
+    budget = baseline.p95_seconds * p95_factor + p95_slack
+    if adversarial.p95_seconds > budget:
+        failures.append(
+            f"p95 under adversaries {adversarial.p95_seconds:.3f}s "
+            f"exceeds budget {budget:.3f}s "
+            f"(baseline {baseline.p95_seconds:.3f}s)")
+    rejects_moved = (stats_after.get("handshake_rejects", 0)
+                     > stats_before.get("handshake_rejects", 0))
+    if (loris + disconnects) > 0 and not rejects_moved:
+        failures.append("handshake_rejects counter never moved — the "
+                        "adversaries did not reach the edge")
+    replays = (stats_after.get("replay_hits", 0)
+               - stats_before.get("replay_hits", 0))
+    if crashes > 0 and replays < crashes:
+        failures.append(
+            f"replay_hits moved by {replays}, expected >= {crashes}")
+
+    ratio = (adversarial.p95_seconds / baseline.p95_seconds
+             if baseline.p95_seconds > 0 else 0.0)
+    return ChaosReport(
+        baseline=baseline,
+        adversarial=adversarial,
+        adversaries=sorted(adversaries, key=lambda a: a.kind),
+        stats_before=stats_before,
+        stats_after=stats_after,
+        p95_ratio=ratio,
+        failures=failures,
+    )

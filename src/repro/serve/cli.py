@@ -63,6 +63,10 @@ def run_serve(args) -> int:
         ot_group=args.ot_group,
         engine=args.engine,
         heartbeat=args.heartbeat,
+        handshake_timeout=args.handshake_timeout,
+        idle_timeout=args.idle_timeout,
+        replay_ttl=args.replay_ttl,
+        max_connections=args.max_connections,
         max_sessions=args.max_sessions,
         pool=args.pool,
         precompute=not args.no_precompute,
@@ -130,6 +134,37 @@ def run_loadgen_cmd(args) -> int:
     return 0 if bad == 0 else 1
 
 
+def run_chaos_cmd(args) -> int:
+    from .chaos import run_chaos
+
+    host, port = _parse_hostport(args.connect)
+    report = run_chaos(
+        host,
+        port,
+        args.circuit,
+        clients=args.clients,
+        server_value=args.server_value,
+        loris=args.loris,
+        disconnects=args.disconnects,
+        crashes=args.crashes,
+        p95_factor=args.p95_factor,
+        p95_slack=args.p95_slack,
+        timeout=args.timeout,
+        byte_interval=args.byte_interval,
+    )
+    record = report.to_record()
+    adversaries = record.pop("adversaries")
+    _emit(args, record)
+    if not args.json:
+        for a in adversaries:
+            mark = "ok" if a["ok"] else "FAILED"
+            extra = f" ({a['detail']})" if a["detail"] else ""
+            print(f"  {a['kind']:28s} {mark}{extra}")
+        for failure in report.failures:
+            print(f"  FAILURE: {failure}")
+    return 0 if report.ok else 1
+
+
 def add_serve_parser(sub) -> None:
     p = sub.add_parser(
         "serve",
@@ -165,6 +200,24 @@ def add_serve_parser(sub) -> None:
     p.add_argument("--timeout", type=float, default=30.0,
                    help="receive deadline / resume window in seconds")
     p.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--handshake-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="deadline from the first hello byte to a complete "
+                        "hello; a slow-loris client is rejected here "
+                        "(default 5)")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="how long a connection may sit without sending a "
+                        "single byte before being closed (default 60)")
+    p.add_argument("--replay-ttl", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="how long a finished session's result stays "
+                        "replayable for a redialing client; 0 disables "
+                        "the replay buffer (default 120)")
+    p.add_argument("--max-connections", type=int, default=10000, metavar="N",
+                   help="open-connection ceiling at the edge; beyond it "
+                        "idle connections are shed before new ones are "
+                        "refused (default 10000)")
     p.add_argument("--max-sessions", type=int, default=None, metavar="N",
                    help="drain and exit after N sessions finished (CI)")
     p.add_argument("--engine", choices=("compiled", "reference"),
@@ -227,3 +280,43 @@ def add_loadgen_parser(sub) -> None:
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=run_loadgen_cmd)
+
+
+def add_chaos_parser(sub) -> None:
+    p = sub.add_parser(
+        "chaos",
+        help="adversarial clients + verified load against a serve instance",
+        description="Drive a running `repro serve` server with slow-loris "
+        "hellos, mid-handshake disconnects and post-result crash/redial "
+        "clients while a verified load generator runs; exits non-zero if "
+        "any honest session suffered, any adversary escaped its "
+        "structured reject, the replay recovery was not bit-identical, "
+        "or p95 latency blew the budget.",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--circuit", default="sum32")
+    p.add_argument("--clients", type=int, default=4,
+                   help="well-behaved sessions per loadgen round")
+    p.add_argument("--server-value", type=lambda s: int(s, 0), default=None,
+                   help="the server's --value; arms bit-identity checks "
+                        "for both the loadgen and the replay recovery")
+    p.add_argument("--loris", type=int, default=2,
+                   help="slow-loris adversaries (default 2)")
+    p.add_argument("--disconnects", type=int, default=2,
+                   help="mid-handshake disconnect adversaries (default 2)")
+    p.add_argument("--crashes", type=int, default=1,
+                   help="post-result crash + redial adversaries (default 1)")
+    p.add_argument("--p95-factor", type=float, default=1.2,
+                   help="adversarial p95 must stay within this factor of "
+                        "the no-adversary baseline (default 1.2)")
+    p.add_argument("--p95-slack", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="additive p95 slack absorbing scheduler noise on "
+                        "sub-100ms baselines (default 0.25)")
+    p.add_argument("--byte-interval", type=float, default=0.2,
+                   metavar="SECONDS",
+                   help="slow-loris trickle rate (default one byte per "
+                        "0.2s)")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=run_chaos_cmd)

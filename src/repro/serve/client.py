@@ -21,16 +21,27 @@ degrades to a fresh base phase, never to a protocol error.
 
 :func:`fetch_stats` is the one-shot stats probe
 (``op: "stats"`` hello), used by the CLI and the load generator.
+
+**Result recovery.**  A client that dies after the final frame — the
+garbler decoded the output but the result never made it home — simply
+redials with the same session id: the server answers a redial of a
+finished session with a ``status: "result"`` welcome replayed from its
+bounded TTL'd buffer, and :func:`run_session` returns the recovered
+:class:`~repro.net.session.SessionResult` (``replayed=True``)
+bit-identically.  :func:`recover_result` asks for the parked result
+explicitly (``op: "result"``) without ever joining the session.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import uuid
 from typing import Callable, Optional, Sequence, Union
 
 from ..circuit.netlist import Netlist
 from ..core.protocol import EvaluatorParty, _expand_bits
+from ..gc.channel import ChannelStats
 from ..gc.ot_extension import OTExtensionReceiver, session_salt
 from ..net.links import Link, PrefacedLink
 from ..net.session import ResumableSession, SessionResult
@@ -39,6 +50,7 @@ from ..obs import NULL_OBS
 from .handshake import (
     HELLO,
     WELCOME,
+    ResultPending,
     ServeError,
     ServerBusy,
     recv_control,
@@ -105,12 +117,82 @@ def _hello_exchange(
             f"server rejected session: {welcome.get('reason', status)}",
             welcome=welcome,
         )
-    if status not in ("ok", "stats"):
+    if status not in ("ok", "stats", "result", "pending"):
         link.close()
         raise ServeError(
             f"server rejected session: {welcome.get('reason', status)}"
         )
     return welcome, PrefacedLink(link, leftover)
+
+
+class _Replayed(Exception):
+    """Internal: the server answered a (re)dial with a parked result
+    instead of a live session."""
+
+    def __init__(self, welcome: dict) -> None:
+        super().__init__("session result served from replay")
+        self.welcome = welcome
+
+
+class _ReplayStats:
+    """Stats shim carried by a replayed result (the protocol did not
+    run on this connection, so there are no live RunStats)."""
+
+    def __init__(self, garbled_nonxor: int) -> None:
+        self.garbled_nonxor = garbled_nonxor
+
+
+def _result_from_welcome(welcome: dict) -> SessionResult:
+    return SessionResult(
+        outputs=[int(b) for b in welcome.get("outputs", ())],
+        value=welcome.get("value", 0),
+        stats=_ReplayStats(welcome.get("garbled_nonxor", -1)),
+        sent=ChannelStats(),
+        received=ChannelStats(),
+        reconnects=0,
+        checkpoint_cycles=[],
+        tables_sent=welcome.get("tables_sent"),
+        material_epoch=None,
+        replayed=True,
+    )
+
+
+def recover_result(
+    host: str,
+    port: int,
+    session_id: str,
+    *,
+    client_id: Optional[str] = None,
+    timeout: Optional[float] = 5.0,
+    attempts: int = 4,
+) -> SessionResult:
+    """Fetch the parked result of a finished session.
+
+    Sends an ``op: "result"`` hello; the session itself is never
+    joined or re-run.  A ``pending`` answer (session still running) is
+    retried up to ``attempts`` times honouring the server's
+    ``retry_after_s`` guidance, then raises :class:`ResultPending`.
+    An expired or never-parked result raises :class:`ServeError`
+    (the server's structured ``unknown-session`` reject).
+    """
+    hello = {"op": "result", "session": session_id}
+    if client_id:
+        hello["client"] = client_id
+    welcome: dict = {}
+    for i in range(max(attempts, 1)):
+        welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+        link.close()
+        status = welcome.get("status")
+        if status == "result":
+            return _result_from_welcome(welcome)
+        if status != "pending":
+            raise ServeError(f"unexpected result-probe reply: {welcome!r}")
+        if i < attempts - 1:
+            time.sleep(min(float(welcome.get("retry_after_s", 0.1)), 2.0))
+    raise ResultPending(
+        f"session {session_id!r} still running after {attempts} probes",
+        welcome=welcome,
+    )
 
 
 def fetch_stats(host: str, port: int, timeout: Optional[float] = 5.0) -> dict:
@@ -132,6 +214,7 @@ def run_session(
     *,
     session_id: Optional[str] = None,
     client_id: Optional[str] = None,
+    garbler_key: Optional[str] = None,
     bob: BitSource = (),
     bob_init: Sequence[int] = (),
     public: BitSource = (),
@@ -157,11 +240,17 @@ def run_session(
     server audit that pre-garbled delta epochs are never shared across
     identities.  ``wrap(attempt, link) -> link`` is the
     fault-injection splice point (tests wrap a connection attempt in a
-    :class:`~repro.net.fault.FaultyTransport`).  Returns the
-    evaluator's :class:`~repro.net.session.SessionResult`.
+    :class:`~repro.net.fault.FaultyTransport`).  ``garbler_key``
+    selects a per-session garbler operand out of the program's keyed
+    table (servers built with ``alice_by_key``).  Returns the
+    evaluator's :class:`~repro.net.session.SessionResult` — possibly
+    recovered from the server's replay buffer (``replayed=True``) when
+    a redial found the session already finished.
     """
     sid = session_id or uuid.uuid4().hex
     hello = {"op": "session", "session": sid, "program": program}
+    if garbler_key is not None:
+        hello["garbler_key"] = garbler_key
     base_key = None
     advertised_base = None
     if client_id:
@@ -179,6 +268,12 @@ def run_session(
         attempt = state["attempt"]
         state["attempt"] = attempt + 1
         welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+        if welcome.get("status") == "result":
+            # The session finished without us (we died after the final
+            # frame and are redialing): the server replayed the parked
+            # result instead of admitting a session.
+            link.close()
+            raise _Replayed(welcome)
         if cycles is not None and welcome.get("cycles") != cycles:
             link.close()
             raise ServeError(
@@ -194,7 +289,10 @@ def run_session(
     # count and checkpoint cadence the ResumableSession must be
     # constructed with.  Admission rejects (ServerBusy) surface here,
     # before any party state exists.
-    first = connect()
+    try:
+        first = connect()
+    except _Replayed as exc:
+        return _result_from_welcome(exc.welcome)
     welcome = state["welcome"]
     run_cycles = welcome["cycles"] if cycles is None else cycles
     state["first"] = first
@@ -243,7 +341,12 @@ def run_session(
         heartbeat_interval=heartbeat,
         obs=obs,
     )
-    result = session.run()
+    try:
+        result = session.run()
+    except _Replayed as exc:
+        # A reconnect raced the session's completion: the resume redial
+        # found the session finished and got the parked result instead.
+        return _result_from_welcome(exc.welcome)
     if base_mode == "fresh" and base_key is not None:
         # This session ran a real base phase: keep the receiver side so
         # the next session under this identity can skip it.

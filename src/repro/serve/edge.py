@@ -1,0 +1,433 @@
+"""Asyncio front door for the garbling service.
+
+The serve listener used to be a thread that blocked in ``accept()``
+and then blocked *again* reading the hello on the accept path — one
+slow-loris client (connect, then trickle the hello a byte at a time)
+stalled admission for everyone, and every idle connection held a
+thread.  :class:`AsyncEdge` replaces that with a single event loop in
+one daemon thread:
+
+* **Accept** is non-blocking; each connection gets an
+  :class:`_EdgeConnection` protocol whose state machine is driven
+  entirely by loop callbacks.  Ten thousand idle connections cost ten
+  thousand sockets and zero threads.
+* **Handshake parsing** happens incrementally in ``data_received`` via
+  :class:`~repro.serve.handshake.HelloParser` — malformed, oversized
+  or truncated hellos become structured ``serve-welcome`` rejects plus
+  counters, never an exception anywhere near the accept path.
+* **Per-state deadlines** are ``loop.call_later`` timers: a connection
+  that sends nothing is closed at ``idle_timeout``; once the first
+  hello byte arrives the clock tightens to ``handshake_timeout`` — the
+  slow-loris is rejected at the deadline no matter how diligently it
+  trickles.  Heartbeats, when enabled, are timer callbacks too.
+* **Overload sheds idle before refusing new**: at ``max_connections``
+  the oldest connection still in the no-bytes idle state is shed (a
+  structured ``shed-idle`` reject) to make room; only when nobody is
+  sheddable does the newcomer get an ``overloaded`` reject, carrying
+  exponential-backoff guidance in ``retry_after_s``.
+* **Admission stays where it was**: a parsed hello is handed — with
+  the connected socket and any leftover bytes — to a small executor
+  running the server's synchronous handshake-completion logic, which
+  reuses the existing admission control and fd-passing path into the
+  process-worker pool untouched.
+
+The socket handoff is the one delicate step: the loop's transport owns
+a non-blocking socket, and ``dup()`` shares file-status flags.  The
+edge pauses reading, dups the fd, closes the transport (its copy), and
+builds a :class:`~repro.net.tcp.TcpLink` from the duplicate —
+``TcpLink.from_fd`` restores blocking mode, and because the loop never
+reads again and has nothing buffered to write, the worker sees a clean
+byte stream starting exactly at the leftover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..net.codec import encode
+from ..net.frame import FRAME_DATA, FRAME_HEARTBEAT, encode_frame
+from ..net.tcp import TcpLink
+from .handshake import (
+    MAX_HELLO_BYTES,
+    WELCOME,
+    HandshakeReject,
+    HelloParser,
+)
+
+#: Handler invoked (on an executor thread) for every parsed hello:
+#: ``handler(link, hello_dict, leftover_bytes)``.
+HelloHandler = Callable[[TcpLink, dict, bytes], None]
+
+#: Counter callback: ``counter(name)`` bumps a per-server stat.
+Counter = Callable[[str], None]
+
+
+def _welcome_frame(payload: dict) -> bytes:
+    return encode_frame(FRAME_DATA, 1, WELCOME, encode(payload))
+
+
+_HEARTBEAT_FRAME = encode_frame(FRAME_HEARTBEAT, 0, "hb", b"")
+
+
+class _EdgeConnection(asyncio.Protocol):
+    """Per-connection handshake state machine.
+
+    States: ``idle`` (no bytes yet; sheddable; idle-timeout clock) →
+    ``hello`` (bytes arriving; handshake-timeout clock) → ``handoff``
+    (hello parsed; socket surrendered to the handler) or ``closed``
+    (rejected / lost).
+    """
+
+    def __init__(self, edge: "AsyncEdge") -> None:
+        self._edge = edge
+        self._parser = HelloParser(max_bytes=edge.max_hello_bytes)
+        self._transport: Optional[asyncio.Transport] = None
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._beat: Optional[asyncio.TimerHandle] = None
+        self.state = "idle"
+
+    # -- lifecycle ----------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+        edge = self._edge
+        if edge.draining:
+            self._reject(
+                {"status": "draining", "reason": "server is draining",
+                 "retry_after_s": edge.retry_after()},
+                counter="rejected_busy",
+            )
+            return
+        if len(edge._conns) >= edge.max_connections:
+            if not edge._shed_one():
+                self._reject(
+                    {"status": "overloaded",
+                     "reason": f"{edge.max_connections} connections open "
+                               "and none sheddable",
+                     "retry_after_s": edge.retry_after(pressure=True)},
+                    counter="rejected_overload",
+                )
+                return
+        edge._conns[self] = None
+        edge._idle[self] = None
+        self._arm(edge.idle_timeout, self._on_idle_deadline)
+        if edge.heartbeat is not None:
+            self._beat = edge.loop.call_later(
+                edge.heartbeat, self._on_heartbeat
+            )
+
+    def connection_lost(self, exc) -> None:
+        if self.state == "hello":
+            # The peer hung up mid-hello: a truncated handshake.
+            self._edge.counter("handshake_rejects")
+        self._teardown()
+
+    def data_received(self, data: bytes) -> None:
+        if self.state not in ("idle", "hello"):
+            return
+        edge = self._edge
+        if self.state == "idle":
+            self.state = "hello"
+            edge._idle.pop(self, None)
+            self._arm(edge.handshake_timeout, self._on_handshake_deadline)
+        try:
+            done = self._parser.feed(data)
+        except HandshakeReject as exc:
+            edge.counter("handshake_rejects")
+            self._reject(
+                {"status": "bad-hello", "error": exc.kind,
+                 "reason": exc.reason,
+                 "retry_after_s": edge.retry_after()},
+                counter=None,
+            )
+            return
+        if done is None:
+            return
+        hello, leftover = done
+        self._handoff(hello, leftover)
+
+    # -- deadlines ----------------------------------------------------
+
+    def _arm(self, timeout: Optional[float], callback) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if timeout is not None and timeout > 0:
+            self._timer = self._edge.loop.call_later(timeout, callback)
+
+    def _on_idle_deadline(self) -> None:
+        self._edge.counter("idle_timeouts")
+        self._reject(
+            {"status": "idle-timeout",
+             "reason": f"no hello within {self._edge.idle_timeout}s "
+                       "of connecting"},
+            counter=None,
+        )
+
+    def _on_handshake_deadline(self) -> None:
+        edge = self._edge
+        edge.counter("handshake_timeouts")
+        edge.counter("handshake_rejects")
+        self._reject(
+            {"status": "handshake-timeout",
+             "reason": f"hello incomplete after {edge.handshake_timeout}s "
+                       f"({self._parser.pending_bytes} bytes pending)",
+             "retry_after_s": edge.retry_after()},
+            counter=None,
+        )
+
+    def _on_heartbeat(self) -> None:
+        if self.state not in ("idle", "hello") or self._transport is None:
+            return
+        self._transport.write(_HEARTBEAT_FRAME)
+        self._beat = self._edge.loop.call_later(
+            self._edge.heartbeat, self._on_heartbeat
+        )
+
+    # -- transitions --------------------------------------------------
+
+    def _handoff(self, hello: dict, leftover: bytes) -> None:
+        edge = self._edge
+        transport = self._transport
+        self.state = "handoff"
+        self._teardown()
+        if transport is None:
+            return
+        try:
+            transport.pause_reading()
+            sock = transport.get_extra_info("socket")
+            dup = sock.dup()
+        except OSError:
+            transport.close()
+            return
+        transport.close()
+        edge._submit(dup, hello, leftover)
+
+    def shed(self) -> None:
+        """Close this (idle) connection to make room for a newcomer."""
+        self._edge.counter("idle_shed")
+        self._reject(
+            {"status": "shed-idle",
+             "reason": "connection shed under overload before sending "
+                       "a hello",
+             "retry_after_s": self._edge.retry_after(pressure=True)},
+            counter=None,
+        )
+
+    def reject_draining(self) -> None:
+        """Drain fired before this connection was admitted."""
+        self._reject(
+            {"status": "draining", "reason": "server is draining",
+             "retry_after_s": self._edge.retry_after()},
+            counter="rejected_busy",
+        )
+
+    def _reject(self, payload: dict, counter: Optional[str]) -> None:
+        if counter is not None:
+            self._edge.counter(counter)
+        transport = self._transport
+        self.state = "closed"
+        self._teardown()
+        if transport is None or transport.is_closing():
+            return
+        try:
+            transport.write(_welcome_frame(payload))
+        except OSError:
+            pass
+        transport.close()
+
+    def _teardown(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._beat is not None:
+            self._beat.cancel()
+            self._beat = None
+        self._edge._conns.pop(self, None)
+        self._edge._idle.pop(self, None)
+        if self.state not in ("handoff",):
+            self.state = "closed"
+
+
+class AsyncEdge:
+    """Single-threaded asyncio listener feeding a handshake handler.
+
+    The listening socket is bound in the constructor (so ``host`` /
+    ``port`` are known before :meth:`start`); the event loop runs in
+    one daemon thread and parsed hellos are completed on a small
+    dedicated executor so a slow admission decision never blocks the
+    loop.
+    """
+
+    def __init__(
+        self,
+        handler: HelloHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        handshake_timeout: float = 5.0,
+        idle_timeout: Optional[float] = 60.0,
+        max_connections: int = 10_000,
+        max_hello_bytes: int = MAX_HELLO_BYTES,
+        heartbeat: Optional[float] = None,
+        counter: Optional[Counter] = None,
+        handshake_workers: int = 4,
+        backlog: int = 512,
+    ) -> None:
+        self.handler = handler
+        self.handshake_timeout = handshake_timeout
+        self.idle_timeout = idle_timeout
+        self.max_connections = max_connections
+        self.max_hello_bytes = max_hello_bytes
+        self.heartbeat = heartbeat
+        self.counter = counter if counter is not None else (lambda name: None)
+        self._handshake_workers = handshake_workers
+        self._backlog = backlog
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+        sock.setblocking(False)
+        self._sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.draining = False
+        # Loop-thread-only state: insertion-ordered connection sets
+        # (dict-as-ordered-set), so "oldest idle" is the first key.
+        self._conns: Dict[_EdgeConnection, None] = {}
+        self._idle: Dict[_EdgeConnection, None] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._ready = threading.Event()
+        self._stopped = False
+        self._pressure = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._handshake_workers,
+            thread_name_prefix="serve-edge-hs",
+        )
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-edge", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self.loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                loop.create_server(
+                    lambda: _EdgeConnection(self),
+                    sock=self._sock,
+                    backlog=self._backlog,
+                )
+            )
+            self._ready.set()
+            loop.run_forever()
+            self._drain_on_loop()
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            self._ready.set()  # unblock start() if create_server blew up
+            loop.close()
+
+    def begin_drain(self) -> None:
+        """Stop accepting and reject every not-yet-admitted connection
+        with a structured ``draining`` welcome.  Idempotent; safe from
+        any thread; synchronous (pending handshakes are answered by
+        the time this returns)."""
+        self.draining = True
+        loop = self.loop
+        if loop is None or not loop.is_running():
+            return
+        done = threading.Event()
+
+        def _drain() -> None:
+            try:
+                self._drain_on_loop()
+            finally:
+                done.set()
+
+        loop.call_soon_threadsafe(_drain)
+        done.wait(timeout=5.0)
+
+    def _drain_on_loop(self) -> None:
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        for conn in list(self._conns):
+            conn.reject_draining()
+
+    def stop(self) -> None:
+        """Drain, stop the loop, join the thread and the executor."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.begin_drain()
+        loop = self.loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self._thread is None:
+            # Never started: the bound socket is still ours to close.
+            self._sock.close()
+
+    # -- overload / backoff -------------------------------------------
+
+    def retry_after(self, pressure: bool = False) -> float:
+        """Exponential-backoff guidance for reject payloads.
+
+        Each overload event doubles the suggested delay (capped at
+        5 s); the streak resets once the connection table drops below
+        half capacity.  Non-pressure rejects suggest the floor.
+        """
+        if pressure:
+            self._pressure = min(self._pressure + 1, 7)
+        elif len(self._conns) < self.max_connections // 2:
+            self._pressure = 0
+        return round(min(5.0, 0.1 * (2 ** self._pressure)), 3)
+
+    def _shed_one(self) -> bool:
+        for conn in list(self._idle):
+            conn.shed()
+            return True
+        return False
+
+    # -- handoff ------------------------------------------------------
+
+    def _submit(self, sock: socket.socket, hello: dict, leftover: bytes) -> None:
+        try:
+            self._executor.submit(self._run_handler, sock, hello, leftover)
+        except RuntimeError:
+            sock.close()  # drain raced the handoff; the client redials
+
+    def _run_handler(self, sock: socket.socket, hello: dict, leftover: bytes) -> None:
+        link = TcpLink.from_fd(sock.detach())
+        try:
+            self.handler(link, hello, leftover)
+        except Exception:
+            # Hostile or unlucky input must never take down the edge;
+            # the admission path already answered (or the peer is
+            # gone) — drop the connection and move on.
+            link.close()
+
+    # -- introspection ------------------------------------------------
+
+    def connection_counts(self) -> Dict[str, int]:
+        """Loop-thread-unsafe approximate counts (stats only)."""
+        return {"open": len(self._conns), "idle": len(self._idle)}

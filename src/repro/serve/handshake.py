@@ -33,6 +33,15 @@ Bytes of the peer's *next* frame that the control read may have
 already pulled off the link are preserved by returning them as a
 leftover, which callers wrap into a
 :class:`~repro.net.links.PrefacedLink`.
+
+The server side parses hellos with :class:`HelloParser`, an
+incremental, *bounded* state machine: it classifies every way an
+adversarial client can fail the handshake — garbage bytes, a frame
+that never completes, an oversized hello, a non-hello tag, a payload
+that does not decode — into a :class:`HandshakeReject` with a stable
+``kind``, so the edge can answer each with a structured
+``serve-welcome`` reject and a counter instead of an exception on the
+accept path.
 """
 
 from __future__ import annotations
@@ -42,7 +51,12 @@ from typing import Any, Optional, Tuple
 
 from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
 from ..net.codec import CodecError, decode, encode
-from ..net.frame import FRAME_ABORT, FRAME_DATA, FrameDecoder, encode_frame
+from ..net.frame import (
+    FRAME_ABORT,
+    FRAME_DATA,
+    FrameDecoder,
+    encode_frame,
+)
 from ..net.links import Link, LinkClosed, LinkTimeout
 
 #: Control-frame tags.  Sequence number 1 on both; each side sends at
@@ -50,6 +64,12 @@ from ..net.links import Link, LinkClosed, LinkTimeout
 #: fresh FramedEndpoint.
 HELLO = "serve-hello"
 WELCOME = "serve-welcome"
+
+#: Upper bound on one hello control frame, leftover included.  A real
+#: hello is well under a kilobyte; anything growing past this is a
+#: client streaming garbage (or a giant frame) at the handshake and is
+#: rejected before it can hold buffer memory hostage.
+MAX_HELLO_BYTES = 64 * 1024
 
 
 class ServeError(Exception):
@@ -65,6 +85,108 @@ class ServerBusy(ServeError):
         super().__init__(message)
         #: The structured ``serve-welcome`` reject payload.
         self.welcome = welcome or {}
+
+
+class ResultPending(ServeError):
+    """A result probe hit a session that is still running — retry
+    after the welcome's ``retry_after_s``."""
+
+    def __init__(self, message: str, welcome: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.welcome = welcome or {}
+
+
+class HandshakeReject(Exception):
+    """A hello failed to parse.  ``kind`` is the failure class the
+    edge counts and reports: ``garbage`` (bytes that are not a frame),
+    ``oversized`` (grew past :data:`MAX_HELLO_BYTES`), ``bad-tag``
+    (first data frame is not a ``serve-hello``), ``malformed`` (the
+    payload does not decode to a record) or ``aborted`` (the peer sent
+    an abort frame instead of a hello)."""
+
+    def __init__(self, kind: str, reason: str) -> None:
+        super().__init__(f"{kind}: {reason}")
+        self.kind = kind
+        self.reason = reason
+
+
+class HelloParser:
+    """Incremental, bounded parser for one ``serve-hello`` frame.
+
+    Feed raw chunks as they arrive; returns ``None`` while the hello
+    is incomplete and ``(hello_dict, leftover_bytes)`` once it parsed.
+    Heartbeat frames are skipped (a keepalive cannot desync the
+    handshake); every adversarial input raises
+    :class:`HandshakeReject` with its failure class.  After a reject
+    the parser refuses further input.
+    """
+
+    def __init__(self, max_bytes: int = MAX_HELLO_BYTES) -> None:
+        self._decoder = FrameDecoder()
+        self._max_bytes = max_bytes
+        self._seen = 0
+        self._dead = False
+
+    @property
+    def started(self) -> bool:
+        """Whether any bytes have arrived (arms the hello deadline)."""
+        return self._seen > 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._decoder.pending_bytes
+
+    def feed(self, data: bytes) -> Optional[Tuple[dict, bytes]]:
+        if self._dead:
+            raise HandshakeReject("garbage", "parser already rejected")
+        self._seen += len(data)
+        if self._seen > self._max_bytes:
+            self._dead = True
+            raise HandshakeReject(
+                "oversized",
+                f"hello exceeds {self._max_bytes} bytes "
+                f"({self._seen} received)",
+            )
+        try:
+            frames = self._decoder.feed(data)
+        except FrameCorruption as exc:
+            self._dead = True
+            raise HandshakeReject("garbage", str(exc)) from exc
+        for i, frame in enumerate(frames):
+            if frame.ftype == FRAME_ABORT:
+                self._dead = True
+                raise HandshakeReject(
+                    "aborted", "peer aborted during handshake"
+                )
+            if frame.ftype != FRAME_DATA:
+                continue  # stray heartbeat
+            if frame.tag != HELLO:
+                self._dead = True
+                raise HandshakeReject(
+                    "bad-tag",
+                    f"expected {HELLO!r}, got {frame.tag!r}",
+                )
+            try:
+                payload = decode(frame.payload)
+            except CodecError as exc:
+                self._dead = True
+                raise HandshakeReject(
+                    "malformed",
+                    f"hello payload does not decode: {exc}",
+                ) from exc
+            if not isinstance(payload, dict):
+                self._dead = True
+                raise HandshakeReject(
+                    "malformed",
+                    f"hello payload is {type(payload).__name__}, "
+                    "expected a record",
+                )
+            leftover = b"".join(
+                encode_frame(f.ftype, f.seq, f.tag, f.payload)
+                for f in frames[i + 1:]
+            ) + self._decoder.buffered
+            return payload, leftover
+        return None
 
 
 def send_control(link: Link, tag: str, payload: Any) -> None:

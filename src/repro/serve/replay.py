@@ -1,0 +1,139 @@
+"""Bounded, TTL'd result replay buffer for the serve layer.
+
+A client that dies *after* the garbler decoded its output — between
+the final table batch and the output-decode exchange, or after the
+result frame itself was lost in flight — used to lose the result
+forever: the session is finished server-side, so a redial got an
+``already finished`` reject and re-running the session would garble
+fresh tables for no reason (and, for a keyed program, possibly against
+rotated material).  Instead the server now *parks* the decoded result
+of every finished session here, keyed by ``(session id, evaluator
+identity)``, so a redial of a finished session is answered with a
+``status: "result"`` welcome carrying the bit-identical output.
+
+The buffer is deliberately small and forgetful:
+
+* **Bounded** — at most ``capacity`` entries; inserting past that
+  evicts the oldest entry first (insertion order, which under a
+  uniform TTL is also expiry order).
+* **TTL'd** — entries older than ``ttl`` seconds are dropped lazily on
+  every park/fetch; an expired session answers with a structured
+  ``unknown-session`` reject, never a stale result.
+* **Identity-checked** — an entry parked for evaluator identity ``c``
+  is only replayable by a hello presenting the same identity
+  (``None`` matches ``None``: anonymous sessions replay for anonymous
+  redials).  A mismatch is reported distinctly from a miss so the
+  server can answer with an explicit denial instead of leaking whether
+  the session existed... without ever serving another client's output.
+
+``ttl <= 0`` disables the buffer entirely (``park`` is a no-op, every
+``fetch`` misses), restoring the pre-replay ``already finished``
+behaviour — used by tests and by deployments that consider any result
+retention a liability.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+#: ``fetch`` outcomes — strings so they read well in counters/tests.
+HIT = "hit"
+MISS = "miss"
+DENIED = "denied"
+
+
+@dataclass
+class ReplayEntry:
+    """One parked result: the decoded output bits plus enough session
+    metadata for the client to rebuild a ``SessionResult``."""
+
+    session: str
+    client: Optional[str]
+    payload: Dict[str, Any]
+    parked_at: float = field(default=0.0)
+
+
+class ReplayBuffer:
+    """Thread-safe bounded TTL map of finished-session results."""
+
+    def __init__(
+        self,
+        ttl: float = 120.0,
+        capacity: int = 256,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"replay capacity must be >= 1, got {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, ReplayEntry]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._expire_locked()
+            return len(self._entries)
+
+    def park(
+        self,
+        session: str,
+        client: Optional[str],
+        payload: Dict[str, Any],
+    ) -> None:
+        """Record the finished session's result (last write wins)."""
+        if not self.enabled:
+            return
+        entry = ReplayEntry(
+            session=session,
+            client=client,
+            payload=dict(payload),
+            parked_at=self._clock(),
+        )
+        with self._lock:
+            self._expire_locked()
+            self._entries.pop(session, None)
+            self._entries[session] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def fetch(
+        self, session: str, client: Optional[str]
+    ) -> Tuple[str, Optional[ReplayEntry]]:
+        """Look up a parked result.
+
+        Returns ``(HIT, entry)`` on an identity-matched hit,
+        ``(DENIED, None)`` when the session is parked but for a
+        different evaluator identity, and ``(MISS, None)`` when it was
+        never parked or already expired.  Entries survive a hit — a
+        flaky network may need the same result more than once within
+        the TTL.
+        """
+        with self._lock:
+            self._expire_locked()
+            entry = self._entries.get(session)
+            if entry is None:
+                return MISS, None
+            if entry.client != client:
+                return DENIED, None
+            return HIT, entry
+
+    def _expire_locked(self) -> None:
+        if not self.enabled:
+            self._entries.clear()
+            return
+        horizon = self._clock() - self.ttl
+        while self._entries:
+            _, oldest = next(iter(self._entries.items()))
+            if oldest.parked_at >= horizon:
+                break
+            self._entries.popitem(last=False)

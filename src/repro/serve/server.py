@@ -10,16 +10,16 @@ runs, so N concurrent sessions pay ``workers`` compiles, not N.
 
 Architecture (process pool, the default)::
 
-    TcpListener ── accept loop ── serve-hello handshake
-         │                            │
+    AsyncEdge (1 loop thread) ── hello parsed off-loop, per-state
+         │                       deadlines, structured rejects
          │          new session ──> bounded accept queue ── dispatcher
          │                            │  (Full -> structured     │
          │                            │   "busy" reject)    idle worker?
          │                            │                          │
          │          reconnect ──── fd passed (SCM_RIGHTS) ──> worker
-         │                          to the owning worker      processes
-         └── stats probe ──> snapshot reply, close            (1 session
-                                                               at a time)
+         │          stats probe ──> snapshot reply, close     processes
+         └── result probe / redial of finished session        (1 session
+                  └──> replay buffer (bounded, TTL'd)          at a time)
 
 * **Worker pool** — ``workers`` forkserver processes, each of which
   rebuilds and pre-warms one compiled plan per served program at
@@ -56,11 +56,22 @@ Architecture (process pool, the default)::
   trace events), and served over the wire to any ``op: "stats"``
   hello.
 * **Drain** — :meth:`GarbleServer.shutdown` (wired to SIGTERM/SIGINT
-  by the CLI) closes the listener, waits out the accept queue's task
-  accounting (every admitted session gets exactly one ``task_done``,
-  whether it completed, failed, was cancelled, or was discarded by a
-  hard stop), then stops the workers.  New hellos racing the drain
-  get a structured ``draining`` reject.
+  by the CLI) drains the edge (stops accepting; every connection that
+  had not been admitted yet — including one still mid-hello — gets a
+  structured ``draining`` reject instead of a hang), waits out the
+  accept queue's task accounting (every admitted session gets exactly
+  one ``task_done``, whether it completed, failed, was cancelled, or
+  was discarded by a hard stop), then stops the workers.
+* **Result replay** — every finished session's decoded output is
+  parked in a bounded TTL'd :class:`~repro.serve.replay.ReplayBuffer`
+  keyed by session id + evaluator identity; a client that died after
+  the final frame redials (or sends ``op: "result"``) and recovers
+  its result bit-identically instead of an ``already finished``
+  dead end.
+* **Per-session garbler inputs** — a program built with
+  ``alice_by_key`` lets each hello pick its garbler operand by key
+  (``garbler_key``), turning one :class:`ServeProgram` into a keyed
+  lookup service instead of a single fixed operand.
 """
 
 from __future__ import annotations
@@ -81,15 +92,24 @@ from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
 from ..gc.ot import BaseOTCache
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
 from ..net.session import ResumableSession, SessionResult
-from ..net.tcp import TcpLink, TcpListener
+from ..net.tcp import TcpLink
 from ..obs import NULL_OBS
-from .handshake import HELLO, WELCOME, recv_control, send_control
+from .edge import AsyncEdge
+from .handshake import (
+    HELLO,
+    MAX_HELLO_BYTES,
+    WELCOME,
+    recv_control,
+    send_control,
+)
 from .ipc import IpcClosed, MsgChannel
+from .replay import DENIED, HIT, ReplayBuffer
 from .worker import (
     STAT_FIELDS,
     build_material_caches,
     exportable_ot_base,
     make_garbler_party,
+    replay_payload,
     worker_main,
 )
 
@@ -161,6 +181,12 @@ class ServeProgram:
     alice_init: Sequence[int] = ()
     public: BitSource = ()
     public_init: Sequence[int] = ()
+    #: Optional per-session garbler inputs: a hello carrying
+    #: ``garbler_key`` selects its operand from this table instead of
+    #: the fixed ``alice`` source (a keyed lookup service rather than
+    #: one operand for everybody).  Keyed sessions garble fresh — the
+    #: recorded material transcripts bind the default operand.
+    alice_by_key: Optional[Dict[str, BitSource]] = None
 
 
 def registry_program(name: str, value: int = 0) -> ServeProgram:
@@ -173,6 +199,28 @@ def registry_program(name: str, value: int = 0) -> ServeProgram:
     net, cycles = entry.build()
     return ServeProgram(
         net=net, cycles=cycles, alice=entry.alice_source(value, cycles)
+    )
+
+
+def registry_keyed_program(
+    name: str,
+    values: Dict[str, int],
+    value: int = 0,
+) -> ServeProgram:
+    """A registry program whose garbler operand is selected per
+    session: a hello with ``garbler_key: k`` computes against
+    ``values[k]``; a hello without a key uses ``value``."""
+    from ..net.cli import _registry
+
+    entry = _registry()[name]
+    net, cycles = entry.build()
+    return ServeProgram(
+        net=net,
+        cycles=cycles,
+        alice=entry.alice_source(value, cycles),
+        alice_by_key={
+            k: entry.alice_source(v, cycles) for k, v in values.items()
+        },
     )
 
 
@@ -258,6 +306,9 @@ class _ServeSession:
     #: Sender-side base-OT material negotiated at welcome time (the
     #: decision is snapshotted here so welcome and dispatch agree).
     ot_base: Optional[tuple] = None
+    #: Key into the program's ``alice_by_key`` table (per-session
+    #: garbler inputs); None runs the program's fixed operand.
+    garbler_key: Optional[str] = None
     _pending: List[tuple] = field(default_factory=list)
     _links: "queue.Queue" = field(default_factory=queue.Queue)
     _lock: threading.Lock = field(default_factory=threading.Lock)
@@ -328,7 +379,13 @@ class GarbleServer:
         timeout: Optional[float] = 30.0,
         resume_window: Optional[float] = None,
         max_attempts: int = 6,
-        hello_timeout: float = 5.0,
+        handshake_timeout: float = 5.0,
+        hello_timeout: Optional[float] = None,
+        idle_timeout: Optional[float] = 60.0,
+        replay_ttl: float = 120.0,
+        replay_capacity: int = 256,
+        max_connections: int = 10_000,
+        max_hello_bytes: int = MAX_HELLO_BYTES,
         ot: str = "simplest",
         ot_group: str = "modp512",
         engine: str = "compiled",
@@ -353,7 +410,15 @@ class GarbleServer:
         #: before burning one of its reconnect attempts.
         self.resume_window = timeout if resume_window is None else resume_window
         self.max_attempts = max_attempts
-        self.hello_timeout = hello_timeout
+        #: ``hello_timeout`` is the historical name for the same knob.
+        self.handshake_timeout = (
+            hello_timeout if hello_timeout is not None else handshake_timeout
+        )
+        self.hello_timeout = self.handshake_timeout
+        self.idle_timeout = idle_timeout
+        self.replay_ttl = replay_ttl
+        self.max_connections = max_connections
+        self._replay = ReplayBuffer(ttl=replay_ttl, capacity=replay_capacity)
         self.ot = ot
         self.ot_group = ot_group
         self.engine = engine
@@ -400,12 +465,23 @@ class GarbleServer:
             )
             for cache in self._materials.values():
                 self.stats.bump("material_epochs", cache.prewarm())
-        self._listener = TcpListener(host=host, port=port)
-        self.host, self.port = self._listener.host, self._listener.port
+        self._edge = AsyncEdge(
+            self._edge_handshake,
+            host=host,
+            port=port,
+            handshake_timeout=self.handshake_timeout,
+            idle_timeout=idle_timeout,
+            max_connections=max_connections,
+            max_hello_bytes=max_hello_bytes,
+            heartbeat=heartbeat,
+            counter=self._edge_counter,
+        )
+        self.host, self.port = self._edge.host, self._edge.port
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self.queue_depth = queue_depth
         self._sessions: Dict[str, _ServeSession] = {}
         self._lock = threading.Lock()
+        self._busy_streak = 0
         self._draining = False
         self._stopped = False
         self._shutdown_requested = threading.Event()
@@ -450,11 +526,7 @@ class GarbleServer:
         if self._started:
             return self
         self._started = True
-        accept = threading.Thread(
-            target=self._accept_loop, name="serve-accept", daemon=True
-        )
-        accept.start()
-        self._threads.append(accept)
+        self._edge.start()
         if self.pool == "process":
             for i in range(self.workers):
                 self._spawn_worker(i)
@@ -496,7 +568,10 @@ class GarbleServer:
             if self._stopped:
                 return
             self._draining = True
-        self._listener.close()  # accept loop exits on LinkClosed
+        # Drain the edge first: stops accepting and answers every
+        # connection still pre-admission (even mid-hello) with a
+        # structured "draining" reject — no stalled-client hang.
+        self._edge.begin_drain()
         if not drain:
             while True:
                 try:
@@ -553,6 +628,7 @@ class GarbleServer:
                 self._queue.put(_SENTINEL)
         for t in self._threads:
             t.join(timeout=10.0)
+        self._edge.stop()
         with self._lock:
             self._stopped = True
         self._shutdown_requested.set()
@@ -581,6 +657,11 @@ class GarbleServer:
             pool=self.pool,
             draining=self._draining,
             programs=sorted(self.programs),
+            handshake_timeout=self.handshake_timeout,
+            idle_timeout=self.idle_timeout,
+            replay_ttl=self.replay_ttl,
+            replay_buffered=len(self._replay),
+            max_connections=self.max_connections,
         )
         return snap
 
@@ -591,24 +672,26 @@ class GarbleServer:
 
     # -- accept path ---------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        self.obs.set_thread_label("serve-accept")
-        while True:
-            try:
-                link = self._listener.accept(timeout=0.25)
-            except LinkTimeout:
-                if self._draining:
-                    return
-                continue
-            except LinkClosed:
-                return
-            try:
-                self._handle_connection(link)
-            except (ChannelClosed, ChannelTimeout, FrameCorruption,
-                    LinkClosed, LinkTimeout):
-                # A malformed, slow or vanished client must never take
-                # the accept loop down.
-                link.close()
+    def _edge_counter(self, name: str, n: int = 1) -> None:
+        """Counter hook handed to the edge (runs on the loop thread)."""
+        self.stats.bump(name, n)
+        if self.obs.enabled:
+            self.obs.inc(f"serve.{name}", n)
+
+    def _edge_handshake(self, link: TcpLink, hello: dict,
+                        leftover: bytes) -> None:
+        """Edge handler: a fully parsed hello arriving off the loop.
+
+        The welcome-ack deadline is a socket-level send timeout — a
+        client that stops reading before its welcome turns into
+        ``LinkClosed`` on the send, which the admission path already
+        unwinds, instead of a stuck handshake thread."""
+        link.settimeout(self.handshake_timeout)
+        try:
+            self._complete_handshake(link, hello, leftover)
+        except (ChannelClosed, ChannelTimeout, FrameCorruption,
+                LinkClosed, LinkTimeout, OSError):
+            link.close()
 
     def _reject(self, link: Link, welcome: dict, counter: str) -> None:
         self.stats.bump(counter)
@@ -617,10 +700,28 @@ class GarbleServer:
         send_control(link, WELCOME, welcome)
         link.close()
 
+    def _retry_after(self, grew: bool) -> float:
+        """Backoff guidance for busy/draining rejects: doubles with
+        each consecutive reject, resets when admission succeeds."""
+        with self._lock:
+            if grew:
+                self._busy_streak = min(self._busy_streak + 1, 8)
+            streak = self._busy_streak
+        return round(min(10.0, 0.1 * (2 ** max(streak - 1, 0))), 3)
+
     def _handle_connection(self, link: Link) -> None:
-        tag, hello, leftover = recv_control(link, timeout=self.hello_timeout)
+        """Blocking-read handshake for links that arrive outside the
+        edge (tests drive this directly); the edge path parses the
+        hello on the loop and enters at :meth:`_complete_handshake`."""
+        tag, hello, leftover = recv_control(
+            link, timeout=self.handshake_timeout
+        )
         if tag != HELLO or not isinstance(hello, dict):
             raise FrameCorruption(f"expected {HELLO!r}, got {tag!r}")
+        self._complete_handshake(link, hello, leftover)
+
+    def _complete_handshake(self, link: Link, hello: dict,
+                            leftover: bytes) -> None:
         op = hello.get("op", "session")
         if op == "stats":
             self.stats.bump("stats_probes")
@@ -639,6 +740,9 @@ class GarbleServer:
                 "rejected_error",
             )
             return
+        if op == "result":
+            self._answer_result_probe(link, hello, sid)
+            return
 
         # Snapshot session + drain state under the lock: a worker
         # transitions sessions to done/failed under this same lock, so
@@ -655,7 +759,8 @@ class GarbleServer:
             if draining:
                 self._reject(
                     link,
-                    {"status": "draining", "reason": "server is draining"},
+                    {"status": "draining", "reason": "server is draining",
+                     "retry_after_s": self._retry_after(grew=True)},
                     "rejected_busy",
                 )
                 return
@@ -673,6 +778,22 @@ class GarbleServer:
             client = hello.get("client")
             if isinstance(client, str) and client:
                 sess.client = client
+            gkey = hello.get("garbler_key")
+            if gkey is not None:
+                table = prog.alice_by_key
+                if not isinstance(gkey, str) or table is None \
+                        or gkey not in table:
+                    known = sorted(table) if table else []
+                    self._reject(
+                        link,
+                        {"status": "error",
+                         "reason": f"unknown garbler key {gkey!r} for "
+                                   f"program {name!r}",
+                         "garbler_keys": known},
+                        "rejected_error",
+                    )
+                    return
+                sess.garbler_key = gkey
             # Base-OT reuse negotiation: a returning client that
             # advertises cached receiver material ("base_ot" in the
             # hello) gets "cached" back iff the server still holds the
@@ -700,10 +821,13 @@ class GarbleServer:
                      "reason": "accept queue is full",
                      "active": self.stats.active,
                      "queued": self._queue.qsize(),
-                     "queue_depth": self.queue_depth},
+                     "queue_depth": self.queue_depth,
+                     "retry_after_s": self._retry_after(grew=True)},
                     "rejected_busy",
                 )
                 return
+            with self._lock:
+                self._busy_streak = 0
             welcome = {
                 "status": "ok",
                 "session": sid,
@@ -712,6 +836,8 @@ class GarbleServer:
                 "checkpoint_every": self.checkpoint_every,
                 "resumed": False,
             }
+            if sess.garbler_key is not None:
+                welcome["garbler_key"] = sess.garbler_key
             if base_mode is not None:
                 welcome["base_ot"] = base_mode
             # Welcome before counting the admission: if the client
@@ -743,11 +869,38 @@ class GarbleServer:
                 )
                 return
             if sess_state in ("done", "failed", "cancelled"):
+                # A redial of a finished session is the replay path:
+                # the client most likely died after the final frame
+                # and wants its result back, not a re-run.
+                status, entry = self._replay.fetch(sid, hello.get("client"))
+                if status == HIT:
+                    self.stats.bump("replay_hits")
+                    if self.obs.enabled:
+                        self.obs.inc("serve.replay_hits")
+                    welcome = {"status": "result", "session": sid,
+                               "program": sess_program}
+                    welcome.update(entry.payload)
+                    send_control(link, WELCOME, welcome)
+                    link.close()
+                    return
+                self.stats.bump("replay_misses")
+                if self.obs.enabled:
+                    self.obs.inc("serve.replay_misses")
+                if status == DENIED:
+                    self._reject(
+                        link,
+                        {"status": "error",
+                         "reason": f"session {sid!r} already finished; "
+                                   "result replay denied: evaluator "
+                                   "identity does not match"},
+                        "rejected_error",
+                    )
+                    return
                 self._reject(
                     link,
-                    {"status": "error",
+                    {"status": "unknown-session",
                      "reason": f"session {sid!r} already finished "
-                               f"({sess_state})"},
+                               f"({sess_state}); no replayable result"},
                     "rejected_error",
                 )
                 return
@@ -767,6 +920,62 @@ class GarbleServer:
             send_control(link, WELCOME, welcome)
         if not self._deliver_link(sess, link, leftover):
             link.close()  # finished between the snapshot and the push
+
+    def _answer_result_probe(self, link: Link, hello: dict,
+                             sid: str) -> None:
+        """``op: "result"``: fetch a parked result without (re)joining
+        the session.  Answers ``result`` (the parked payload),
+        ``pending`` (session still running — retry), or a structured
+        ``unknown-session`` reject."""
+        status, entry = self._replay.fetch(sid, hello.get("client"))
+        if status == HIT:
+            self.stats.bump("replay_hits")
+            if self.obs.enabled:
+                self.obs.inc("serve.replay_hits")
+            welcome = {"status": "result", "session": sid}
+            welcome.update(entry.payload)
+            send_control(link, WELCOME, welcome)
+            link.close()
+            return
+        self.stats.bump("replay_misses")
+        if self.obs.enabled:
+            self.obs.inc("serve.replay_misses")
+        if status == DENIED:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"result replay for session {sid!r} denied: "
+                           "evaluator identity does not match"},
+                "rejected_error",
+            )
+            return
+        with self._lock:
+            sess = self._sessions.get(sid)
+            state = None if sess is None else sess.state
+        if state in ("queued", "active"):
+            send_control(
+                link, WELCOME,
+                {"status": "pending", "session": sid, "state": state,
+                 "retry_after_s": self._retry_after(grew=False)},
+            )
+            link.close()
+            return
+        self._reject(
+            link,
+            {"status": "unknown-session",
+             "reason": f"no replayable result for session {sid!r}"
+                       + (f" (finished: {state})" if state else "")},
+            "rejected_error",
+        )
+
+    def _park_replay(self, sess: _ServeSession,
+                     payload: Optional[dict]) -> None:
+        """Park a finished session's decoded result for redial
+        recovery.  ``payload`` is None when the session died before
+        the garbler ever decoded outputs — nothing to replay."""
+        if payload is None or not self._replay.enabled:
+            return
+        self._replay.park(sess.id, sess.client, payload)
 
     def _deliver_link(self, sess: _ServeSession, link: Link,
                       leftover: bytes) -> bool:
@@ -876,6 +1085,9 @@ class GarbleServer:
         with self._lock:
             sess = self._sessions.get(sid)
             if sess is not None:
+                # Park before the state flips: a redial that observes
+                # the finished state must find the entry already there.
+                self._park_replay(sess, msg.get("replay"))
                 sess.state = "done" if ok else "failed"
                 sess.result = msg.get("result")
                 sess.wall_seconds = msg.get("wall", 0.0)
@@ -980,7 +1192,8 @@ class GarbleServer:
                 chan.send({"type": "run", "session": sess.id,
                            "program": sess.program,
                            "client": sess.client,
-                           "ot_base": sess.ot_base})
+                           "ot_base": sess.ot_base,
+                           "garbler_key": sess.garbler_key})
             except IpcClosed:
                 # Worker died between going idle and the handoff; fail
                 # the session (the evaluator redials into an error).
@@ -1027,7 +1240,8 @@ class GarbleServer:
         self.stats.bump("active")
         t0 = perf_counter()
         run_msg = {"session": sess.id, "program": sess.program,
-                   "client": sess.client, "ot_base": sess.ot_base}
+                   "client": sess.client, "ot_base": sess.ot_base,
+                   "garbler_key": sess.garbler_key}
         config = self._worker_config()
         party, material_hit = make_garbler_party(
             sess.program, prog, config, run_msg, self._materials,
@@ -1053,6 +1267,11 @@ class GarbleServer:
             result = session.run()
         except Exception as exc:
             with self._lock:
+                # A session that failed *after* the garbler decoded
+                # outputs (Bob died between result and goodbye) still
+                # parks its result — that is the replay buffer's whole
+                # reason to exist.
+                self._park_replay(sess, replay_payload(None, party))
                 sess.state = "failed"
                 sess.error = exc
             self.stats.bump("failed")
@@ -1071,6 +1290,7 @@ class GarbleServer:
             reraise = exc
         else:
             with self._lock:
+                self._park_replay(sess, replay_payload(result, party))
                 sess.state = "done"
                 sess.result = result
             self.stats.bump("completed")

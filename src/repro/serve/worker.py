@@ -46,6 +46,7 @@ import threading
 from time import perf_counter
 from typing import Optional
 
+from ..circuit.bits import bits_to_int
 from ..core.plan import warm_plan
 from ..core.protocol import GarblerParty, _expand_bits
 from ..gc.material import MaterialCache, MaterialGarblerParty
@@ -72,6 +73,13 @@ STAT_FIELDS = (
     "material_epochs",   # delta epochs garbled offline (prewarm + refill)
     "material_hits",     # sessions served from pre-garbled material
     "material_misses",   # sessions that garbled material synchronously
+    "rejected_overload",  # connections refused at max_connections
+    "handshake_rejects",  # malformed/truncated/oversized/timed-out hellos
+    "handshake_timeouts",  # hellos that missed the handshake deadline
+    "idle_timeouts",     # connections that never sent a byte in time
+    "idle_shed",         # idle connections shed to admit newcomers
+    "replay_hits",       # finished-session redials served from replay
+    "replay_misses",     # redials whose result expired or never parked
 )
 
 _IDX_ACTIVE = STAT_FIELDS.index("active")
@@ -235,6 +243,26 @@ def make_garbler_party(name: str, prog, config: dict, run_msg: dict,
     sid = run_msg["session"]
     client = run_msg.get("client")
     ot_factory = _sender_ot_factory(config, sid, run_msg.get("ot_base"))
+    gkey = run_msg.get("garbler_key")
+    if gkey is not None:
+        # Per-session garbler inputs: the hello picked its operand out
+        # of the program's keyed table.  Keyed sessions garble fresh —
+        # recorded material transcripts bind the default operand, so
+        # replaying one here would leak (and compute) the wrong input.
+        party = GarblerParty(
+            prog.net,
+            prog.cycles,
+            _expand_bits(prog.net, "alice", prog.alice_by_key[gkey],
+                         prog.alice_init, prog.cycles),
+            public=prog.public,
+            public_init=prog.public_init,
+            ot_group=config["ot_group"],
+            ot=config["ot"],
+            obs=obs,
+            engine=config["engine"],
+            ot_factory=ot_factory,
+        )
+        return party, None
     cache = materials.get(name)
     if cache is not None:
         material, hit = cache.acquire(client)
@@ -260,6 +288,38 @@ def make_garbler_party(name: str, prog, config: dict, run_msg: dict,
         ot_factory=ot_factory,
     )
     return party, None
+
+
+def replay_payload(result, party) -> Optional[dict]:
+    """Build the replay-buffer payload for a finished session.
+
+    Prefers the full :class:`~repro.net.session.SessionResult`; a
+    session that *failed* after the garbler decoded outputs (the
+    evaluator died between the result frame and its goodbye — exactly
+    the window replay exists for) falls back to the party's
+    ``last_outputs`` stash.  ``None`` when no outputs were ever
+    decoded: there is nothing truthful to replay.
+    """
+    if result is not None:
+        return {
+            "outputs": [int(b) for b in result.outputs],
+            "value": result.value,
+            "garbled_nonxor": result.stats.garbled_nonxor,
+            "tables_sent": (
+                result.tables_sent if result.tables_sent is not None else -1
+            ),
+        }
+    outputs = getattr(party, "last_outputs", None)
+    if outputs is None:
+        return None
+    stats = getattr(getattr(party, "engine", None), "stats", None)
+    backend = getattr(party, "backend", None)
+    return {
+        "outputs": [int(b) for b in outputs],
+        "value": bits_to_int(outputs),
+        "garbled_nonxor": getattr(stats, "garbled_nonxor", -1),
+        "tables_sent": getattr(backend, "tables_sent", -1),
+    }
 
 
 def exportable_ot_base(party, config: dict, run_msg: dict):
@@ -337,6 +397,9 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
                "wall": wall}
         if result is not None:
             msg["result"] = result
+        replay = replay_payload(result, party)
+        if replay is not None:
+            msg["replay"] = replay
         if error is None:
             base = exportable_ot_base(party, config, run_msg)
             if base is not None:

@@ -16,6 +16,10 @@ ROUND_TRIP_CASES = [
     -128,
     2**128 - 1,
     -(2**128),
+    0.0,
+    1.5,
+    -0.25,
+    1e300,
     b"",
     b"\x00" * 16,
     b"\xff" * 64,
@@ -82,7 +86,9 @@ class TestRejection:
         with pytest.raises(CodecError):
             encode(object())
         with pytest.raises(CodecError):
-            encode(1.5)
+            encode({1, 2})
+        with pytest.raises(CodecError):
+            encode(complex(1, 2))
 
     def test_non_string_dict_keys_rejected(self):
         with pytest.raises(CodecError):

@@ -118,7 +118,10 @@ class TestAdmissionControl:
             assert srv.stats.accepted == 0
 
     def test_finished_session_cannot_be_rejoined(self):
-        with make_server(["sum32"], value=1, port=0) as srv:
+        """With replay disabled, a redial of a finished session is a
+        structured 'already finished' reject (with replay on it would
+        recover the parked result — covered in test_replay.py)."""
+        with make_server(["sum32"], value=1, port=0, replay_ttl=0) as srv:
             run_registry_session(srv.host, srv.port, "sum32", 2,
                                  session_id="once", max_attempts=1)
             _await(lambda: srv.stats.completed == 1, what="server bookkeeping")

@@ -151,11 +151,12 @@ class TestReconnectCompletionRace:
 
     def test_redial_racing_completion_gets_structured_answer(self):
         """Hammer redials at a session while it completes: every
-        redial gets either a live resume or a structured 'finished'
-        reject — never a hang or a server-side crash."""
+        redial gets a live resume, a replayed result, or a structured
+        'finished' reject — never a hang or a server-side crash."""
         with make_server(["sum32"], value=SERVER_VALUE, workers=2,
                          port=0) as srv:
             errors = []
+            replays = []
             stop = threading.Event()
 
             def redialer():
@@ -168,7 +169,12 @@ class TestReconnectCompletionRace:
                         # Live session: drop the link immediately (a
                         # dud redial the worker discards on arrival).
                         link.close()
-                        if w.get("status") not in ("ok",):
+                        status = w.get("status")
+                        if status == "result":
+                            # Redial landed after completion: the
+                            # parked result came back instead.
+                            replays.append(w)
+                        elif status not in ("ok",):
                             errors.append(w)
                     except ServeError:
                         pass  # structured 'already finished' reject
