@@ -19,7 +19,7 @@ from repro.reporting.tables import publish, render_table
 def _mux_cost(style: str, public_select, sel_value=1):
     from repro.circuit import CircuitBuilder
     from repro.circuit import modules as M
-    from repro.core import evaluate_with_stats
+    from repro import api
 
     b = CircuitBuilder()
     x = b.alice_input(32)
@@ -34,13 +34,11 @@ def _mux_cost(style: str, public_select, sel_value=1):
     b.set_outputs(mux(sel[0], f0, f1))
     net = b.build()
     if public_select:
-        r = evaluate_with_stats(
-            net, 1, alice=[0] * 64, bob=[1] * 64, public=[sel_value]
-        )
+        r = api.run(net, {"alice": [0] * 64, "bob": [1] * 64,
+                          "public": [sel_value]}, cycles=1)
     else:
-        r = evaluate_with_stats(
-            net, 1, alice=[0] * 64, bob=[1] * 64 + [sel_value]
-        )
+        r = api.run(net, {"alice": [0] * 64,
+                          "bob": [1] * 64 + [sel_value]}, cycles=1)
     return r.stats.garbled_nonxor
 
 

@@ -21,7 +21,7 @@ def _oblivious_access_cost(words: int, width: int = 32) -> dict:
     from repro.circuit import CircuitBuilder
     from repro.circuit.bits import pack_words
     from repro.circuit.macros import Ram, input_words
-    from repro.core import evaluate_with_stats
+    from repro import api
 
     abits = max(1, math.ceil(math.log2(words)))
     b = CircuitBuilder()
@@ -33,12 +33,16 @@ def _oblivious_access_cost(words: int, width: int = 32) -> dict:
     ram.write(b, waddr, wdata, b.const(1))
     net = b.build()
     rng = random.Random(words)
-    r = evaluate_with_stats(
+    r = api.run(
         net,
-        2,
-        bob=lambda c: [1] * (2 * abits),
-        alice=lambda c: [0] * width,
-        alice_init=pack_words([rng.getrandbits(width) for _ in range(words)], width),
+        {
+            "bob": lambda c: [1] * (2 * abits),
+            "alice": lambda c: [0] * width,
+            "alice_init": pack_words(
+                [rng.getrandbits(width) for _ in range(words)], width
+            ),
+        },
+        cycles=2,
     )
     # Cycle 2's write is a final-cycle dead store; halve the write
     # count attribution accordingly: cycle 1 carried one read + one

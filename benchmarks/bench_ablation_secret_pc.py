@@ -97,7 +97,7 @@ def test_secret_pc_ablation(benchmark):
     from repro.circuit import CircuitBuilder
     from repro.circuit.bits import pack_words
     from repro.circuit.macros import Ram, input_words
-    from repro.core import evaluate_with_stats
+    from repro import api
 
     b = CircuitBuilder()
     regfile = b.net.add_macro(Ram("rf", 32, input_words("alice", 16, 32)))
@@ -107,8 +107,8 @@ def test_secret_pc_ablation(benchmark):
     b.set_outputs(regfile.read(b, addr))
     net = b.build()
     words = list(range(100, 116))
-    r = evaluate_with_stats(
-        net, 1, bob=[1], alice_init=pack_words(words, 32)
+    r = api.run(
+        net, {"bob": [1], "alice_init": pack_words(words, 32)}, cycles=1
     )
     assert r.value == words[6]
     assert r.stats.garbled_nonxor == 32  # subset of size 2, not 480

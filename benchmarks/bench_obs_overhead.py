@@ -13,17 +13,17 @@ up as a diff between the two benchmarks' timings.
 
 from repro.bench_circuits import mult_sequential
 from repro.circuit.bits import int_to_bits
-from repro.core import evaluate_with_stats
+from repro import api
 from repro.obs import ListSink, Obs
 from repro.reporting.tables import publish, render_table
 
 
 def _run(net, cc, obs=None):
-    return evaluate_with_stats(
-        net, cc,
-        alice=lambda c: int_to_bits(0xDEADBEEF, 32),
-        bob=lambda c: [(0x12345679 >> c) & 1],
-        obs=obs,
+    return api.run(
+        net,
+        {"alice": lambda c: int_to_bits(0xDEADBEEF, 32),
+         "bob": lambda c: [(0x12345679 >> c) & 1]},
+        cycles=cc, obs=obs,
     )
 
 

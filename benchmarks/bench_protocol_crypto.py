@@ -17,24 +17,27 @@ def _adder_protocol(width):
     from repro.circuit import CircuitBuilder
     from repro.circuit import modules as M
     from repro.circuit.bits import int_to_bits
-    from repro.core.protocol import run_protocol
+
+    from repro import api
 
     b = CircuitBuilder()
     x = b.alice_input(width)
     y = b.bob_input(width)
     b.set_outputs(M.ripple_add(b, x, y))
     net = b.build()
-    return run_protocol(
-        net, 1,
-        alice=int_to_bits(12345 % (1 << width), width),
-        bob=int_to_bits(54321 % (1 << width), width),
+    return api.run(
+        net,
+        {"alice": int_to_bits(12345 % (1 << width), width),
+         "bob": int_to_bits(54321 % (1 << width), width)},
+        mode="protocol", cycles=1,
     )
 
 
 def _mux_protocol(public_sel):
     from repro.circuit import CircuitBuilder
     from repro.circuit import modules as M
-    from repro.core.protocol import run_protocol
+
+    from repro import api
 
     b = CircuitBuilder()
     x = b.alice_input(16)
@@ -45,8 +48,10 @@ def _mux_protocol(public_sel):
     f1 = M.ripple_add(b, y, z)
     b.set_outputs(b.mux_bus_kill(sel[0], f0, f1))
     net = b.build()
-    return run_protocol(
-        net, 1, alice=[1] * 32, bob=[0] * 16, public=[public_sel]
+    return api.run(
+        net, {"alice": [1] * 32, "bob": [0] * 16,
+              "public": [public_sel]},
+        mode="protocol", cycles=1,
     )
 
 

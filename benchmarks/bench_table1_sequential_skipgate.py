@@ -62,15 +62,16 @@ def test_table1_report(circuit_row, benchmark):
     # Timed kernel: full garbling pass of the Mult 32 circuit.
     from repro.bench_circuits import mult_sequential
     from repro.circuit.bits import int_to_bits
-    from repro.core import evaluate_with_stats
+    from repro import api
 
     net, cc = mult_sequential(32)
 
     def kernel():
-        return evaluate_with_stats(
-            net, cc,
-            alice=lambda c: int_to_bits(0xDEADBEEF, 32),
-            bob=lambda c: [(0x12345679 >> c) & 1],
+        return api.run(
+            net,
+            {"alice": lambda c: int_to_bits(0xDEADBEEF, 32),
+             "bob": lambda c: [(0x12345679 >> c) & 1]},
+            cycles=cc,
         ).stats.garbled_nonxor
 
     assert benchmark(kernel) == 2016

@@ -9,6 +9,8 @@ Usage::
     python -m repro anatomy program.c --alice 5 --bob 9   # cost breakdown
     python -m repro party garbler --circuit sum32 --value 1234 \
         --listen 127.0.0.1:9100            # two-process TCP deployment
+    python -m repro router --listen 127.0.0.1:9300 \
+        --shard 127.0.0.1:9201 --shard 127.0.0.1:9202   # fleet front
 
 ``run`` compiles the C file (or assembles a ``.s`` file), executes it
 on the garbled processor with the given private inputs, and prints the
@@ -248,11 +250,13 @@ def main(argv=None) -> int:
     from .serve.cli import (
         add_chaos_parser,
         add_loadgen_parser,
+        add_router_parser,
         add_serve_parser,
     )
 
     add_party_parser(sub)
     add_serve_parser(sub)
+    add_router_parser(sub)
     add_loadgen_parser(sub)
     add_chaos_parser(sub)
 

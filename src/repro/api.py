@@ -34,9 +34,21 @@ which carries the same ``outputs`` / ``value`` / ``stats`` names).
 engine.  The two are bit-identical in outputs, statistics and
 snapshots; the reference engine exists for differential testing.
 
-The legacy entrypoints (``repro.core.run.evaluate_with_stats``,
-``repro.core.protocol.run_protocol``) forward here and emit
-``DeprecationWarning``.
+:func:`run` is the **operator** half of the API: it executes a
+computation (or starts the server that will).  :func:`connect` is the
+**client** half: it returns a
+:class:`~repro.serve.client.ServeClient` handle bound to an already-
+running serve endpoint — a single shard or a
+:class:`~repro.serve.router.SessionRouter` fleet front — for
+submitting sessions, recovering parked results and reading
+stats/fleet-stats.  Start infrastructure with ``run``; talk to it with
+``connect``::
+
+    server = repro.api.run(net, {"alice": bits}, mode="serve",
+                           listen=("127.0.0.1", 0), cycles=32)
+    with repro.api.connect((server.host, server.port)) as client:
+        result = client.submit(net.name or "default", net, bob=bob_bits)
+    server.shutdown()
 """
 
 from __future__ import annotations
@@ -45,7 +57,7 @@ from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from .circuit.netlist import Netlist
 
-__all__ = ["run"]
+__all__ = ["run", "connect"]
 
 #: Keys accepted in the ``inputs`` mapping.
 _INPUT_KEYS = frozenset(
@@ -108,6 +120,7 @@ def run(
     queue_depth: int = 8,
     precompute: bool = True,
     material_depth: int = 2,
+    config=None,
 ):
     """Run a garbled computation.
 
@@ -166,7 +179,11 @@ def run(
         :class:`~repro.serve.server.GarbleServer` (listening on
         ``server.port``; ``workers`` / ``queue_depth`` size the pool;
         ``precompute`` / ``material_depth`` control the offline
-        pre-garbling phase).
+        pre-garbling phase).  A
+        :class:`~repro.serve.config.ServeConfig` may be passed as
+        ``config=`` instead of loose serve kwargs (``listen``, when
+        also given, overrides the config's address).  Talk to the
+        started server with :func:`connect`.
     """
     obs = _make_obs(profile, obs)
     bits = _split_inputs(inputs)
@@ -239,36 +256,45 @@ def run(
             net, run_cycles, bits = _program_protocol_args(
                 program_or_netlist, bits, machine_config, cycles
             )
-        if listen is None:
-            raise ValueError("mode='serve' needs listen=(host, port)")
+        if listen is None and config is None:
+            raise ValueError(
+                "mode='serve' needs listen=(host, port) or config="
+            )
         from .obs import NULL_OBS
+        from .serve.config import ServeConfig
         from .serve.server import GarbleServer, ServeProgram
 
         name = net.name or "default"
+        programs = {
+            name: ServeProgram(
+                net=net,
+                cycles=run_cycles,
+                alice=bits.get("alice", ()),
+                alice_init=bits.get("alice_init", ()),
+                public=bits.get("public", ()),
+                public_init=bits.get("public_init", ()),
+            )
+        }
+        if config is None:
+            config = ServeConfig(
+                host=listen[0],
+                port=listen[1],
+                workers=workers,
+                queue_depth=queue_depth,
+                checkpoint_every=checkpoint_every,
+                timeout=timeout,
+                max_attempts=max_attempts,
+                ot=ot,
+                ot_group=ot_group,
+                engine=engine,
+                heartbeat=heartbeat,
+                precompute=precompute,
+                material_depth=material_depth,
+            )
+        elif listen is not None:
+            config = config.replace(host=listen[0], port=listen[1])
         server = GarbleServer(
-            {
-                name: ServeProgram(
-                    net=net,
-                    cycles=run_cycles,
-                    alice=bits.get("alice", ()),
-                    alice_init=bits.get("alice_init", ()),
-                    public=bits.get("public", ()),
-                    public_init=bits.get("public_init", ()),
-                )
-            },
-            host=listen[0],
-            port=listen[1],
-            workers=workers,
-            queue_depth=queue_depth,
-            checkpoint_every=checkpoint_every,
-            timeout=timeout,
-            max_attempts=max_attempts,
-            ot=ot,
-            ot_group=ot_group,
-            engine=engine,
-            heartbeat=heartbeat,
-            precompute=precompute,
-            material_depth=material_depth,
+            programs, config=config,
             obs=NULL_OBS if obs is None else obs,
         )
         return server.start()
@@ -276,6 +302,37 @@ def run(
     raise ValueError(
         f"unknown mode {mode!r} (use 'local', 'protocol', 'party' or 'serve')"
     )
+
+
+def connect(addr, **kwargs):
+    """Open a client handle to a running serve endpoint.
+
+    ``addr`` is ``"host:port"`` or a ``(host, port)`` pair naming a
+    :class:`~repro.serve.server.GarbleServer` shard **or** a
+    :class:`~repro.serve.router.SessionRouter` fleet front (the client
+    cannot tell the difference, by design).  Keyword arguments become
+    the handle's per-client defaults — ``client_id``, ``timeout``,
+    ``ot``, ``ot_group``, ``engine``, ``max_attempts``, ``heartbeat``,
+    ``obs`` — overridable per call.
+
+    Returns a :class:`~repro.serve.client.ServeClient` usable as a
+    context manager::
+
+        with repro.api.connect("127.0.0.1:9200") as client:
+            result = client.run("sum32", 7)
+            fleet = client.fleet_stats()
+
+    This is the client half of the API; :func:`run` is the operator
+    half that executes computations and starts servers.
+    """
+    from .serve.client import ServeClient
+    from .serve.config import parse_hostport
+
+    if isinstance(addr, str):
+        host, port = parse_hostport(addr)
+    else:
+        host, port = addr
+    return ServeClient(host, int(port), **kwargs)
 
 
 def _make_machine(program, bits: dict, machine_config: Optional[Mapping]):

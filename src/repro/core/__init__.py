@@ -8,7 +8,7 @@ from .backend import Backend, CountingBackend
 from .engine import MacroContext, SkipGateEngine
 from .plan import CompiledSkipGateEngine, CyclePlan, compile_plan, make_engine
 from .results import BaseResult
-from .run import RunResult, evaluate_with_stats
+from .run import RunResult
 from .stats import CycleStats, RunStats
 
 __all__ = [
@@ -23,6 +23,5 @@ __all__ = [
     "RunStats",
     "SkipGateEngine",
     "compile_plan",
-    "evaluate_with_stats",
     "make_engine",
 ]

@@ -8,7 +8,8 @@ identity only — which gates to garble, compute locally, or skip.
 
 The protocol logic lives in two *party* objects —
 :class:`GarblerParty` and :class:`EvaluatorParty` — that are agnostic
-about what carries their messages: :func:`run_protocol` runs them in
+about what carries their messages: :func:`_run_protocol` (behind
+:func:`repro.api.run` with ``mode="protocol"``) runs them in
 two threads over the in-memory channel (Alice sends each cycle's
 surviving tables at the end of her cycle while Bob blocks for them at
 the start of his, so Alice is naturally garbling cycle ``c+1`` while
@@ -44,7 +45,6 @@ from __future__ import annotations
 
 import random
 import threading
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -643,50 +643,4 @@ def _run_protocol(
         alice_wait_seconds=a_end.received.wait_seconds,
         bob_wait_seconds=b_end.received.wait_seconds,
         timing=timing_summary(obs) if obs.enabled else None,
-    )
-
-
-def run_protocol(
-    net: Netlist,
-    cycles: int,
-    alice: Sequence[int] = (),
-    bob: Sequence[int] = (),
-    public: Sequence[int] = (),
-    alice_init: Sequence[int] = (),
-    bob_init: Sequence[int] = (),
-    public_init: Sequence[int] = (),
-    ot_group: str = "modp512",
-    ot: str = "simplest",
-    timeout: Optional[float] = None,
-    obs=None,
-    engine: str = "compiled",
-    seed: Optional[int] = None,
-) -> ProtocolResult:
-    """Deprecated alias of :func:`repro.api.run` with ``mode="protocol"``."""
-    warnings.warn(
-        "run_protocol is deprecated; use repro.api.run(net, inputs, "
-        "mode='protocol')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .. import api
-
-    return api.run(
-        net,
-        {
-            "alice": alice,
-            "bob": bob,
-            "public": public,
-            "alice_init": alice_init,
-            "bob_init": bob_init,
-            "public_init": public_init,
-        },
-        mode="protocol",
-        engine=engine,
-        cycles=cycles,
-        seed=seed,
-        obs=obs,
-        ot=ot,
-        ot_group=ot_group,
-        timeout=timeout,
     )

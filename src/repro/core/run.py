@@ -17,14 +17,10 @@ never given any.  The engine's public output bits are cross-checked
 against the simulator, which would catch any divergence between the
 two models.
 
-:func:`evaluate_with_stats` is the legacy spelling of this entrypoint;
-it forwards to :func:`repro.api.run` and emits a
-:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Union
 
@@ -157,54 +153,4 @@ def _evaluate(
         value=bits_to_int(outputs),
         stats=eng.stats,
         timing=timing_summary(obs) if obs is not None and obs.enabled else None,
-    )
-
-
-def evaluate_with_stats(
-    net: Netlist,
-    cycles: int = 1,
-    alice: BitSource = (),
-    bob: BitSource = (),
-    public: BitSource = (),
-    alice_init: Sequence[int] = (),
-    bob_init: Sequence[int] = (),
-    public_init: Sequence[int] = (),
-    seed: int = 0x5EED,
-    check: bool = True,
-    check_consistency: Optional[bool] = None,
-    obs=None,
-    on_cycle: Optional[Callable[[int], None]] = None,
-    engine: str = "compiled",
-) -> RunResult:
-    """Deprecated alias of :func:`repro.api.run` with ``mode="local"``.
-
-    ``check_consistency`` is the legacy spelling of ``check``.
-    """
-    warnings.warn(
-        "evaluate_with_stats is deprecated; use repro.api.run(net, inputs, "
-        "mode='local')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .. import api
-
-    if check_consistency is not None:
-        check = check_consistency
-    return api.run(
-        net,
-        {
-            "alice": alice,
-            "bob": bob,
-            "public": public,
-            "alice_init": alice_init,
-            "bob_init": bob_init,
-            "public_init": public_init,
-        },
-        mode="local",
-        engine=engine,
-        cycles=cycles,
-        seed=seed,
-        check=check,
-        obs=obs,
-        on_cycle=on_cycle,
     )

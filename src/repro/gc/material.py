@@ -400,6 +400,7 @@ class MaterialGarblerParty:
         ot: str = "simplest",
         ot_factory=None,
         obs=None,
+        resume: bool = False,
     ) -> None:
         self.material = material
         self.net = material.net
@@ -411,6 +412,12 @@ class MaterialGarblerParty:
         self.obs = obs
         self.chan = None
         self._ot = None
+        #: ``resume=True`` marks a party adopting a handed-off session:
+        #: the evaluator already holds the init labels (they are in its
+        #: restored memo), so the first attach must NOT replay them —
+        #: an unsolicited ``alice-label`` frame would desync the
+        #: peer's resume negotiation.
+        self._resume = resume
         self._cursor = 0  # completed cycles
         self.backend = _ReplayBackendView(material.delta)
         self.engine = _ReplayEngineView(material.stats, material.cycles)
@@ -444,10 +451,11 @@ class MaterialGarblerParty:
         if self._ot is None:
             self._ot = self._make_ot(chan)
             self.backend._ot = self._ot
-            # Init labels (flip-flop / macro initial state) go out as
-            # part of the first attach, exactly where a fresh party
-            # resolves them while constructing its engine.
-            self._replay(self.material.init_events)
+            if not self._resume:
+                # Init labels (flip-flop / macro initial state) go out
+                # as part of the first attach, exactly where a fresh
+                # party resolves them while constructing its engine.
+                self._replay(self.material.init_events)
         else:
             self._ot.rebind(chan)
 

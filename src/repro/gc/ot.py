@@ -151,13 +151,22 @@ class OTSender:
     # -- resume hooks --------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Progress marker for cycle-level checkpoints (the key ``_a``
-        is generated once and never rolled back)."""
-        return {"setup_sent": self._setup_sent, "count": self.count}
+        """Progress marker for cycle-level checkpoints.  The private
+        key rides along so a checkpoint restored by a *different*
+        sender instance (serve-fleet session handoff: the adopting
+        shard builds a fresh party) stays consistent with the ``A``
+        the receiver cached at setup."""
+        return {"setup_sent": self._setup_sent, "count": self.count,
+                "a": self._a}
 
     def restore(self, snap: dict) -> None:
         self._setup_sent = snap["setup_sent"]
         self.count = snap["count"]
+        a = snap.get("a")
+        if a is not None and a != self._a:
+            self._a = a
+            self._big_a = pow(self.g, a, self.p)
+            self._big_a_inv = pow(self._big_a, -1, self.p)
 
     def rebind(self, chan: Endpoint) -> None:
         """Point at a fresh transport after a reconnect."""

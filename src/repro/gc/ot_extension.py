@@ -206,13 +206,17 @@ class OTExtensionSender:
     # -- resume hooks --------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Checkpoint the extension progress (pool, batch, counters)."""
+        """Checkpoint the extension progress (pool, batch, counters).
+        ``s`` (the column-choice secret) rides along so a checkpoint
+        restored into a fresh sender instance — serve-fleet session
+        handoff — extends against the receiver's original base view."""
         return {
             "seeds": None if self._seeds is None else list(self._seeds),
             "pool": list(self._pool),
             "batch": self._batch,
             "count": self.count,
             "base": self._base.snapshot(),
+            "s": self._s,
         }
 
     def restore(self, snap: dict) -> None:
@@ -221,6 +225,9 @@ class OTExtensionSender:
         self._batch = snap["batch"]
         self.count = snap["count"]
         self._base.restore(snap["base"])
+        s = snap.get("s")
+        if s is not None:
+            self._s = s
 
     def rebind(self, chan) -> None:
         self.chan = chan

@@ -67,6 +67,24 @@ from .transport import FramedEndpoint
 RETRYABLE = (ChannelClosed, ChannelTimeout, FrameCorruption, LinkClosed, LinkTimeout)
 
 
+class SessionHandoff(Exception):
+    """Raised out of :meth:`ResumableSession.run` when the session's
+    ``interrupt`` predicate fired at a checkpoint boundary.
+
+    Not a failure: the party state is intact, ``checkpoints`` holds
+    every checkpoint the session has taken (the cycle grid the peer
+    negotiated against), and the transport is deliberately **left
+    open** — the caller ships the checkpoints to the adopting peer
+    first and tears the link down only once the peer has them, so the
+    evaluator's redial can never race ahead of its own session state.
+    """
+
+    def __init__(self, cycle: int) -> None:
+        super().__init__(f"session handed off at cycle {cycle}")
+        self.cycle = cycle
+        self.checkpoints: Dict[int, dict] = {}
+
+
 def net_digest(net: Netlist, cycles: int) -> str:
     """Short digest of the computation both parties must agree on.
 
@@ -130,6 +148,8 @@ class ResumableSession:
         heartbeat_interval: Optional[float] = None,
         backoff_base: float = 0.05,
         backoff_max: float = 1.0,
+        interrupt: Optional[Callable[[], bool]] = None,
+        checkpoints: Optional[Dict[int, dict]] = None,
         obs=NULL_OBS,
     ) -> None:
         if checkpoint_every < 1:
@@ -149,8 +169,16 @@ class ResumableSession:
         self.received = ChannelStats()
         self.reconnects = 0
         self._digest = net_digest(party.net, party.cycles)
-        self._checkpoints: Dict[int, dict] = {}
-        self._started = False
+        #: Drain-time handoff hook: checked at every checkpoint
+        #: boundary; when it returns true the run raises
+        #: :class:`SessionHandoff` carrying the checkpoint store.
+        self._interrupt = interrupt
+        #: Seeding the store (an adopting peer resuming a handed-off
+        #: session) skips the cycle-0 snapshot — the inherited
+        #: checkpoints *are* the session's history, and overwriting
+        #: them with this party's fresh state would desync the grid.
+        self._checkpoints: Dict[int, dict] = dict(checkpoints or {})
+        self._started = bool(checkpoints)
         self._chan: Optional[FramedEndpoint] = None
 
     # -- one connection attempt ----------------------------------------------
@@ -219,13 +247,26 @@ class ResumableSession:
             del self._checkpoints[c]
 
     def _on_cycle_boundary(self, completed: int) -> None:
-        if completed % self.checkpoint_every == 0 or completed == self.party.cycles:
+        on_grid = (completed % self.checkpoint_every == 0
+                   or completed == self.party.cycles)
+        if on_grid:
             self._checkpoints[completed] = self.party.snapshot()
+        # Hand off only from grid boundaries: the freshly-taken
+        # snapshot is a point the evaluator also holds (or will agree
+        # down to), so the adopting peer's negotiation always lands.
+        if on_grid and self._interrupt is not None and self._interrupt():
+            raise SessionHandoff(completed)
 
     def _teardown(self) -> None:
         if self._chan is not None:
             self._chan.close()
             self._chan = None
+
+    def close(self) -> None:
+        """Release the transport (the deferred teardown of a
+        :class:`SessionHandoff` — call once the peer holds the
+        bundle)."""
+        self._teardown()
 
     # -- the retry loop ------------------------------------------------------
 
@@ -245,6 +286,13 @@ class ResumableSession:
                 self.party.run_cycles(on_boundary=self._on_cycle_boundary)
                 outputs = self.party.finish()
                 break
+            except SessionHandoff as exc:
+                # Not a failure: attach the checkpoint store and leave
+                # the transport OPEN — the caller closes it only after
+                # the adopting peer holds the bundle, so the
+                # evaluator's redial cannot beat the handoff there.
+                exc.checkpoints = dict(self._checkpoints)
+                raise
             except RETRYABLE:
                 self._teardown()
                 if attempt == self.max_attempts - 1:

@@ -10,8 +10,26 @@ dropped evaluator reconnects to the *same* server and session, and a
 bounded TTL'd replay buffer (:mod:`repro.serve.replay`) so a client
 that dies after the final frame redials and recovers its result
 bit-identically.  See :mod:`repro.serve.server` for the architecture.
+
+Fleets: N ``fleet=True`` servers (shards) behind one
+:class:`~repro.serve.router.SessionRouter` — digest-affinity routing,
+health polling, ``op: "fleet-stats"`` aggregation and drain-time
+session handoff between shards.  :class:`~repro.serve.client.
+ServeClient` (returned by :func:`repro.api.connect`) talks to a shard
+and a router identically.
 """
 
+from .client import (
+    ServeClient,
+    fetch_fleet_stats,
+    fetch_stats,
+    recover_result,
+    request_drain,
+    run_registry_session,
+    run_session,
+)
+from .config import RouterConfig, ServeConfig, parse_hostport
+from .fleet import LocalFleet, aggregate_shard_stats, rendezvous_select
 from .handshake import (
     HandshakeReject,
     ResultPending,
@@ -19,13 +37,8 @@ from .handshake import (
     ServerBusy,
 )
 from .loadgen import LoadgenReport, SessionOutcome, run_loadgen
-from .client import (
-    fetch_stats,
-    recover_result,
-    run_registry_session,
-    run_session,
-)
 from .replay import ReplayBuffer
+from .router import SessionRouter
 from .server import (
     GarbleServer,
     ServeProgram,
@@ -39,18 +52,28 @@ __all__ = [
     "GarbleServer",
     "HandshakeReject",
     "LoadgenReport",
+    "LocalFleet",
     "ReplayBuffer",
     "ResultPending",
+    "RouterConfig",
+    "ServeClient",
+    "ServeConfig",
     "ServeError",
     "ServeProgram",
     "ServeStats",
     "ServerBusy",
     "SessionOutcome",
+    "SessionRouter",
+    "aggregate_shard_stats",
+    "fetch_fleet_stats",
     "fetch_stats",
     "make_server",
+    "parse_hostport",
     "recover_result",
     "registry_keyed_program",
     "registry_program",
+    "rendezvous_select",
+    "request_drain",
     "run_loadgen",
     "run_registry_session",
     "run_session",

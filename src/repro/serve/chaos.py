@@ -38,7 +38,7 @@ from ..net.codec import encode
 from ..net.frame import FRAME_DATA, encode_frame
 from ..net.links import Link, LinkClosed, LinkTimeout
 from ..net.tcp import connect_with_backoff
-from .client import fetch_stats, recover_result, run_registry_session
+from .client import ServeClient
 from .handshake import HELLO, WELCOME, recv_control
 from .loadgen import LoadgenReport, run_loadgen
 
@@ -196,11 +196,10 @@ def post_result_crash(host: str, port: int, program: str, value: int, *,
     ``server_value`` is known, iff that result matches the local
     simulator bit-for-bit."""
     kind = "post-result-crash"
+    client = ServeClient(host, port, timeout=timeout, max_attempts=1)
     try:
-        run_registry_session(
-            host, port, program, value, session_id=session_id,
-            max_attempts=1, timeout=timeout,
-            wrap=lambda attempt, link: _DieBeforeBye(link))
+        client.run(program, value, session_id=session_id,
+                   wrap=lambda attempt, link: _DieBeforeBye(link))
         return AdversaryOutcome(
             kind, False, "session survived its own crash?")
     except Exception:  # noqa: BLE001 — the crash is the point
@@ -214,8 +213,8 @@ def post_result_crash(host: str, port: int, program: str, value: int, *,
     deadline = time.monotonic() + max(timeout, 10.0)
     while recovered is None:
         try:
-            recovered = recover_result(host, port, session_id,
-                                       attempts=1, timeout=5.0)
+            recovered = client.recover_result(session_id,
+                                              attempts=1, timeout=5.0)
         except ResultPending:
             if time.monotonic() > deadline:
                 return AdversaryOutcome(
@@ -271,7 +270,8 @@ def run_chaos(
     multiplicative part is the real claim (adversaries must not slow
     honest sessions down), the additive slack absorbs scheduler noise
     on sub-100ms baselines."""
-    stats_before = fetch_stats(host, port)
+    probe = ServeClient(host, port)
+    stats_before = probe.stats()
     baseline = run_loadgen(
         host, port, program, clients=clients, server_value=server_value,
         timeout=timeout, session_prefix="chaos-base")
@@ -306,7 +306,7 @@ def run_chaos(
         timeout=timeout, session_prefix="chaos-adv")
     for t in threads:
         t.join(timeout=timeout + 60.0)
-    stats_after = fetch_stats(host, port)
+    stats_after = probe.stats()
 
     failures: List[str] = []
     if adversarial.ok != clients:

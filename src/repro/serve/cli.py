@@ -44,33 +44,16 @@ def _emit(args, record: dict) -> None:
 def run_serve(args) -> int:
     from ..net.cli import circuit_names
     from ..obs import JsonlSink, Obs
+    from .config import ServeConfig
     from .server import GarbleServer, registry_program
 
     names = args.circuit or list(circuit_names())
     programs = {name: registry_program(name, args.value) for name in names}
     obs = Obs(sink=JsonlSink(args.trace)) if args.trace else None
-    host, port = _parse_hostport(args.listen)
+    config = ServeConfig.from_args(args)
     server = GarbleServer(
         programs,
-        host=host,
-        port=port,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        checkpoint_every=args.checkpoint_every,
-        timeout=args.timeout,
-        max_attempts=args.max_attempts,
-        ot=args.ot,
-        ot_group=args.ot_group,
-        engine=args.engine,
-        heartbeat=args.heartbeat,
-        handshake_timeout=args.handshake_timeout,
-        idle_timeout=args.idle_timeout,
-        replay_ttl=args.replay_ttl,
-        max_connections=args.max_connections,
-        max_sessions=args.max_sessions,
-        pool=args.pool,
-        precompute=not args.no_precompute,
-        material_depth=args.material_depth,
+        config=config,
         **({"obs": obs} if obs is not None else {}),
     )
 
@@ -85,8 +68,9 @@ def run_serve(args) -> int:
     print(
         json.dumps(
             {"event": "ready", "host": server.host, "port": server.port,
-             "programs": sorted(programs), "workers": args.workers,
-             "queue_depth": args.queue_depth, "pool": server.pool},
+             "programs": sorted(programs), "workers": config.workers,
+             "queue_depth": config.queue_depth, "pool": server.pool,
+             "fleet": server.fleet},
             sort_keys=True,
         ),
         flush=True,
@@ -99,6 +83,43 @@ def run_serve(args) -> int:
     record.pop("sessions", None)
     _emit(args, record)
     return 0 if server.stats.failed == 0 else 1
+
+
+def run_router(args) -> int:
+    from ..obs import JsonlSink, Obs
+    from .config import RouterConfig
+    from .router import SessionRouter
+
+    obs = Obs(sink=JsonlSink(args.trace)) if args.trace else None
+    config = RouterConfig.from_args(args)
+    router = SessionRouter(
+        config, **({"obs": obs} if obs is not None else {})
+    )
+
+    def _on_signal(signum, frame):
+        router.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    router.start()
+    # Same machine-readable ready contract as `repro serve`: CI waits
+    # for this line and reads the bound port (crucial with port 0).
+    print(
+        json.dumps(
+            {"event": "ready", "host": router.host, "port": router.port,
+             "shards": [list(addr) for addr in config.shards]},
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    router.serve_forever()
+    if obs is not None:
+        obs.close()
+    record = {"event": "stats"}
+    record.update(router.stats_snapshot())
+    record.pop("config", None)
+    _emit(args, record)
+    return 0
 
 
 def run_loadgen_cmd(args) -> int:
@@ -122,6 +143,7 @@ def run_loadgen_cmd(args) -> int:
         client_procs=args.client_procs,
         client_prefix=args.client_prefix,
         warmup=args.warmup,
+        busy_retries=args.busy_retries,
     )
     _emit(args, report.to_record())
     if not args.json:
@@ -232,11 +254,57 @@ def add_serve_parser(sub) -> None:
     p.add_argument("--material-depth", type=int, default=2, metavar="N",
                    help="delta epochs pre-garbled per program per worker "
                         "in the offline phase (default 2)")
+    p.add_argument("--fleet", action="store_true",
+                   help="run as a fleet shard: honor drain/adopt hellos "
+                        "so a router can hand live sessions between "
+                        "shards (see `repro router`)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write serve/session trace events as JSON lines")
     p.add_argument("--json", action="store_true",
                    help="emit the final stats as one JSON record")
     p.set_defaults(func=run_serve)
+
+
+def add_router_parser(sub) -> None:
+    p = sub.add_parser(
+        "router",
+        help="digest-affinity session router fronting serve shards",
+        description="Front N `repro serve --fleet` shards with one "
+        "listener: hellos are terminated here, sessions are routed by "
+        "program-digest rendezvous hashing (with session affinity for "
+        "redials), unhealthy shards are routed around, and op:drain "
+        "hands a shard's live sessions to its peers mid-session.",
+    )
+    p.add_argument("--listen", default="127.0.0.1:9300", metavar="HOST:PORT")
+    p.add_argument("--shard", action="append", required=True,
+                   metavar="HOST:PORT", dest="shard",
+                   help="a fleet shard's serve address (repeatable)")
+    p.add_argument("--poll-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="health/backpressure stats poll cadence "
+                        "(default 1.0)")
+    p.add_argument("--dead-after", type=int, default=3, metavar="N",
+                   help="consecutive failed polls before a shard is "
+                        "routed around (default 3)")
+    p.add_argument("--connect-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="deadline for dialing a shard (default 5)")
+    p.add_argument("--handshake-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="deadline from first hello byte to a complete "
+                        "hello (default 5)")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="silent pre-hello connections are closed after "
+                        "this (default 60)")
+    p.add_argument("--max-connections", type=int, default=10000,
+                   metavar="N",
+                   help="open-connection ceiling (default 10000)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write router trace events as JSON lines")
+    p.add_argument("--json", action="store_true",
+                   help="emit the final stats as one JSON record")
+    p.set_defaults(func=run_router)
 
 
 def add_loadgen_parser(sub) -> None:
@@ -277,6 +345,11 @@ def add_loadgen_parser(sub) -> None:
                    help="unmeasured sessions per client before the "
                         "release barrier (measure the steady online "
                         "phase)")
+    p.add_argument("--busy-retries", type=int, default=2, metavar="N",
+                   help="per-client budget for re-dialing after a busy/"
+                        "overload reject, honoring the server's "
+                        "retry_after_s backoff hint (default 2; 0 "
+                        "fails fast on the first reject)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=run_loadgen_cmd)

@@ -117,12 +117,46 @@ def _hello_exchange(
             f"server rejected session: {welcome.get('reason', status)}",
             welcome=welcome,
         )
-    if status not in ("ok", "stats", "result", "pending"):
+    if status not in ("ok", "stats", "fleet-stats", "result", "pending",
+                      "moved"):
         link.close()
         raise ServeError(
             f"server rejected session: {welcome.get('reason', status)}"
         )
     return welcome, PrefacedLink(link, leftover)
+
+
+def _exchange_follow_moved(
+    target: dict,
+    hello: dict,
+    timeout: Optional[float],
+    max_hops: int = 4,
+) -> tuple:
+    """Dial ``target`` (a mutable ``{"host", "port"}`` dict), following
+    ``moved`` redirects.
+
+    A ``moved`` welcome is how a draining shard redirects to the peer
+    that adopted the session (drain-time handoff); the target is
+    rewritten in place so every subsequent redial of this session goes
+    straight to the adopting shard.
+    """
+    for _hop in range(max_hops):
+        welcome, link = _hello_exchange(
+            target["host"], target["port"], hello, timeout=timeout
+        )
+        if welcome.get("status") != "moved":
+            return welcome, link
+        link.close()
+        peer = welcome.get("peer")
+        try:
+            target["host"], target["port"] = str(peer[0]), int(peer[1])
+        except (TypeError, ValueError, IndexError):
+            raise ServeError(
+                f"malformed moved redirect: {welcome!r}"
+            ) from None
+    raise ServeError(
+        f"session {hello.get('session')!r}: too many moved redirects"
+    )
 
 
 class _Replayed(Exception):
@@ -179,8 +213,10 @@ def recover_result(
     if client_id:
         hello["client"] = client_id
     welcome: dict = {}
+    target = {"host": host, "port": port}
     for i in range(max(attempts, 1)):
-        welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+        welcome, link = _exchange_follow_moved(target, hello,
+                                               timeout=timeout)
         link.close()
         status = welcome.get("status")
         if status == "result":
@@ -204,6 +240,52 @@ def fetch_stats(host: str, port: int, timeout: Optional[float] = 5.0) -> dict:
     if welcome.get("status") != "stats":
         raise ServeError(f"unexpected stats reply: {welcome!r}")
     return welcome["stats"]
+
+
+def fetch_fleet_stats(
+    host: str, port: int, timeout: Optional[float] = 5.0
+) -> dict:
+    """One-shot ``fleet-stats`` probe: the aggregated fleet view.
+
+    Against a router this probes every shard live; against a single
+    shard it answers the same shape with that shard as the only
+    member.  Returns ``{"router", "shards", "aggregate"}``.
+    """
+    welcome, link = _hello_exchange(
+        host, port, {"op": "fleet-stats"}, timeout=timeout
+    )
+    link.close()
+    if welcome.get("status") != "fleet-stats":
+        raise ServeError(f"unexpected fleet-stats reply: {welcome!r}")
+    return {k: welcome.get(k) for k in ("router", "shards", "aggregate")}
+
+
+def request_drain(
+    host: str,
+    port: int,
+    *,
+    shard: Optional[tuple] = None,
+    peers: Sequence[tuple] = (),
+    timeout: Optional[float] = 10.0,
+) -> dict:
+    """Ask a fleet member to drain with session handoff.
+
+    Against a **router**, name the ``shard`` to drain — the router
+    hands it the rest of the live fleet as adoption peers.  Against a
+    **shard** directly, pass the adoption ``peers`` yourself.  Returns
+    the drain welcome (``{"status": "ok", "draining": True,
+    "handoffs": n}`` on success).
+    """
+    hello: dict = {"op": "drain"}
+    if shard is not None:
+        hello["shard"] = [str(shard[0]), int(shard[1])]
+    if peers:
+        hello["peers"] = [[str(h), int(p)] for h, p in peers]
+    welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+    link.close()
+    if welcome.get("status") != "ok":
+        raise ServeError(f"drain rejected: {welcome!r}")
+    return welcome
 
 
 def run_session(
@@ -263,11 +345,15 @@ def run_session(
             if advertised_base is not None:
                 hello["base_ot"] = True
     state = {"attempt": 0, "first": None}
+    #: Mutable dial target: a drain-time ``moved`` redirect rewrites
+    #: it so mid-session redials chase the session to its new shard.
+    target = {"host": host, "port": port}
 
     def connect() -> Link:
         attempt = state["attempt"]
         state["attempt"] = attempt + 1
-        welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+        welcome, link = _exchange_follow_moved(target, hello,
+                                               timeout=timeout)
         if welcome.get("status") == "result":
             # The session finished without us (we died after the final
             # frame and are redialing): the server replayed the parked
@@ -354,6 +440,126 @@ def run_session(
         if export is not None:
             _store_receiver_base(base_key, export())
     return result
+
+
+class ServeClient:
+    """Handle to one serving endpoint — a single shard or a router.
+
+    This is the object :func:`repro.api.connect` returns: it bundles
+    the endpoint address with per-client defaults (identity, OT
+    flavour, engine, timeout) so call sites stop threading a dozen
+    kwargs through every session.  Each operation opens its own
+    connection (the serve protocol is a hello/welcome exchange per
+    connection), so the handle itself holds no socket; the context-
+    manager form exists for scoping and API symmetry::
+
+        with api.connect(("127.0.0.1", 9200)) as client:
+            result = client.run("sum32", 7)
+            print(client.stats()["completed"])
+
+    Per-call keyword arguments override the client defaults.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+        ot: str = "simplest",
+        ot_group: str = "modp512",
+        engine: str = "compiled",
+        max_attempts: int = 6,
+        heartbeat: Optional[float] = None,
+        obs=NULL_OBS,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.client_id = client_id
+        self.timeout = timeout
+        self.ot = ot
+        self.ot_group = ot_group
+        self.engine = engine
+        self.max_attempts = max_attempts
+        self.heartbeat = heartbeat
+        self.obs = obs
+
+    # -- sessions -----------------------------------------------------
+
+    def _session_defaults(self, kwargs: dict) -> dict:
+        merged = {
+            "client_id": self.client_id,
+            "timeout": self.timeout,
+            "ot": self.ot,
+            "ot_group": self.ot_group,
+            "engine": self.engine,
+            "max_attempts": self.max_attempts,
+            "heartbeat": self.heartbeat,
+            "obs": self.obs,
+        }
+        merged.update(kwargs)
+        return merged
+
+    def submit(self, program: str, net: Netlist, **kwargs) -> SessionResult:
+        """Run one evaluator session for ``program`` against this
+        endpoint (see :func:`run_session` for the keyword surface)."""
+        return run_session(
+            self.host, self.port, program, net,
+            **self._session_defaults(kwargs),
+        )
+
+    def run(self, circuit: str, value: int, **kwargs) -> SessionResult:
+        """Run a bench-registry circuit with operand ``value`` as Bob
+        (see :func:`run_registry_session`)."""
+        return run_registry_session(
+            self.host, self.port, circuit, value,
+            **self._session_defaults(kwargs),
+        )
+
+    # -- control plane ------------------------------------------------
+
+    def recover_result(self, session_id: str, **kwargs) -> SessionResult:
+        """Fetch the parked result of a finished session
+        (``op: "result"``; see :func:`recover_result`)."""
+        kwargs.setdefault("client_id", self.client_id)
+        return recover_result(self.host, self.port, session_id, **kwargs)
+
+    def stats(self, timeout: Optional[float] = 5.0) -> dict:
+        """This endpoint's ``op: "stats"`` snapshot."""
+        return fetch_stats(self.host, self.port, timeout=timeout)
+
+    def fleet_stats(self, timeout: Optional[float] = 5.0) -> dict:
+        """The aggregated fleet view (``op: "fleet-stats"``)."""
+        return fetch_fleet_stats(self.host, self.port, timeout=timeout)
+
+    def drain(
+        self,
+        shard: Optional[tuple] = None,
+        peers: Sequence[tuple] = (),
+        timeout: Optional[float] = 10.0,
+    ) -> dict:
+        """Trigger a drain with session handoff (see
+        :func:`request_drain`)."""
+        return request_drain(
+            self.host, self.port, shard=shard, peers=peers,
+            timeout=timeout,
+        )
+
+    # -- context manager ----------------------------------------------
+
+    def close(self) -> None:
+        """Nothing to release (each call opens its own connection);
+        kept so the handle is a well-behaved context manager."""
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host!r}, {self.port})"
 
 
 def run_registry_session(

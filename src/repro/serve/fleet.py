@@ -1,0 +1,177 @@
+"""Fleet primitives: rendezvous routing and cross-shard aggregation.
+
+A serve *fleet* is a set of independent :class:`~repro.serve.server.
+GarbleServer` shards fronted by the :mod:`repro.serve.router` tier.
+Two pure functions tie the tier together:
+
+* :func:`rendezvous_select` — highest-random-weight (HRW) hashing over
+  the live shard set.  Both the router (when routing a fresh session)
+  and a draining shard (when picking the adoption peer for an
+  interrupted session) call the *same* function keyed by the same
+  program digest, so their choices agree deterministically without any
+  coordination channel.  HRW gives minimal disruption: when a shard
+  joins or leaves, only the keys owned by that shard move.
+
+* :func:`aggregate_shard_stats` — folds per-shard ``op: "stats"``
+  snapshots into the fleet-wide ``op: "fleet-stats"`` aggregate.
+
+:class:`LocalFleet` is a test/bench helper that stands up N in-process
+shards plus a router on loopback ports and tears them down together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "rendezvous_select",
+    "rendezvous_rank",
+    "aggregate_shard_stats",
+    "AGGREGATE_FIELDS",
+    "LocalFleet",
+]
+
+
+def _score(shard: Tuple[str, int], key: str) -> int:
+    """Deterministic HRW weight of ``shard`` for ``key``.
+
+    blake2b over ``"host:port|key"`` — stable across processes and
+    Python hash randomization, which matters because the router and
+    the draining shard compute it independently.
+    """
+    host, port = shard
+    blob = ("%s:%d|%s" % (host, int(port), key)).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(blob, digest_size=8).digest(), "big")
+
+
+def rendezvous_rank(
+    key: str, shards: Iterable[Tuple[str, int]]
+) -> List[Tuple[str, int]]:
+    """All shards ordered by descending HRW weight for ``key``."""
+    pool = [(str(h), int(p)) for h, p in shards]
+    pool.sort(key=lambda s: _score(s, key), reverse=True)
+    return pool
+
+
+def rendezvous_select(
+    key: str, shards: Iterable[Tuple[str, int]]
+) -> Optional[Tuple[str, int]]:
+    """Pick the owning shard for ``key``, or ``None`` if no shards."""
+    ranked = rendezvous_rank(key, shards)
+    return ranked[0] if ranked else None
+
+
+#: Counters summed across shards in the fleet-stats aggregate.  Kept to
+#: the additive subset of the shard snapshot: gauges like queue_depth
+#: or rates do not sum meaningfully.
+AGGREGATE_FIELDS = (
+    "accepted",
+    "completed",
+    "failed",
+    "active",
+    "queued",
+    "rejected_busy",
+    "rejected_error",
+    "reconnects",
+    "replay_hits",
+    "replay_misses",
+    "handed_off",
+    "adopted",
+)
+
+
+def aggregate_shard_stats(snapshots: Sequence[dict]) -> Dict[str, int]:
+    """Sum the additive counters over per-shard stats snapshots.
+
+    Missing fields count as zero so a mixed-version fleet (one shard a
+    release behind) still aggregates.  Adds ``shards`` (snapshot count)
+    so callers can tell an empty aggregate from an empty fleet.
+    """
+    totals: Dict[str, int] = {field: 0 for field in AGGREGATE_FIELDS}
+    for snap in snapshots:
+        for field in AGGREGATE_FIELDS:
+            value = snap.get(field)
+            if isinstance(value, (int, float)):
+                totals[field] += int(value)
+    totals["shards"] = len(snapshots)
+    return totals
+
+
+class LocalFleet:
+    """N in-process shards plus a router, for tests and benchmarks.
+
+    Every shard serves the same program registry.  The shards run
+    ``fleet=True`` so they honor drain/adopt hellos; the router polls
+    them for health.  Use as a context manager::
+
+        with LocalFleet(programs, shards=2) as fleet:
+            run_registry_session(fleet.host, fleet.port, ...)
+    """
+
+    def __init__(
+        self,
+        programs: dict,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        config=None,
+        router_config=None,
+        obs=None,
+    ) -> None:
+        # Imported lazily: server imports this module for the pure
+        # helpers, and the router imports the server.
+        from ..obs import NULL_OBS
+        from .config import RouterConfig, ServeConfig
+        from .router import SessionRouter
+        from .server import GarbleServer
+
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        base = config if config is not None else ServeConfig(pool="thread")
+        base = base.replace(host=host, port=0, fleet=True)
+        self.servers: List[GarbleServer] = []
+        started: List[GarbleServer] = []
+        router = None
+        try:
+            for _ in range(shards):
+                server = GarbleServer(
+                    programs, config=base, obs=obs or NULL_OBS
+                )
+                server.start()
+                started.append(server)
+            self.servers = started
+            addrs = tuple((host, s.port) for s in started)
+            rc = router_config if router_config is not None else RouterConfig()
+            rc = rc.replace(host=host, port=0, shards=addrs)
+            router = SessionRouter(rc, obs=obs or NULL_OBS)
+            router.start()
+        except BaseException:
+            if router is not None:
+                router.shutdown()
+            for server in started:
+                server.shutdown()
+            raise
+        self.router = router
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def shard_addrs(self) -> List[Tuple[str, int]]:
+        return [(s.host, s.port) for s in self.servers]
+
+    def shutdown(self) -> None:
+        self.router.shutdown()
+        for server in self.servers:
+            server.shutdown()
+
+    def __enter__(self) -> "LocalFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

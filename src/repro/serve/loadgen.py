@@ -37,7 +37,7 @@ from math import ceil
 from time import perf_counter, sleep
 from typing import Dict, List, Optional
 
-from .client import run_registry_session
+from .client import ServeClient
 from .handshake import ServerBusy
 
 
@@ -54,6 +54,7 @@ class SessionOutcome:
     outputs: Optional[List[int]] = None
     garbled_nonxor: Optional[int] = None
     reconnects: int = 0
+    retries: int = 0
     error: Optional[str] = None
 
 
@@ -71,6 +72,7 @@ class LoadgenReport:
     sessions_per_sec: float
     p50_seconds: float
     p95_seconds: float
+    retries: int = 0
     outcomes: List[SessionOutcome] = field(default_factory=list)
     verify_errors: List[str] = field(default_factory=list)
 
@@ -83,6 +85,7 @@ class LoadgenReport:
             "ok": self.ok,
             "busy": self.busy,
             "failed": self.failed,
+            "retries": self.retries,
             "wall_seconds": round(self.wall_seconds, 4),
             "sessions_per_sec": round(self.sessions_per_sec, 3),
             "p50_seconds": round(self.p50_seconds, 4),
@@ -97,7 +100,17 @@ def _client_id(spec: dict, i: int) -> Optional[str]:
     return f"{prefix}-client-{i}" if prefix else None
 
 
-def _warmup_client(i: int, value: int, host: str, port: int, circuit: str,
+def _make_client(host: str, port: int, i: int, spec: dict) -> ServeClient:
+    """Client *i*'s endpoint handle, carrying its session defaults."""
+    return ServeClient(
+        host, port,
+        client_id=_client_id(spec, i),
+        timeout=spec["timeout"], max_attempts=spec["max_attempts"],
+        engine=spec["engine"], ot=spec["ot"], ot_group=spec["ot_group"],
+    )
+
+
+def _warmup_client(i: int, value: int, client: ServeClient, circuit: str,
                    net, spec: dict) -> None:
     """Unmeasured sessions before the release barrier.
 
@@ -106,40 +119,47 @@ def _warmup_client(i: int, value: int, host: str, port: int, circuit: str,
     observes the steady online phase, not first-contact costs.
     """
     for w in range(spec.get("warmup", 0)):
-        run_registry_session(
-            host, port, circuit, value,
-            session_id=f"{spec['prefix']}-warm-{i}-{w}", net=net,
-            client_id=_client_id(spec, i),
-            timeout=spec["timeout"], max_attempts=spec["max_attempts"],
-            engine=spec["engine"], ot=spec["ot"],
-            ot_group=spec["ot_group"],
-        )
+        client.run(circuit, value,
+                   session_id=f"{spec['prefix']}-warm-{i}-{w}", net=net)
 
 
-def _one_session(out: SessionOutcome, host: str, port: int, circuit: str,
-                 net, spec: dict, client_id: Optional[str] = None) -> None:
-    """Run one evaluator session, recording the outcome in ``out``."""
+def _one_session(out: SessionOutcome, client: ServeClient, circuit: str,
+                 net, spec: dict) -> None:
+    """Run one evaluator session, recording the outcome in ``out``.
+
+    A busy/overload reject is retried up to ``spec["busy_retries"]``
+    times, sleeping the server's ``retry_after_s`` backoff hint between
+    attempts — the structured reject exists so honest clients yield
+    exactly as long as the server asks, instead of hammering or giving
+    up.  Exhausting the budget records the session as ``busy``.
+    """
+    budget = spec.get("busy_retries", 0)
     t0 = perf_counter()
     try:
-        res = run_registry_session(
-            host, port, circuit, out.value,
-            session_id=out.session, net=net,
-            client_id=client_id,
-            timeout=spec["timeout"], max_attempts=spec["max_attempts"],
-            engine=spec["engine"], ot=spec["ot"],
-            ot_group=spec["ot_group"],
-        )
-    except ServerBusy as exc:
-        out.busy = True
-        out.error = str(exc)
-    except BaseException as exc:
-        out.error = f"{type(exc).__name__}: {exc}"
-    else:
-        out.ok = True
-        out.result_value = res.value
-        out.outputs = list(res.outputs)
-        out.garbled_nonxor = res.stats.garbled_nonxor
-        out.reconnects = res.reconnects
+        while True:
+            try:
+                res = client.run(circuit, out.value,
+                                 session_id=out.session, net=net)
+            except ServerBusy as exc:
+                if budget <= 0:
+                    out.busy = True
+                    out.error = str(exc)
+                    return
+                budget -= 1
+                out.retries += 1
+                hint = exc.welcome.get("retry_after_s")
+                delay = hint if isinstance(hint, (int, float)) else 0.1
+                sleep(min(max(float(delay), 0.0), 5.0))
+            except BaseException as exc:
+                out.error = f"{type(exc).__name__}: {exc}"
+                return
+            else:
+                out.ok = True
+                out.result_value = res.value
+                out.outputs = list(res.outputs)
+                out.garbled_nonxor = res.stats.garbled_nonxor
+                out.reconnects = res.reconnects
+                return
     finally:
         out.seconds = perf_counter() - t0
 
@@ -164,9 +184,10 @@ def _proc_client_main(i: int, barrier, outq, host: str, port: int,
             # but the first session ride a warm plan; give each client
             # process the same footing before the measured window.
             warm_plan(net)
+        client = _make_client(host, port, i, spec)
         warmed = True
         try:
-            _warmup_client(i, value, host, port, circuit, net, spec)
+            _warmup_client(i, value, client, circuit, net, spec)
         except BaseException as exc:
             # Reach the barrier regardless: one client's warmup failure
             # must not strand the others' release.
@@ -176,8 +197,7 @@ def _proc_client_main(i: int, barrier, outq, host: str, port: int,
         if warmed:
             if arrival == "paced" and i:
                 sleep(i * interval)
-            _one_session(out, host, port, circuit, net, spec,
-                         client_id=_client_id(spec, i))
+            _one_session(out, client, circuit, net, spec)
     except BaseException as exc:  # noqa: BLE001 - ship, don't hang parent
         if out.error is None:
             out.error = f"{type(exc).__name__}: {exc}"
@@ -222,6 +242,7 @@ def run_loadgen(
     client_procs: bool = False,
     client_prefix: Optional[str] = None,
     warmup: int = 0,
+    busy_retries: int = 2,
 ) -> LoadgenReport:
     """Run ``clients`` verified sessions and aggregate the outcome.
 
@@ -241,6 +262,12 @@ def run_loadgen(
     offline/online split benchmark measures its "online" wave this
     way.  A warmup failure marks the client failed without running its
     measured session.
+
+    ``busy_retries`` is each client's budget for re-dialing after a
+    busy/overload reject, sleeping the server's ``retry_after_s`` hint
+    between attempts; the total number of such retries lands in the
+    report's ``retries`` counter.  Pass 0 for the old fail-fast
+    behaviour (admission-control tests want the reject itself).
     """
     if arrival not in ("burst", "paced"):
         raise ValueError(f"unknown arrival pattern {arrival!r}")
@@ -263,7 +290,7 @@ def run_loadgen(
         "timeout": timeout, "max_attempts": max_attempts,
         "engine": engine, "ot": ot, "ot_group": ot_group,
         "client_prefix": client_prefix, "warmup": warmup,
-        "prefix": prefix,
+        "prefix": prefix, "busy_retries": busy_retries,
     }
 
     outcomes = [
@@ -299,6 +326,7 @@ def run_loadgen(
         sessions_per_sec=(len(ok) / wall) if wall > 0 else 0.0,
         p50_seconds=_percentile(latencies, 0.50),
         p95_seconds=_percentile(latencies, 0.95),
+        retries=sum(o.retries for o in outcomes),
         outcomes=outcomes,
         verify_errors=verify_errors,
     )
@@ -313,9 +341,10 @@ def _run_thread_clients(outcomes: List[SessionOutcome], host: str,
     t_zero: List[float] = [0.0]
 
     def client_main(i: int) -> None:
+        client = _make_client(host, port, i, spec)
         warmed = True
         try:
-            _warmup_client(i, outcomes[i].value, host, port, circuit, net,
+            _warmup_client(i, outcomes[i].value, client, circuit, net,
                            spec)
         except BaseException as exc:
             outcomes[i].error = (
@@ -330,8 +359,7 @@ def _run_thread_clients(outcomes: List[SessionOutcome], host: str,
             delay = wake - perf_counter()
             if delay > 0:
                 sleep(delay)
-        _one_session(outcomes[i], host, port, circuit, net, spec,
-                     client_id=_client_id(spec, i))
+        _one_session(outcomes[i], client, circuit, net, spec)
 
     threads = [
         threading.Thread(target=client_main, args=(i,),

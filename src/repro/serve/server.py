@@ -91,10 +91,17 @@ from ..core.plan import warm_plan
 from ..gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
 from ..gc.ot import BaseOTCache
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
-from ..net.session import ResumableSession, SessionResult
-from ..net.tcp import TcpLink
+from ..net.session import (
+    ResumableSession,
+    SessionHandoff,
+    SessionResult,
+    net_digest,
+)
+from ..net.tcp import TcpLink, connect_with_backoff
 from ..obs import NULL_OBS
+from .config import ServeConfig
 from .edge import AsyncEdge
+from .fleet import aggregate_shard_stats, rendezvous_select
 from .handshake import (
     HELLO,
     MAX_HELLO_BYTES,
@@ -108,6 +115,8 @@ from .worker import (
     STAT_FIELDS,
     build_material_caches,
     exportable_ot_base,
+    handoff_bundle,
+    make_adopted_party,
     make_garbler_party,
     replay_payload,
     worker_main,
@@ -309,6 +318,17 @@ class _ServeSession:
     #: Key into the program's ``alice_by_key`` table (per-session
     #: garbler inputs); None runs the program's fixed operand.
     garbler_key: Optional[str] = None
+    #: Fleet handoff: the adoption bundle an ``op: "adopt"`` hello
+    #: delivered (this shard continues a session a draining peer
+    #: started); rides the worker's ``run`` message.
+    bundle: Optional[dict] = None
+    #: Where a handed-off session went — redials of this session are
+    #: answered with a ``moved`` welcome naming this (host, port).
+    peer: Optional[tuple] = None
+    #: Thread pool: set to interrupt the session at its next
+    #: checkpoint boundary for drain-time handoff (the process pool
+    #: signals its worker over the control channel instead).
+    handoff: threading.Event = field(default_factory=threading.Event)
     _pending: List[tuple] = field(default_factory=list)
     _links: "queue.Queue" = field(default_factory=queue.Queue)
     _lock: threading.Lock = field(default_factory=threading.Lock)
@@ -394,47 +414,95 @@ class GarbleServer:
         pool: str = "auto",
         precompute: bool = True,
         material_depth: int = 2,
+        fleet: bool = False,
+        config: Optional[ServeConfig] = None,
         obs=NULL_OBS,
     ) -> None:
-        if workers < 1:
+        if config is None:
+            # Loose kwargs remain supported; they fold into the one
+            # frozen config object that describes this server (and is
+            # echoed verbatim in every ``op: "stats"`` reply).
+            config = ServeConfig(
+                host=host,
+                port=port,
+                workers=workers,
+                queue_depth=queue_depth,
+                checkpoint_every=checkpoint_every,
+                timeout=timeout,
+                resume_window=resume_window,
+                max_attempts=max_attempts,
+                #: ``hello_timeout`` is the historical name of the knob.
+                handshake_timeout=(
+                    hello_timeout if hello_timeout is not None
+                    else handshake_timeout
+                ),
+                idle_timeout=idle_timeout,
+                replay_ttl=replay_ttl,
+                replay_capacity=replay_capacity,
+                max_connections=max_connections,
+                max_hello_bytes=max_hello_bytes,
+                ot=ot,
+                ot_group=ot_group,
+                engine=engine,
+                heartbeat=heartbeat,
+                max_sessions=max_sessions,
+                pool=pool,
+                precompute=precompute,
+                material_depth=material_depth,
+                fleet=fleet,
+            )
+        self.config = config
+        if config.workers < 1:
             raise ValueError("workers must be >= 1")
-        if queue_depth < 1:
+        if config.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.programs = dict(programs)
         if not self.programs:
             raise ValueError("a server needs at least one program")
-        self.workers = workers
-        self.checkpoint_every = checkpoint_every
-        self.timeout = timeout
+        self.workers = config.workers
+        self.checkpoint_every = config.checkpoint_every
+        self.timeout = config.timeout
         #: How long a worker waits for a dropped evaluator to redial
         #: before burning one of its reconnect attempts.
-        self.resume_window = timeout if resume_window is None else resume_window
-        self.max_attempts = max_attempts
-        #: ``hello_timeout`` is the historical name for the same knob.
-        self.handshake_timeout = (
-            hello_timeout if hello_timeout is not None else handshake_timeout
+        self.resume_window = (
+            config.timeout if config.resume_window is None
+            else config.resume_window
         )
+        self.max_attempts = config.max_attempts
+        self.handshake_timeout = config.handshake_timeout
         self.hello_timeout = self.handshake_timeout
-        self.idle_timeout = idle_timeout
-        self.replay_ttl = replay_ttl
-        self.max_connections = max_connections
-        self._replay = ReplayBuffer(ttl=replay_ttl, capacity=replay_capacity)
-        self.ot = ot
-        self.ot_group = ot_group
-        self.engine = engine
-        self.heartbeat = heartbeat
-        self.max_sessions = max_sessions
+        self.idle_timeout = config.idle_timeout
+        self.replay_ttl = config.replay_ttl
+        self.max_connections = config.max_connections
+        self._replay = ReplayBuffer(
+            ttl=config.replay_ttl, capacity=config.replay_capacity
+        )
+        self.ot = config.ot
+        self.ot_group = config.ot_group
+        self.engine = config.engine
+        self.heartbeat = config.heartbeat
+        self.max_sessions = config.max_sessions
         #: Offline/online split: pre-garble ``material_depth`` delta
         #: epochs per program before serving, so admitted sessions
         #: replay cached material and the online path is evaluate+OT.
-        self.precompute = precompute
-        self.material_depth = material_depth
+        self.precompute = config.precompute
+        self.material_depth = config.material_depth
+        #: Fleet mode: honor ``op: "drain"`` / ``op: "adopt"`` hellos.
+        self.fleet = config.fleet
+        #: Affinity keys: the router routes a program to shards by this
+        #: digest, and a draining shard picks each session's adoption
+        #: peer by the same rendezvous hash over the same key.
+        self.program_digests = {
+            name: net_digest(prog.net, prog.cycles)
+            for name, prog in self.programs.items()
+        }
+        self._handoff_peers: List[tuple] = []
         #: Sender-side base-OT material per client identity (survives
         #: worker churn — the parent owns it, workers get it in the
         #: ``run`` message and return fresh exports with ``done``).
         self._client_bases = BaseOTCache()
         self.obs = obs
-        self.pool = self._resolve_pool(pool)
+        self.pool = self._resolve_pool(config.pool)
         if self.pool == "process":
             self._ctx = _forkserver_context()
             self._stats_block = self._ctx.Array("l", len(STAT_FIELDS))
@@ -442,12 +510,12 @@ class GarbleServer:
                 block=self._stats_block,
                 lock=self._stats_block.get_lock(),
             )
-            self._procs: List[Optional[object]] = [None] * workers
-            self._chans: List[Optional[MsgChannel]] = [None] * workers
+            self._procs: List[Optional[object]] = [None] * self.workers
+            self._chans: List[Optional[MsgChannel]] = [None] * self.workers
             #: Workers that completed their pre-warm at least once; a
             #: worker dying *before* ready means spawning is broken in
             #: this environment, and respawning would loop forever.
-            self._worker_ready: List[bool] = [False] * workers
+            self._worker_ready: List[bool] = [False] * self.workers
             #: Tokens of workers ready for a session (fed by "ready"
             #: and session-finished messages).
             self._idle: "queue.Queue" = queue.Queue()
@@ -455,7 +523,7 @@ class GarbleServer:
             self.stats = ServeStats()
             # One compile for all sessions: warm the thread-safe plan
             # cache now so no session thread pays netlist compilation.
-            if engine == "compiled":
+            if self.engine == "compiled":
                 for prog in self.programs.values():
                     warm_plan(prog.net)
             # Offline phase (thread pool): pre-garble material in the
@@ -467,18 +535,18 @@ class GarbleServer:
                 self.stats.bump("material_epochs", cache.prewarm())
         self._edge = AsyncEdge(
             self._edge_handshake,
-            host=host,
-            port=port,
+            host=config.host,
+            port=config.port,
             handshake_timeout=self.handshake_timeout,
-            idle_timeout=idle_timeout,
-            max_connections=max_connections,
-            max_hello_bytes=max_hello_bytes,
-            heartbeat=heartbeat,
+            idle_timeout=config.idle_timeout,
+            max_connections=config.max_connections,
+            max_hello_bytes=config.max_hello_bytes,
+            heartbeat=config.heartbeat,
             counter=self._edge_counter,
         )
         self.host, self.port = self._edge.host, self._edge.port
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
-        self.queue_depth = queue_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=config.queue_depth)
+        self.queue_depth = config.queue_depth
         self._sessions: Dict[str, _ServeSession] = {}
         self._lock = threading.Lock()
         self._busy_streak = 0
@@ -662,8 +730,26 @@ class GarbleServer:
             replay_ttl=self.replay_ttl,
             replay_buffered=len(self._replay),
             max_connections=self.max_connections,
+            fleet=self.fleet,
+            config=self.config.to_dict(),
+            program_digests=dict(self.program_digests),
         )
         return snap
+
+    def fleet_stats_snapshot(self) -> dict:
+        """Single-shard answer to ``op: "fleet-stats"``: the same shape
+        the router aggregates, with this shard as the only member."""
+        snap = self.stats_snapshot()
+        return {
+            "router": None,
+            "shards": [{
+                "id": f"{self.host}:{self.port}",
+                "healthy": True,
+                "draining": bool(snap.get("draining")),
+                "stats": snap,
+            }],
+            "aggregate": aggregate_shard_stats([snap]),
+        }
 
     def session_result(self, session_id: str) -> Optional[SessionResult]:
         with self._lock:
@@ -731,6 +817,46 @@ class GarbleServer:
             )
             link.close()
             return
+        if op == "fleet-stats":
+            self.stats.bump("stats_probes")
+            send_control(
+                link, WELCOME,
+                {"status": "fleet-stats", **self.fleet_stats_snapshot()},
+            )
+            link.close()
+            return
+        if op in ("drain", "adopt") and not self.fleet:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"op {op!r} needs fleet mode (start the "
+                           "server with fleet=True / --fleet)"},
+                "rejected_error",
+            )
+            return
+        if op == "drain":
+            peers = hello.get("peers") or []
+            try:
+                handoffs = self.drain_handoff(
+                    [(str(h), int(p)) for h, p in peers]
+                )
+            except (TypeError, ValueError):
+                self._reject(
+                    link,
+                    {"status": "error",
+                     "reason": "drain peers must be [host, port] pairs"},
+                    "rejected_error",
+                )
+                return
+            send_control(
+                link, WELCOME,
+                {"status": "ok", "draining": True, "handoffs": handoffs},
+            )
+            link.close()
+            return
+        if op == "adopt":
+            self._handle_adopt(link, hello, leftover)
+            return
         sid = hello.get("session")
         name = hello.get("program")
         if not isinstance(sid, str) or not sid:
@@ -754,6 +880,7 @@ class GarbleServer:
             draining = self._draining
             if sess is not None:
                 sess_program, sess_state = sess.program, sess.state
+                sess_peer = sess.peer
         if sess is None:
             # -- admission control for a brand-new session ----------------
             if draining:
@@ -868,6 +995,19 @@ class GarbleServer:
                     "rejected_error",
                 )
                 return
+            if sess_state == "handed-off" and sess_peer is not None:
+                # Drain-time handoff: the session now lives on a peer
+                # shard.  Tell the evaluator where so it can redial
+                # there and resume — this is what makes handoff work
+                # even without a router in front.
+                send_control(
+                    link, WELCOME,
+                    {"status": "moved", "session": sid,
+                     "program": sess_program,
+                     "peer": [sess_peer[0], sess_peer[1]]},
+                )
+                link.close()
+                return
             if sess_state in ("done", "failed", "cancelled"):
                 # A redial of a finished session is the replay path:
                 # the client most likely died after the final frame
@@ -952,6 +1092,15 @@ class GarbleServer:
         with self._lock:
             sess = self._sessions.get(sid)
             state = None if sess is None else sess.state
+            peer = None if sess is None else sess.peer
+        if state == "handed-off" and peer is not None:
+            send_control(
+                link, WELCOME,
+                {"status": "moved", "session": sid,
+                 "peer": [peer[0], peer[1]]},
+            )
+            link.close()
+            return
         if state in ("queued", "active"):
             send_control(
                 link, WELCOME,
@@ -1019,6 +1168,288 @@ class GarbleServer:
         finally:
             os.close(fd)
 
+    # -- fleet: drain-time session handoff -----------------------------------
+
+    def drain_handoff(self, peers: Sequence[tuple]) -> int:
+        """Begin a soft drain, handing active sessions to peer shards.
+
+        Marks the server draining at the *admission* level only — new
+        sessions are rejected with the structured ``draining`` welcome,
+        but the edge keeps accepting connections so reconnects, result
+        probes and ``moved`` redirects still flow (a hard edge drain
+        would strand the evaluators we are about to redirect).  Every
+        active session is signalled to stop at its next checkpoint
+        boundary; each interrupted session's bundle is shipped to the
+        peer that the rendezvous hash owns for its program digest —
+        the same hash the router uses, so routing and handoff agree.
+        Returns the number of sessions signalled (sessions that finish
+        before their next boundary simply complete here).
+        """
+        cleaned = []
+        for h, p in peers:
+            addr = (str(h), int(p))
+            if addr != (self.host, self.port):
+                cleaned.append(addr)
+        with self._lock:
+            self._draining = True
+            self._handoff_peers = cleaned
+            active = [s for s in self._sessions.values()
+                      if s.state == "active"]
+        if self.obs.enabled:
+            self.obs.inc("serve.drains")
+        if not cleaned:
+            return 0
+        signalled = 0
+        for sess in active:
+            if self.pool == "process":
+                owner = sess.owner
+                chan = self._chans[owner] if owner is not None else None
+                if chan is None:
+                    continue
+                try:
+                    chan.send({"type": "handoff", "session": sess.id})
+                except IpcClosed:
+                    continue
+            else:
+                sess.handoff.set()
+            signalled += 1
+        return signalled
+
+    def _handle_adopt(self, link: Link, hello: dict,
+                      leftover: bytes) -> None:
+        """``op: "adopt"``: a draining peer hands over a mid-session
+        checkpoint bundle.
+
+        Three-phase exchange: the small hello is answered with an
+        ``adopt-send`` welcome (the hello parser's byte cap is far
+        below a material bundle, so the bundle cannot ride the hello),
+        the peer then ships the pickled bundle as one ordinary control
+        frame (the frame layer's cap applies), and the final welcome
+        confirms the session is registered *before* the peer releases
+        the evaluator — whose instant redial must never beat the
+        bundle here.
+        """
+        sid = hello.get("session")
+        name = hello.get("program")
+        if not isinstance(sid, str) or not sid:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": "adopt hello carries no session id"},
+                "rejected_error",
+            )
+            return
+        prog = self.programs.get(name)
+        if prog is None:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"unknown program {name!r}",
+                 "programs": sorted(self.programs)},
+                "rejected_error",
+            )
+            return
+        if hello.get("digest") != self.program_digests[name]:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"program {name!r} digest mismatch (fleet "
+                           "shards must serve identical netlists)"},
+                "rejected_error",
+            )
+            return
+        with self._lock:
+            known = sid in self._sessions
+            draining = self._draining
+        if draining:
+            self._reject(
+                link,
+                {"status": "draining", "reason": "server is draining",
+                 "retry_after_s": self._retry_after(grew=True)},
+                "rejected_busy",
+            )
+            return
+        if known:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"session {sid!r} already exists here"},
+                "rejected_error",
+            )
+            return
+        send_control(link, WELCOME, {"status": "adopt-send",
+                                     "session": sid})
+        chan = PrefacedLink(link, leftover) if leftover else link
+        tag, blob, _rest = recv_control(
+            chan, timeout=max(self.handshake_timeout, 10.0)
+        )
+        if tag != "serve-bundle" or not isinstance(blob, (bytes, bytearray)):
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": f"expected a serve-bundle frame, got {tag!r}"},
+                "rejected_error",
+            )
+            return
+        try:
+            bundle = pickle.loads(bytes(blob))
+        except Exception:
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": "adoption bundle did not unpickle"},
+                "rejected_error",
+            )
+            return
+        if (not isinstance(bundle, dict)
+                or bundle.get("session") != sid
+                or bundle.get("program") != name):
+            self._reject(
+                link,
+                {"status": "error",
+                 "reason": "adoption bundle does not match its hello"},
+                "rejected_error",
+            )
+            return
+        sess = _ServeSession(id=sid, program=name, prog=prog)
+        client = bundle.get("client")
+        if isinstance(client, str) and client:
+            sess.client = client
+        gkey = bundle.get("garbler_key")
+        if isinstance(gkey, str):
+            sess.garbler_key = gkey
+        base = bundle.get("ot_base")
+        if base is not None:
+            sess.ot_base = tuple(base)
+        sess.bundle = bundle
+        with self._lock:
+            try:
+                self._queue.put_nowait(sess)
+            except queue.Full:
+                admitted = False
+            else:
+                admitted = True
+                self._sessions[sid] = sess
+        if not admitted:
+            self._reject(
+                link,
+                {"status": "busy",
+                 "reason": "accept queue is full",
+                 "retry_after_s": self._retry_after(grew=True)},
+                "rejected_busy",
+            )
+            return
+        with self._lock:
+            self._busy_streak = 0
+        try:
+            send_control(link, WELCOME, {"status": "ok", "adopted": True,
+                                         "session": sid})
+        except (ChannelClosed, LinkClosed, OSError):
+            # The peer vanished before the confirm; it will book the
+            # handoff as failed and never release the evaluator toward
+            # us, so unwind the admission (mirrors the welcome unwind
+            # on the ordinary accept path).
+            with self._lock:
+                sess.state = "cancelled"
+                self._sessions.pop(sid, None)
+            sess.seal()
+            link.close()
+            return
+        self.stats.bump("adopted")
+        if self.obs.enabled:
+            self.obs.inc("serve.adopted")
+        link.close()
+
+    def _adopt_on_peer(self, host: str, port: int, bundle: dict) -> bool:
+        """Dialer side of the adoption exchange (see
+        :meth:`_handle_adopt` for the three phases).  True iff the peer
+        confirmed it registered the session."""
+        try:
+            blob = pickle.dumps(bundle)
+        except Exception:
+            return False
+        link = None
+        try:
+            link = connect_with_backoff(host, port, attempts=3)
+            send_control(link, HELLO, {
+                "op": "adopt",
+                "session": bundle["session"],
+                "program": bundle["program"],
+                "digest": bundle["digest"],
+                "client": bundle.get("client"),
+                "size": len(blob),
+            })
+            tag, welcome, leftover = recv_control(
+                link, timeout=self.handshake_timeout
+            )
+            if (tag != WELCOME or not isinstance(welcome, dict)
+                    or welcome.get("status") != "adopt-send"):
+                return False
+            chan = PrefacedLink(link, leftover) if leftover else link
+            send_control(chan, "serve-bundle", blob)
+            tag, welcome, _rest = recv_control(
+                chan, timeout=max(self.handshake_timeout, 10.0)
+            )
+            return (tag == WELCOME and isinstance(welcome, dict)
+                    and welcome.get("status") == "ok"
+                    and bool(welcome.get("adopted")))
+        except (ChannelClosed, ChannelTimeout, FrameCorruption,
+                LinkClosed, LinkTimeout, OSError):
+            return False
+        finally:
+            if link is not None:
+                link.close()
+
+    def _finish_handoff(self, index: int, msg: dict) -> None:
+        """Apply a worker's handed-off outcome (process pool).
+
+        Picks the adoption peer by the same rendezvous hash the router
+        routes with, ships the bundle, flips the session state, *then*
+        releases the worker — which holds the evaluator's link open
+        until release, so the evaluator's redial can only observe the
+        session after the peer has it (or after it is failed).
+        """
+        sid = msg["session"]
+        bundle = msg.get("bundle")
+        record = dict(msg.get("record") or {})
+        with self._lock:
+            sess = self._sessions.get(sid)
+            peers = list(self._handoff_peers)
+        ok, peer = False, None
+        if bundle is not None and peers:
+            peer = rendezvous_select(bundle["digest"], peers)
+            if peer is not None:
+                ok = self._adopt_on_peer(peer[0], peer[1], bundle)
+        with self._lock:
+            if sess is not None:
+                if ok:
+                    sess.state = "handed-off"
+                    sess.peer = peer
+                else:
+                    sess.state = "failed"
+                    sess.error = ChannelClosed(
+                        "drain handoff failed: no peer adopted the "
+                        "session"
+                    )
+                sess.wall_seconds = msg.get("wall", 0.0)
+        self.stats.bump("handed_off" if ok else "failed")
+        if not ok:
+            record["state"] = "failed"
+        chan = self._chans[index]
+        try:
+            if chan is not None:
+                chan.send({"type": "handoff-release", "session": sid,
+                           "ok": ok})
+        except IpcClosed:
+            pass
+        if sess is not None:
+            sess.seal()
+        self.stats.record_session(record)
+        if self.obs.enabled:
+            self.obs.inc("serve.handed_off" if ok else "serve.failed")
+            self.obs.event("serve-session", **record)
+        self._queue.task_done()
+
     # -- process pool --------------------------------------------------------
 
     def _worker_config(self) -> dict:
@@ -1074,6 +1505,9 @@ class GarbleServer:
                 self._idle.put(index)
             elif mtype in ("done", "failed"):
                 self._finish_session(msg)
+                self._idle.put(index)
+            elif mtype == "handed-off":
+                self._finish_handoff(index, msg)
                 self._idle.put(index)
 
     def _finish_session(self, msg: dict) -> None:
@@ -1193,7 +1627,8 @@ class GarbleServer:
                            "program": sess.program,
                            "client": sess.client,
                            "ot_base": sess.ot_base,
-                           "garbler_key": sess.garbler_key})
+                           "garbler_key": sess.garbler_key,
+                           "bundle": sess.bundle})
             except IpcClosed:
                 # Worker died between going idle and the handoff; fail
                 # the session (the evaluator redials into an error).
@@ -1241,18 +1676,27 @@ class GarbleServer:
         t0 = perf_counter()
         run_msg = {"session": sess.id, "program": sess.program,
                    "client": sess.client, "ot_base": sess.ot_base,
-                   "garbler_key": sess.garbler_key}
+                   "garbler_key": sess.garbler_key,
+                   "bundle": sess.bundle}
         config = self._worker_config()
-        party, material_hit = make_garbler_party(
-            sess.program, prog, config, run_msg, self._materials,
-            obs=self.obs,
-        )
+        if sess.bundle is not None:
+            party = make_adopted_party(prog, config, run_msg, obs=self.obs)
+            material_hit = None
+        else:
+            party, material_hit = make_garbler_party(
+                sess.program, prog, config, run_msg, self._materials,
+                obs=self.obs,
+            )
         if material_hit is not None:
             self.stats.bump(
                 "material_hits" if material_hit else "material_misses"
             )
             if not material_hit:
                 self.stats.bump("material_epochs")
+        # Handoff is limited to material-backed sessions: a fresh
+        # party's free-XOR delta and memoized labels are bound to
+        # in-process state no peer can reconstruct.
+        can_handoff = getattr(party, "material", None) is not None
         session = ResumableSession(
             party,
             connect=lambda: sess.pop_link(self.resume_window),
@@ -1260,11 +1704,44 @@ class GarbleServer:
             timeout=self.timeout,
             max_attempts=self.max_attempts,
             heartbeat_interval=self.heartbeat,
+            interrupt=sess.handoff.is_set if can_handoff else None,
+            checkpoints=(sess.bundle or {}).get("checkpoints"),
             obs=self.obs,
         )
         reraise: Optional[BaseException] = None
+        handoff: Optional[SessionHandoff] = None
         try:
             result = session.run()
+        except SessionHandoff as exc:
+            # Drain-time handoff (thread pool): ship the bundle to the
+            # rendezvous-chosen peer, flip the state, and only then
+            # close the session's transport — the evaluator stays
+            # blocked on the open link until the peer has the session,
+            # so its redial can never observe a half-moved state.
+            handoff = exc
+            bundle = handoff_bundle(party, run_msg, exc.checkpoints,
+                                    exc.cycle)
+            with self._lock:
+                peers = list(self._handoff_peers)
+            ok, peer = False, None
+            if bundle is not None and peers:
+                peer = rendezvous_select(bundle["digest"], peers)
+                if peer is not None:
+                    ok = self._adopt_on_peer(peer[0], peer[1], bundle)
+            with self._lock:
+                if ok:
+                    sess.state = "handed-off"
+                    sess.peer = peer
+                else:
+                    sess.state = "failed"
+                    sess.error = ChannelClosed(
+                        "drain handoff failed: no peer adopted the "
+                        "session"
+                    )
+            self.stats.bump("handed_off" if ok else "failed")
+            if self.obs.enabled:
+                self.obs.inc("serve.handed_off" if ok else "serve.failed")
+            session.close()
         except Exception as exc:
             with self._lock:
                 # A session that failed *after* the garbler decoded
@@ -1328,10 +1805,13 @@ class GarbleServer:
             if self.obs.enabled:
                 self.obs.event("serve-session", **record)
             # Offline phase between sessions: top the pool back up only
-            # after the outcome is booked, never on the client's path.
-            cache = self._materials.get(sess.program)
-            if cache is not None:
-                self.stats.bump("material_epochs", cache.refill())
+            # after the outcome is booked, never on the client's path —
+            # and not at all when draining (a handoff means this shard
+            # is on its way out; don't garble material nobody will use).
+            if handoff is None:
+                cache = self._materials.get(sess.program)
+                if cache is not None:
+                    self.stats.bump("material_epochs", cache.refill())
         if reraise is not None:
             raise reraise
 

@@ -52,7 +52,7 @@ from ..core.protocol import GarblerParty, _expand_bits
 from ..gc.material import MaterialCache, MaterialGarblerParty
 from ..gc.ot_extension import OTExtensionSender, session_salt
 from ..net.links import Link, LinkClosed, LinkTimeout, PrefacedLink
-from ..net.session import ResumableSession
+from ..net.session import ResumableSession, SessionHandoff, net_digest
 from ..net.tcp import TcpLink
 from ..obs import NULL_OBS
 from .ipc import IpcClosed, MsgChannel
@@ -80,6 +80,8 @@ STAT_FIELDS = (
     "idle_shed",         # idle connections shed to admit newcomers
     "replay_hits",       # finished-session redials served from replay
     "replay_misses",     # redials whose result expired or never parked
+    "handed_off",        # in-flight sessions transferred to a peer shard
+    "adopted",           # sessions adopted from a draining peer shard
 )
 
 _IDX_ACTIVE = STAT_FIELDS.index("active")
@@ -95,13 +97,20 @@ class _WorkerSession:
     """Worker-side link mailbox for one session (mirrors the parent's
     ``_ServeSession`` push/pop/seal semantics)."""
 
-    __slots__ = ("id", "_links", "_lock", "_sealed")
+    __slots__ = ("id", "_links", "_lock", "_sealed", "handoff", "released")
 
     def __init__(self, sid: str) -> None:
         self.id = sid
         self._links: "queue.Queue" = queue.Queue()
         self._lock = threading.Lock()
         self._sealed = False
+        #: Drain-time handoff request (set by a "handoff" control
+        #: message); the session raises SessionHandoff at its next
+        #: checkpoint boundary.
+        self.handoff = threading.Event()
+        #: Parent's acknowledgment that the adopting peer holds the
+        #: bundle; only then may the evaluator's link be closed.
+        self.released = threading.Event()
 
     def push_link(self, link: Link) -> bool:
         with self._lock:
@@ -221,6 +230,16 @@ def _reader_loop(chan: MsgChannel, runq: "queue.Queue", sessions: dict,
                 # sees EOF and the evaluator re-resolves via a fresh
                 # hello.
                 link.close()
+        elif mtype == "handoff":
+            with lock:
+                sess = sessions.get(msg["session"])
+            if sess is not None:
+                sess.handoff.set()
+        elif mtype == "handoff-release":
+            with lock:
+                sess = sessions.get(msg["session"])
+            if sess is not None:
+                sess.released.set()
         elif mtype == "stop":
             runq.put(_STOP)
             return
@@ -290,6 +309,54 @@ def make_garbler_party(name: str, prog, config: dict, run_msg: dict,
     return party, None
 
 
+def make_adopted_party(prog, config: dict, run_msg: dict, obs=NULL_OBS):
+    """Rebuild the garbler party for a session adopted from a draining
+    peer shard.
+
+    The handoff bundle carries the peer's :class:`GarbledMaterial`
+    (its epoch must match the checkpoints — the epoch guard in
+    ``MaterialGarblerParty.restore`` enforces it) plus the original
+    OT negotiation, so the rebuilt party is wire-compatible with the
+    evaluator mid-session: same material transcript, same session
+    salt, same base-OT view.  ``resume=True`` suppresses the
+    init-label replay the evaluator already received.
+    """
+    bundle = run_msg["bundle"]
+    ot_factory = _sender_ot_factory(
+        config, run_msg["session"], bundle.get("ot_base")
+    )
+    return MaterialGarblerParty(
+        bundle["material"],
+        ot_group=config["ot_group"],
+        ot=config["ot"],
+        ot_factory=ot_factory,
+        obs=obs,
+        resume=True,
+    )
+
+
+def handoff_bundle(party, run_msg: dict, checkpoints: dict,
+                   cycle: int) -> Optional[dict]:
+    """Everything the adopting shard needs to finish this session
+    bit-identically, or ``None`` when the session cannot hand off
+    (only material-backed sessions can: a fresh party's labels are
+    bound to in-process state the peer cannot reconstruct)."""
+    material = getattr(party, "material", None)
+    if material is None:
+        return None
+    return {
+        "session": run_msg["session"],
+        "program": run_msg["program"],
+        "client": run_msg.get("client"),
+        "garbler_key": run_msg.get("garbler_key"),
+        "ot_base": run_msg.get("ot_base"),
+        "digest": net_digest(party.net, party.cycles),
+        "cycle": cycle,
+        "checkpoints": dict(checkpoints),
+        "material": material,
+    }
+
+
 def replay_payload(result, party) -> Optional[dict]:
     """Build the replay-buffer payload for a finished session.
 
@@ -332,6 +399,45 @@ def exportable_ot_base(party, config: dict, run_msg: dict):
     return export() if export is not None else None
 
 
+def _ship_handoff(chan: MsgChannel, sess: _WorkerSession, session,
+                  party, run_msg: dict, handoff: SessionHandoff,
+                  wall: float, stats_block) -> None:
+    """Ship the handoff bundle to the parent and hold the evaluator's
+    link open until the parent confirms the peer adopted it.
+
+    The order is the whole point: if the link closed first, the
+    evaluator's instant redial could reach the peer *before* the
+    bundle does and be admitted as a brand-new session — correct
+    output, but a fork the later adoption would collide with.  The
+    evaluator stays blocked on the open link until ``released``.
+    """
+    bundle = handoff_bundle(party, run_msg, handoff.checkpoints,
+                            handoff.cycle)
+    record = {
+        "session": sess.id,
+        "program": run_msg["program"],
+        "state": "handed-off",
+        "wall_ms": int(wall * 1000),
+        "garbled_nonxor": -1,
+        "tables_sent": -1,
+        "reconnects": session.reconnects,
+        "epoch": (
+            party.material_epoch
+            if getattr(party, "material_epoch", None) is not None else -1
+        ),
+        "cycle": handoff.cycle,
+    }
+    try:
+        chan.send({"type": "handed-off", "session": sess.id,
+                   "record": record, "wall": wall, "bundle": bundle})
+        sess.released.wait(timeout=60.0)
+    except IpcClosed:
+        pass  # parent gone; close out locally
+    session.close()
+    sess.seal()
+    _bump_active(stats_block, -1)
+
+
 def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
              programs: dict, config: dict, stats_block,
              materials: dict) -> None:
@@ -345,13 +451,24 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
     result = None
     error: Optional[BaseException] = None
     reraise: Optional[BaseException] = None
-    party, material_hit = make_garbler_party(
-        name, programs[name], config, run_msg, materials
-    )
+    handoff: Optional[SessionHandoff] = None
+    adopt = run_msg.get("bundle")
+    if adopt is not None:
+        party, material_hit = make_adopted_party(
+            programs[name], config, run_msg
+        ), None
+    else:
+        party, material_hit = make_garbler_party(
+            name, programs[name], config, run_msg, materials
+        )
     if material_hit is not None:
         _bump(stats_block, _IDX_HITS if material_hit else _IDX_MISSES)
         if not material_hit:
             _bump(stats_block, _IDX_EPOCHS)
+    # Only material-backed sessions can hand off (a fresh party's
+    # labels are bound to in-process state); leave the interrupt
+    # unarmed otherwise and the session finishes here during drain.
+    can_handoff = getattr(party, "material", None) is not None
     session = ResumableSession(
         party,
         connect=lambda: sess.pop_link(config["resume_window"]),
@@ -359,10 +476,14 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
         timeout=config["timeout"],
         max_attempts=config["max_attempts"],
         heartbeat_interval=config["heartbeat"],
+        interrupt=sess.handoff.is_set if can_handoff else None,
+        checkpoints=adopt["checkpoints"] if adopt is not None else None,
         obs=NULL_OBS,
     )
     try:
         result = session.run()
+    except SessionHandoff as exc:
+        handoff = exc
     except Exception as exc:
         error = exc
     except BaseException as exc:
@@ -370,6 +491,10 @@ def _run_one(chan: MsgChannel, sess: _WorkerSession, run_msg: dict,
         reraise = exc
     finally:
         wall = perf_counter() - t0
+        if handoff is not None:
+            _ship_handoff(chan, sess, session, party, run_msg, handoff,
+                          wall, stats_block)
+            return
         sess.seal()
         _bump_active(stats_block, -1)
         state = "done" if error is None else "failed"

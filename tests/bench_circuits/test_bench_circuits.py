@@ -31,7 +31,7 @@ from repro.bench_circuits.cordic import (
 )
 from repro.bench_circuits.sha3 import sha3_256_reference, sha3_256_sequential
 from repro.circuit.bits import int_to_bits, pack_words, unpack_words
-from repro.core import evaluate_with_stats
+from tests.helpers import run_local
 
 
 def bitstream(value):
@@ -43,20 +43,20 @@ class TestSumSequential:
     @settings(max_examples=10, deadline=None)
     def test_functional(self, a, b):
         net, cc = sum_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(a), bob=bitstream(b))
+        r = run_local(net, cc, alice=bitstream(a), bob=bitstream(b))
         assert r.value == (a + b) & 0xFFFFFFFF
 
     def test_table1_exact(self):
         """Table 1: Sum 32 = 32 -> 31, one skipped gate."""
         net, cc = sum_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(1), bob=bitstream(2))
+        r = run_local(net, cc, alice=bitstream(1), bob=bitstream(2))
         assert r.stats.conventional_nonxor == 32
         assert r.stats.garbled_nonxor == 31
         assert r.stats.skipped == 1
 
     def test_table1_sum_1024(self):
         net, cc = sum_sequential(1024)
-        r = evaluate_with_stats(net, cc, alice=bitstream(5), bob=bitstream(9))
+        r = run_local(net, cc, alice=bitstream(5), bob=bitstream(9))
         assert r.stats.garbled_nonxor == 1023  # paper: 1,023
 
 
@@ -65,13 +65,13 @@ class TestCompareSequential:
     @settings(max_examples=10, deadline=None)
     def test_functional(self, a, b):
         net, cc = compare_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(a), bob=bitstream(b))
+        r = run_local(net, cc, alice=bitstream(a), bob=bitstream(b))
         assert r.value == int(a < b)
 
     def test_table1_exact(self):
         """Table 1: Compare 32 = 32 garbled, nothing skipped."""
         net, cc = compare_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(1), bob=bitstream(2))
+        r = run_local(net, cc, alice=bitstream(1), bob=bitstream(2))
         assert r.stats.garbled_nonxor == 32
         assert r.stats.skipped == 0
 
@@ -81,13 +81,13 @@ class TestHamming:
     @settings(max_examples=10, deadline=None)
     def test_sequential_functional(self, a, b):
         net, cc = hamming_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(a), bob=bitstream(b))
+        r = run_local(net, cc, alice=bitstream(a), bob=bitstream(b))
         assert r.value == bin(a ^ b).count("1")
 
     def test_table1_exact(self):
         """Table 1: Hamming 32 = 160 -> 145, 15 skipped."""
         net, cc = hamming_sequential(32)
-        r = evaluate_with_stats(net, cc, alice=bitstream(0), bob=bitstream(0))
+        r = run_local(net, cc, alice=bitstream(0), bob=bitstream(0))
         assert r.stats.conventional_nonxor == 160
         assert r.stats.garbled_nonxor == 145
         assert r.stats.skipped == 15
@@ -96,7 +96,7 @@ class TestHamming:
     @settings(max_examples=10, deadline=None)
     def test_tree_functional(self, a, b):
         net, cc = hamming_tree(64)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice=int_to_bits(a, 64), bob=int_to_bits(b, 64)
         )
         assert r.value == bin(a ^ b).count("1")
@@ -106,7 +106,7 @@ class TestHamming:
         CSA-tree construction costs 158 here (within the same regime,
         well under the HDL circuit's 1,092)."""
         net, cc = hamming_tree(160)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice=[0] * 160, bob=[1] * 160
         )
         assert r.stats.garbled_nonxor <= 247
@@ -117,7 +117,7 @@ class TestMultSequential:
     @settings(max_examples=8, deadline=None)
     def test_functional_full_product(self, a, b):
         net, cc = mult_sequential(32)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice=lambda c: int_to_bits(a, 32), bob=bitstream(b)
         )
         assert r.value == a * b
@@ -125,7 +125,7 @@ class TestMultSequential:
     def test_table1_exact(self):
         """Table 1: Mult 32 = 2,048 -> 2,016, 32 skipped."""
         net, cc = mult_sequential(32)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice=lambda c: int_to_bits(3, 32), bob=bitstream(5)
         )
         assert r.stats.conventional_nonxor == 2048
@@ -142,7 +142,7 @@ class TestMatrixMult:
         A = [rng.getrandbits(32) for _ in range(n * n)]
         B = [rng.getrandbits(32) for _ in range(n * n)]
         net, cc = matrix_mult_sequential(n)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice_init=pack_words(A, 32), bob_init=pack_words(B, 32)
         )
         got = unpack_words(r.outputs, 32)
@@ -167,7 +167,7 @@ class TestSha3:
         a = [rng.randint(0, 1) for _ in range(512)]
         b = [m ^ x for m, x in zip(msg, a)]
         net, cc = sha3_256_sequential(512)
-        r = evaluate_with_stats(net, cc, alice_init=a, bob_init=b)
+        r = run_local(net, cc, alice_init=a, bob_init=b)
         assert r.outputs == sha3_256_reference(msg)
 
     def test_cost_in_paper_regime(self):
@@ -175,7 +175,7 @@ class TestSha3:
         garbles 37,056 = 24 rounds of chi minus the capacity-zero
         savings in round 1."""
         net, cc = sha3_256_sequential(512)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice_init=[0] * 512, bob_init=[1] * 512
         )
         assert r.stats.garbled_nonxor == 37056
@@ -215,7 +215,7 @@ class TestAes:
         for byte in pt:
             pbits += int_to_bits(byte, 8)
         net, cc = aes128_sequential()
-        r = evaluate_with_stats(net, cc, alice_init=kbits, bob_init=pbits)
+        r = run_local(net, cc, alice_init=kbits, bob_init=pbits)
         ct = bytes(
             sum(r.outputs[8 * i + j] << j for j in range(8)) for i in range(16)
         )
@@ -225,7 +225,7 @@ class TestAes:
         """Paper: 6,400 with a 32-AND S-box; our tower-field S-box is
         36 ANDs, giving exactly 7,200 = 20 * 36 * 10."""
         net, cc = aes128_sequential()
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice_init=[0] * 128, bob_init=[1] * 128
         )
         assert r.stats.garbled_nonxor == 7200
@@ -266,7 +266,7 @@ class TestCordic:
         a = [rng.getrandbits(32) for _ in range(3)]
         b = [w ^ s for w, s in zip(words, a)]
         net, cc = cordic_sequential()
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice_init=pack_words(a, 32), bob_init=pack_words(b, 32)
         )
         got = tuple(from_fixed(w) for w in unpack_words(r.outputs, 32))
@@ -290,7 +290,7 @@ class TestCordic:
         """Paper: 4,601; our leaner iteration garbles 2,702 (three
         conditional add/subs per iteration, one skipped for linear)."""
         net, cc = cordic_sequential()
-        r = evaluate_with_stats(
+        r = run_local(
             net, cc, alice_init=[0] * 96, bob_init=[1] * 96
         )
         assert r.stats.garbled_nonxor == 2702

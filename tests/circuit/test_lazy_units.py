@@ -9,7 +9,7 @@ from repro.circuit import CircuitBuilder
 from repro.circuit import modules as M
 from repro.circuit.bits import bits_to_int, int_to_bits
 from repro.circuit.lazy import LazySelector, LazyShifter, LazyUnit
-from repro.core import evaluate_with_stats
+from tests.helpers import run_local
 
 M32 = 0xFFFFFFFF
 
@@ -44,10 +44,10 @@ class TestLazyUnit:
     def test_secret_path_matches_static(self, a, bv):
         lazy = _build_mult_lazy()
         static = _build_mult_static()
-        rl = evaluate_with_stats(
+        rl = run_local(
             lazy, 1, alice=int_to_bits(a, 32), bob=int_to_bits(bv, 32)
         )
-        rs = evaluate_with_stats(
+        rs = run_local(
             static, 1, alice=int_to_bits(a, 32), bob=int_to_bits(bv, 32)
         )
         assert rl.value == rs.value == (a * bv) & M32
@@ -66,7 +66,7 @@ class TestLazyUnit:
             ),
         ))
         b.set_outputs(unit.attach(b, list(x) + list(y)))
-        r = evaluate_with_stats(
+        r = run_local(
             b.build(), 1, public=int_to_bits(77, 32) + int_to_bits(91, 32)
         )
         assert r.value == 77 * 91
@@ -105,8 +105,8 @@ class TestLazySelector:
                 alice=[1] * 32, bob=[1] * 32 + ([] if True else []),
                 public=int_to_bits(sel, 2),
             )
-            rl = evaluate_with_stats(lazy, 1, **kw)
-            rg = evaluate_with_stats(gate, 1, **kw)
+            rl = run_local(lazy, 1, **kw)
+            rg = run_local(gate, 1, **kw)
             assert rl.value == rg.value
             assert rl.stats.garbled_nonxor == rg.stats.garbled_nonxor == 8
 
@@ -114,8 +114,8 @@ class TestLazySelector:
         lazy, gate = self._pair(public_sel=False)
         for sel in range(4):
             kw = dict(alice=[1] * 32, bob=[1] * 32 + int_to_bits(sel, 2))
-            rl = evaluate_with_stats(lazy, 1, **kw)
-            rg = evaluate_with_stats(gate, 1, **kw)
+            rl = run_local(lazy, 1, **kw)
+            rg = run_local(gate, 1, **kw)
             assert rl.value == rg.value
             assert rl.stats.garbled_nonxor == rg.stats.garbled_nonxor
 
@@ -130,7 +130,7 @@ class TestLazyShifter:
         a = b.public_input(5)
         unit = b.net.add_macro(LazyShifter("sh", 32, 5, kind))
         b.set_outputs(unit.attach(b, x, a))
-        r = evaluate_with_stats(
+        r = run_local(
             b.build(), 1, alice=int_to_bits(v, 32), public=int_to_bits(amt, 5)
         )
         if kind == "left":
@@ -157,8 +157,8 @@ class TestLazyShifter:
             return b.build()
 
         kw = dict(alice=int_to_bits(v, 32), bob=int_to_bits(amt, 5))
-        rl = evaluate_with_stats(build(True), 1, **kw)
-        rs = evaluate_with_stats(build(False), 1, **kw)
+        rl = run_local(build(True), 1, **kw)
+        rs = run_local(build(False), 1, **kw)
         assert rl.value == rs.value == (v << amt) & M32
         assert rl.stats.garbled_nonxor == rs.stats.garbled_nonxor
 
@@ -169,7 +169,7 @@ class TestLazyShifter:
         unit = b.net.add_macro(LazyShifter("sh", 32, 5, "right", arith=True))
         b.set_outputs(unit.attach(b, x, a))
         net = b.build()
-        r = evaluate_with_stats(
+        r = run_local(
             net, 1, alice=int_to_bits(0x80000000, 32), public=int_to_bits(4, 5)
         )
         assert r.value == 0xF8000000

@@ -17,7 +17,7 @@ from repro.circuit import CircuitBuilder
 from repro.circuit import modules as M
 from repro.circuit.bits import int_to_bits, pack_words
 from repro.circuit.macros import Ram, input_words
-from repro.core import evaluate_with_stats
+from tests.helpers import run_local
 
 WIDTH = 8
 DEPTH = 8  # 3 address bits
@@ -80,7 +80,7 @@ def build_gate_level_read(public_positions, public_first=True):
 def run_macro(net, addr_value, public_positions):
     pub = [(addr_value >> i) & 1 for i in sorted(public_positions)]
     sec = [(addr_value >> i) & 1 for i in range(3) if i not in public_positions]
-    return evaluate_with_stats(
+    return run_local(
         net, 1, public=pub, bob=sec, alice_init=pack_words(WORDS, WIDTH)
     )
 
@@ -88,7 +88,7 @@ def run_macro(net, addr_value, public_positions):
 def run_gate_level(net, addr_value, public_positions):
     pub = [(addr_value >> i) & 1 for i in sorted(public_positions)]
     sec = [(addr_value >> i) & 1 for i in range(3) if i not in public_positions]
-    return evaluate_with_stats(
+    return run_local(
         net, 1, public=pub, bob=sec, alice=pack_words(WORDS, WIDTH)
     )
 
@@ -170,7 +170,7 @@ class TestWriteEquivalence:
 
     def test_secret_wen_costs_match(self):
         macro_net = self.build_macro_write(wen_secret=True)
-        r = evaluate_with_stats(
+        r = run_local(
             macro_net,
             2,
             bob=[1],
@@ -182,7 +182,7 @@ class TestWriteEquivalence:
         # Cycle 1: one conditional write of WIDTH bits; cycle 2's write
         # is a final-cycle dead store (skipped).
         gate_net = self.build_gate_write(wen_secret=True)
-        rg = evaluate_with_stats(
+        rg = run_local(
             gate_net,
             1,
             bob=[1],
@@ -193,7 +193,7 @@ class TestWriteEquivalence:
 
     def test_public_wen_write_is_free(self):
         macro_net = self.build_macro_write(wen_secret=False)
-        r = evaluate_with_stats(
+        r = run_local(
             macro_net,
             2,
             alice=lambda c: int_to_bits(99, WIDTH),
@@ -231,11 +231,11 @@ class TestHypothesisSweep:
         gate_net = build_gate_level_read(pp)
         pub = [(addr >> i) & 1 for i in sorted(pp)]
         sec = [(addr >> i) & 1 for i in range(3) if i not in pp]
-        rm = evaluate_with_stats(
+        rm = run_local(
             macro_net, 1, public=pub, bob=sec,
             alice_init=pack_words(words, WIDTH),
         )
-        rg = evaluate_with_stats(
+        rg = run_local(
             gate_net, 1, public=pub, bob=sec, alice=pack_words(words, WIDTH)
         )
         assert rm.value == rg.value == words[addr]

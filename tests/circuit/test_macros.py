@@ -5,7 +5,7 @@ import pytest
 from repro.circuit import CircuitBuilder, InitSpec, PlainSimulator
 from repro.circuit.bits import bits_to_int, int_to_bits, pack_words
 from repro.circuit.macros import Ram, Rom, const_words, input_words, zero_words
-from repro.core import evaluate_with_stats
+from tests.helpers import run_local
 
 
 def test_rom_rejects_private_contents():
@@ -21,7 +21,7 @@ def test_rom_public_read():
     b.set_outputs(out)
     net = b.build()
     for a in range(4):
-        r = evaluate_with_stats(net, 1, public=int_to_bits(a, 2))
+        r = run_local(net, 1, public=int_to_bits(a, 2))
         assert r.value == [10, 20, 30, 40][a]
         assert r.stats.garbled_nonxor == 0
 
@@ -45,7 +45,7 @@ def test_rom_secret_address_read_of_constants_is_cheap():
     b.set_outputs(out)
     net = b.build()
     for a in range(4):
-        r = evaluate_with_stats(net, 1, bob=int_to_bits(a, 2))
+        r = run_local(net, 1, bob=int_to_bits(a, 2))
         assert r.value == [10, 20, 30, 40][a]
         assert r.stats.garbled_nonxor == 2
 
@@ -61,7 +61,7 @@ def test_rom_secret_address_read_of_xor_friendly_constants_is_free():
     b.set_outputs(rom.read(b, addr))
     net = b.build()
     for a in range(4):
-        r = evaluate_with_stats(net, 1, bob=int_to_bits(a, 2))
+        r = run_local(net, 1, bob=int_to_bits(a, 2))
         assert r.value == a
         assert r.stats.garbled_nonxor == 0
 
@@ -115,7 +115,7 @@ class TestRamSecretData:
         b.set_outputs(ram.read(b, raddr))
         net = b.build()
         words = [7, 77, 177, 250]
-        r = evaluate_with_stats(
+        r = run_local(
             net, 1, public=int_to_bits(3, 2), alice_init=pack_words(words, 8)
         )
         assert r.value == 250
@@ -130,7 +130,7 @@ class TestRamSecretData:
         net = b.build()
         words = [7, 77, 177, 250]
         for a in range(4):
-            r = evaluate_with_stats(
+            r = run_local(
                 net,
                 1,
                 bob=int_to_bits(a, 2),
@@ -149,7 +149,7 @@ class TestRamSecretData:
         b.set_outputs(ram.read(b, [lo[0], hi[0]]))
         net = b.build()
         words = [7, 77, 177, 250]
-        r = evaluate_with_stats(
+        r = run_local(
             net,
             1,
             public=[1],
@@ -171,7 +171,7 @@ class TestRamSecretData:
         b.set_outputs(ram.read(b, raddr))
         net = b.build()
         words = [1, 2, 3, 4]
-        r = evaluate_with_stats(
+        r = run_local(
             net,
             2,
             public=int_to_bits(1, 2),
@@ -195,7 +195,7 @@ class TestRamSecretData:
         raddr = b.public_input(2)
         b.set_outputs(ram.read(b, raddr))
         net = b.build()
-        r = evaluate_with_stats(
+        r = run_local(
             net,
             2,
             public=int_to_bits(2, 2),
@@ -216,7 +216,7 @@ class TestMultiPort:
         b.set_outputs(d1 + d2)
         net = b.build()
         words = [5, 6, 7, 8]
-        r = evaluate_with_stats(
+        r = run_local(
             net,
             1,
             public=int_to_bits(1, 2) + int_to_bits(3, 2),
@@ -233,5 +233,5 @@ class TestMultiPort:
         ram.write(b, b.const_bus(0, 1), b.public_input(8), b.const(1))
         b.set_outputs(rdata)
         net = b.build()
-        r = evaluate_with_stats(net, 1, public=int_to_bits(9, 8))
+        r = run_local(net, 1, public=int_to_bits(9, 8))
         assert r.value == 42

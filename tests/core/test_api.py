@@ -1,7 +1,7 @@
 """The :mod:`repro.api` facade and the unified result surface.
 
-One front door (`repro.api.run`) for local / protocol / party modes,
-deprecated legacy aliases that forward to it, a shared result base
+One front door (`repro.api.run`) for local / protocol / party / serve
+modes, `repro.api.connect` for the client half, a shared result base
 across all modes, and memoized per-cycle input sources.
 """
 
@@ -15,9 +15,9 @@ from repro import api
 from repro import bench_circuits as BC
 from repro.circuit.bits import int_to_bits
 from repro.circuit.netlist import ALICE
-from repro.core.protocol import ProtocolResult, run_protocol
+from repro.core.protocol import ProtocolResult
 from repro.core.results import BaseResult
-from repro.core.run import RunResult, _evaluate, evaluate_with_stats
+from repro.core.run import RunResult, _evaluate
 
 PROG = """
         MOV r0, #0x1000
@@ -113,36 +113,30 @@ class TestRunFacade:
             api.run(PROG, {"alice": [1]}, mode="party", role="both")
 
 
-class TestDeprecatedAliases:
-    def test_evaluate_with_stats_warns_and_matches(self):
+class TestRemovedAliases:
+    def test_legacy_names_are_gone(self):
+        """The PR-4 deprecated aliases were removed: the public surface
+        is `api.run` / `api.connect` (tests use tests.helpers shims)."""
+        import repro.core as core
+        import repro.core.protocol as protocol
+        import repro.core.run as run_mod
+
+        assert not hasattr(core, "evaluate_with_stats")
+        assert not hasattr(run_mod, "evaluate_with_stats")
+        assert not hasattr(protocol, "run_protocol")
+
+    def test_helpers_match_api_run(self):
+        from tests.helpers import run_local, run_protocol
+
         net, cycles = BC.sum_combinational(32)
         a, b = int_to_bits(9, 32), int_to_bits(4, 32)
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            legacy = evaluate_with_stats(net, cycles, alice=a, bob=b)
-        fresh = api.run(net, {"alice": a, "bob": b}, cycles=cycles)
-        assert legacy == fresh
+        assert run_local(net, cycles, alice=a, bob=b) == api.run(
+            net, {"alice": a, "bob": b}, cycles=cycles
+        )
+        proto = run_protocol(net, cycles, alice=a, bob=b)
+        assert proto.value == 13
 
-    def test_check_consistency_legacy_spelling(self):
-        net, cycles = BC.sum_combinational(32)
-        with pytest.warns(DeprecationWarning):
-            res = evaluate_with_stats(
-                net, cycles, alice=int_to_bits(1, 32),
-                bob=int_to_bits(2, 32), check_consistency=False,
-            )
-        assert res.value == 3
-
-    def test_run_protocol_warns_and_matches(self):
-        net, cycles = BC.sum_combinational(32)
-        a, b = int_to_bits(30, 32), int_to_bits(12, 32)
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            legacy = run_protocol(net, cycles, alice=a, bob=b)
-        assert legacy.value == 42
-        fresh = api.run(net, {"alice": a, "bob": b}, mode="protocol",
-                        cycles=cycles)
-        assert legacy.outputs == fresh.outputs
-        assert legacy.tables_sent == fresh.tables_sent
-
-    def test_internal_path_does_not_warn(self):
+    def test_api_path_does_not_warn(self):
         net, cycles = BC.sum_combinational(32)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

@@ -13,8 +13,8 @@ from hypothesis import strategies as st
 
 from repro.circuit import CircuitBuilder, simulate
 from repro.circuit import gates as G
-from repro.core import evaluate_with_stats
-from repro.core.protocol import run_protocol
+from tests.helpers import run_local
+from tests.helpers import run_protocol
 
 
 def random_sequential(rng: random.Random, n_gates: int = 30):
@@ -50,7 +50,7 @@ class TestCountVsPlainVsProtocol:
         bob = [rng.randint(0, 1) for _ in range(4)]
         public = [rng.randint(0, 1) for _ in range(2)]
 
-        counted = evaluate_with_stats(
+        counted = run_local(
             net, cycles, alice=alice, bob=bob, public=public
         )
         proto = run_protocol(
@@ -65,7 +65,7 @@ class TestCountVsPlainVsProtocol:
         rng = random.Random(seed)
         net = random_sequential(rng, n_gates=60)
         cycles = rng.randint(1, 4)
-        r = evaluate_with_stats(
+        r = run_local(
             net, cycles,
             alice=[rng.randint(0, 1) for _ in range(4)],
             bob=[rng.randint(0, 1) for _ in range(4)],
@@ -101,7 +101,7 @@ class TestStatsAccounting:
         rng = random.Random(seed)
         net = random_sequential(rng, n_gates=40)
         cycles = 2
-        r = evaluate_with_stats(
+        r = run_local(
             net, cycles,
             alice=[0, 1, 0, 1], bob=[1, 1, 0, 0], public=[1, 0],
         )

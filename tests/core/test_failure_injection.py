@@ -16,8 +16,8 @@ from repro.circuit.bits import int_to_bits
 from repro.core.protocol import (
     EvaluatorBackend,
     GarblerBackend,
-    run_protocol,
 )
+from tests.helpers import run_protocol
 from repro.core import SkipGateEngine
 from repro.gc.channel import ChannelClosed, ProtocolDesync, channel_pair
 

@@ -15,8 +15,8 @@ from repro.circuit import gates as G
 from repro.circuit import modules as M
 from repro.circuit.bits import bits_to_int, int_to_bits
 from repro.circuit.macros import Ram, input_words
-from repro.core import evaluate_with_stats
-from repro.core.protocol import run_protocol
+from tests.helpers import run_local
+from tests.helpers import run_protocol
 
 
 def build_adder(width):
@@ -38,7 +38,7 @@ class TestCombinational:
 
     def test_table_count_matches_counting_engine(self):
         net = build_adder(8)
-        counted = evaluate_with_stats(
+        counted = run_local(
             net, 1, alice=int_to_bits(11, 8), bob=int_to_bits(22, 8)
         )
         proto = run_protocol(net, 1, alice=int_to_bits(11, 8), bob=int_to_bits(22, 8))

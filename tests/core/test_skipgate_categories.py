@@ -2,7 +2,8 @@
 
 from repro.circuit import CircuitBuilder
 from repro.circuit import gates as G
-from repro.core import CountingBackend, SkipGateEngine, evaluate_with_stats
+from repro.core import CountingBackend, SkipGateEngine
+from tests.helpers import run_local
 
 
 def run_counts(build, public=(), cycles=1):

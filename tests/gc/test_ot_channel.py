@@ -239,7 +239,7 @@ class TestOTExtension:
         from repro.circuit import CircuitBuilder
         from repro.circuit import modules as M
         from repro.circuit.bits import int_to_bits
-        from repro.core.protocol import run_protocol
+        from tests.helpers import run_protocol
 
         b = CircuitBuilder()
         x = b.alice_input(16)

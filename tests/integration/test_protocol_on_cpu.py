@@ -13,7 +13,7 @@ import pytest
 from repro.arm import GarbledMachine
 from repro.cc import compile_c
 from repro.circuit.bits import bits_to_int, pack_words, unpack_words
-from repro.core.protocol import run_protocol
+from tests.helpers import run_protocol
 
 
 def protocol_on_machine(machine, alice_words, bob_words, cycles):

@@ -18,7 +18,7 @@ import pytest
 
 from repro.bench_circuits import sum_combinational
 from repro.circuit.bits import int_to_bits
-from repro.core.protocol import run_protocol
+from tests.helpers import run_protocol
 from repro.gc.channel import ChannelClosed, ChannelTimeout, FrameCorruption
 from repro.net.fault import FaultPlan, FaultRule, FaultyTransport
 from repro.net.links import LinkClosed, memory_link_pair

@@ -11,8 +11,8 @@ from repro.core.protocol import (
     EvaluatorParty,
     GarblerParty,
     _expand_bits,
-    run_protocol,
 )
+from tests.helpers import run_protocol
 from repro.gc.channel import ProtocolDesync
 from repro.net.fault import FaultPlan, FaultRule, FaultyTransport
 from repro.net.links import MemoryRendezvous

@@ -132,8 +132,8 @@ class TestTcpProtocolRun:
             EvaluatorParty,
             GarblerParty,
             _expand_bits,
-            run_protocol,
         )
+        from tests.helpers import run_protocol
         from repro.net.session import ResumableSession
 
         x, y = 1234, 4321

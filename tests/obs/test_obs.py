@@ -140,11 +140,11 @@ class TestNullObs:
 
 def _hamming_run(obs=None):
     from repro import bench_circuits as BC
-    from repro.core import evaluate_with_stats
+    from tests.helpers import run_local
 
     net, cc = BC.hamming_sequential(32)
     a, b = 0xDEADBEEF, 0x12345678
-    return evaluate_with_stats(
+    return run_local(
         net,
         cc,
         alice=lambda c: [(a >> c) & 1],
@@ -193,7 +193,7 @@ class TestEngineIntegration:
         from repro.circuit import CircuitBuilder
         from repro.circuit import modules as M
         from repro.circuit.bits import int_to_bits
-        from repro.core.protocol import run_protocol
+        from tests.helpers import run_protocol
 
         b = CircuitBuilder()
         x = b.alice_input(8)
