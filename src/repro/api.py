@@ -57,7 +57,7 @@ from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from .circuit.netlist import Netlist
 
-__all__ = ["run", "connect"]
+__all__ = ["run", "run_batch", "connect"]
 
 #: Keys accepted in the ``inputs`` mapping.
 _INPUT_KEYS = frozenset(
@@ -302,6 +302,30 @@ def run(
     raise ValueError(
         f"unknown mode {mode!r} (use 'local', 'protocol', 'party' or 'serve')"
     )
+
+
+def run_batch(workload, values, **kwargs):
+    """Run a registered workload over a vector of evaluator queries in
+    **one** garbling pass.
+
+    ``workload`` names a base workload shape (e.g. ``"psi-hash8x16"``,
+    see :func:`repro.workloads.workload_names`); ``values`` is a
+    sequence of evaluator operands — for PSI, set seeds
+    (:func:`repro.workloads.psi.set_from_seed`).  The batched sibling
+    circuit (``<name>@b<N>``) shares Alice's input wires across all
+    ``N`` query slots, so the per-session costs — handshake, base OT,
+    garbler-input transfer — are paid once instead of ``N`` times.
+
+    Runs in-process (``mode="local"`` simulator by default, or
+    ``mode="protocol"`` for the real crypto); for a query batch against
+    a running server use :meth:`repro.serve.client.ServeClient.run_batch`
+    with the same semantics.  Returns a
+    :class:`~repro.workloads.batch.BatchResult` whose per-query
+    outputs are bit-identical to fresh single-query runs.
+    """
+    from .workloads.batch import run_batch as _run_batch
+
+    return _run_batch(workload, values, **kwargs)
 
 
 def connect(addr, **kwargs):

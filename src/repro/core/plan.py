@@ -283,6 +283,11 @@ _TT_EXPR = {
 #: (codegen compile time would dominate one-shot runs).
 _CODEGEN_GATE_LIMIT = 50_000
 
+#: Longest single ``a | b | ...`` chain the sweep codegen will emit in
+#: one expression; longer operand lists accumulate in chunks so the
+#: generated source never exceeds CPython's compiler recursion depth.
+_OR_CHAIN_LIMIT = 256
+
 
 def _compile_sweep(plan: CyclePlan):
     """Generate the specialized per-cycle sweep for a plan.
@@ -322,10 +327,24 @@ def _compile_sweep(plan: CyclePlan):
                 A("    " + "; ".join(
                     f"{names[w]} = S[{w}]" for w in loads[i:i + 8]
                 ))
-            if loads:
-                A("    if " + " | ".join(names[w] for w in loads) + " >= 0:")
-            else:  # pragma: no cover - segment reading no wires
-                A("    if 1:")
+            if len(loads) <= _OR_CHAIN_LIMIT:
+                test = " | ".join(names[w] for w in loads)
+                A(f"    if {test} >= 0:" if loads else "    if 1:")
+            else:
+                # One flat OR chain parses as a left-deep BinOp tree;
+                # past ~1k terms CPython's compiler recursion gives out
+                # (seen first on the 16x32 hash-PSI netlist, one
+                # segment reading 3168 wires).  Accumulate in bounded
+                # chunks instead — same sign-bit test, depth O(chunk).
+                A(f"    m{k} = " + " | ".join(
+                    names[w] for w in loads[:_OR_CHAIN_LIMIT]
+                ))
+                for i in range(_OR_CHAIN_LIMIT, len(loads),
+                               _OR_CHAIN_LIMIT):
+                    A(f"    m{k} |= " + " | ".join(
+                        names[w] for w in loads[i:i + _OR_CHAIN_LIMIT]
+                    ))
+                A(f"    if m{k} >= 0:")
             for tt, a, b, o, f in rows:
                 na = names.get(a, f"t{k}_{a}")
                 nb = names.get(b, f"t{k}_{b}")

@@ -136,7 +136,18 @@ def _registry() -> Dict[str, BenchCircuit]:
             block8,  # multiplicand re-presented every cycle
             stream,  # multiplier bit i at cycle i
         ),
+        # Workload circuits (batch PSI et al.) ride the same registry:
+        # scalar operands are set seeds, sources are picklable classes,
+        # so serve / loadgen / party / registry_*_program all resolve
+        # them with zero special cases.
+        **_workload_circuits(),
     }
+
+
+def _workload_circuits() -> Dict[str, "BenchCircuit"]:
+    from ..workloads import workload_circuits
+
+    return workload_circuits()
 
 
 def circuit_names() -> Sequence[str]:

@@ -47,10 +47,16 @@ class BenchProgram:
     output_words: int
     data_words: int = 64
     imem_words: int = 256
-    #: rng -> (alice words, bob words)
-    gen_inputs: Callable[[random.Random], Tuple[List[int], List[int]]] = None
-    #: (alice, bob) -> expected output words
-    oracle: Callable[[List[int], List[int]], List[int]] = None
+    #: rng -> (alice words, bob words); None means the program has no
+    #: canonical sampler and callers must supply inputs themselves
+    gen_inputs: Optional[
+        Callable[[random.Random], Tuple[List[int], List[int]]]
+    ] = None
+    #: (alice, bob) -> expected output words; None disables result
+    #: verification for this program
+    oracle: Optional[
+        Callable[[List[int], List[int]], List[int]]
+    ] = None
     #: the matching paper row name, when there is one
     paper_key: Optional[str] = None
 

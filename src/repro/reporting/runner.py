@@ -78,6 +78,11 @@ def run_processor_benchmark(
     if hit and hit.get("digest") == digest and not force and not profiled:
         return hit
 
+    if prog.gen_inputs is None or prog.oracle is None:
+        raise ValueError(
+            f"program {name!r} has no input sampler/oracle; the bench "
+            "runner can only measure self-verifying programs"
+        )
     rng = random.Random(seed)
     alice, bob = prog.gen_inputs(rng)
     machine = GarbledMachine(

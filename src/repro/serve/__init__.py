@@ -25,6 +25,7 @@ from .client import (
     fetch_stats,
     recover_result,
     request_drain,
+    request_reload,
     run_registry_session,
     run_session,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "registry_program",
     "rendezvous_select",
     "request_drain",
+    "request_reload",
     "run_loadgen",
     "run_registry_session",
     "run_session",

@@ -47,7 +47,16 @@ def run_serve(args) -> int:
     from .config import ServeConfig
     from .server import GarbleServer, registry_program
 
-    names = args.circuit or list(circuit_names())
+    names = list(args.circuit or ())
+    if getattr(args, "workload", None):
+        from ..workloads import SERVE_SETS
+
+        for family in args.workload:
+            names.extend(
+                n for n in SERVE_SETS[family] if n not in names
+            )
+    if not names:
+        names = list(circuit_names())
     programs = {name: registry_program(name, args.value) for name in names}
     obs = Obs(sink=JsonlSink(args.trace)) if args.trace else None
     config = ServeConfig.from_args(args)
@@ -126,10 +135,17 @@ def run_loadgen_cmd(args) -> int:
     from .loadgen import run_loadgen
 
     host, port = _parse_hostport(args.connect)
+    circuit = args.circuit
+    if getattr(args, "workload", None) and circuit == "sum32":
+        # --workload picked, --circuit left at its default: run the
+        # family's default circuit.
+        from ..workloads import DEFAULT_CIRCUIT
+
+        circuit = DEFAULT_CIRCUIT[args.workload]
     report = run_loadgen(
         host,
         port,
-        args.circuit,
+        circuit,
         clients=args.clients,
         arrival=args.arrival,
         interval=args.interval,
@@ -144,6 +160,7 @@ def run_loadgen_cmd(args) -> int:
         client_prefix=args.client_prefix,
         warmup=args.warmup,
         busy_retries=args.busy_retries,
+        workload=getattr(args, "workload", None),
     )
     _emit(args, report.to_record())
     if not args.json:
@@ -199,6 +216,11 @@ def add_serve_parser(sub) -> None:
     p.add_argument("--circuit", action="append", metavar="NAME",
                    help="registry circuit to serve (repeatable; "
                         "default: every registry circuit)")
+    p.add_argument("--workload", action="append", choices=("psi",),
+                   metavar="FAMILY",
+                   help="serve a workload family's circuit set (its "
+                        "default shape plus registered batch shapes; "
+                        "repeatable, composes with --circuit)")
     p.add_argument("--value", type=lambda s: int(s, 0), default=0,
                    help="the garbler operand used for every session")
     p.add_argument("--listen", default="127.0.0.1:9200", metavar="HOST:PORT")
@@ -317,6 +339,12 @@ def add_loadgen_parser(sub) -> None:
     )
     p.add_argument("--connect", required=True, metavar="HOST:PORT")
     p.add_argument("--circuit", default="sum32")
+    p.add_argument("--workload", choices=("psi",), default=None,
+                   help="treat the circuit as this workload family: "
+                        "defaults --circuit to the family's default "
+                        "shape and adds semantic verification of every "
+                        "decoded result against the plain-python "
+                        "oracle (requires --server-value)")
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--arrival", choices=("burst", "paced"), default="burst")
     p.add_argument("--interval", type=float, default=0.05,

@@ -288,6 +288,35 @@ def request_drain(
     return welcome
 
 
+def request_reload(
+    host: str,
+    port: int,
+    shards: Sequence[tuple],
+    *,
+    timeout: Optional[float] = 10.0,
+) -> dict:
+    """Swap a router's shard membership live (``op: "reload-shards"``).
+
+    ``shards`` is the complete new membership as ``(host, port)``
+    pairs.  Surviving shards keep their health state and pins; joiners
+    are polled before the reply; pins to departed shards are dropped
+    (those sessions re-route on their next dial).  Returns the reload
+    welcome (``{"status": "ok", "shards": [...], "added": n,
+    "removed": n}``).
+    """
+    if not shards:
+        raise ValueError("reload-shards needs at least one shard")
+    hello = {
+        "op": "reload-shards",
+        "shards": [[str(h), int(p)] for h, p in shards],
+    }
+    welcome, link = _hello_exchange(host, port, hello, timeout=timeout)
+    link.close()
+    if welcome.get("status") != "ok":
+        raise ServeError(f"reload-shards rejected: {welcome!r}")
+    return welcome
+
+
 def run_session(
     host: str,
     port: int,
@@ -517,6 +546,43 @@ class ServeClient:
             **self._session_defaults(kwargs),
         )
 
+    def run_batch(self, workload: str, values: Sequence[int], **kwargs):
+        """Answer a vector of workload queries in **one** session.
+
+        ``workload`` is a base workload name (``"psi-hash8x16"``);
+        ``values`` seeds one query set each.  The endpoint must be
+        serving the batched sibling program (``<name>@b<N>`` — routers
+        route it by digest like any other program).  One garbling pass,
+        one handshake, one base-OT phase and one garbler-input transfer
+        answer all ``N`` queries; returns a
+        :class:`~repro.workloads.batch.BatchResult` whose per-query
+        ``outputs`` are bit-identical to ``N`` fresh :meth:`run` calls.
+        Extra keyword arguments flow to :func:`run_session`
+        (``garbler_key``, ``session_id``, ...).
+        """
+        from ..workloads import batched_name, get_workload
+        from ..workloads.batch import BatchResult, encode_batch, split_batch
+
+        name = batched_name(workload, len(values))
+        batched = get_workload(name)
+        net, cycles = batched.build()
+        res = run_session(
+            self.host, self.port, name, net,
+            bob=encode_batch(workload, values),
+            cycles=cycles,
+            **self._session_defaults(kwargs),
+        )
+        outputs = list(res.outputs)
+        return BatchResult(
+            workload=workload,
+            program=name,
+            batch=len(values),
+            queries=split_batch(workload, len(values), outputs),
+            outputs=outputs,
+            garbled_nonxor=res.stats.garbled_nonxor,
+            raw=res,
+        )
+
     # -- control plane ------------------------------------------------
 
     def recover_result(self, session_id: str, **kwargs) -> SessionResult:
@@ -544,6 +610,15 @@ class ServeClient:
         return request_drain(
             self.host, self.port, shard=shard, peers=peers,
             timeout=timeout,
+        )
+
+    def reload_shards(
+        self, shards: Sequence[tuple], timeout: Optional[float] = 10.0
+    ) -> dict:
+        """Swap the router's shard membership live (see
+        :func:`request_reload`)."""
+        return request_reload(
+            self.host, self.port, shards, timeout=timeout
         )
 
     # -- context manager ----------------------------------------------

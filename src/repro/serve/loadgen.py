@@ -75,6 +75,9 @@ class LoadgenReport:
     retries: int = 0
     outcomes: List[SessionOutcome] = field(default_factory=list)
     verify_errors: List[str] = field(default_factory=list)
+    #: The workload family the run verified semantically (e.g.
+    #: ``"psi"``), None for plain bench circuits.
+    workload: Optional[str] = None
 
     def to_record(self) -> dict:
         """Flat JSON-able summary (the CLI's ``--json`` output)."""
@@ -91,6 +94,7 @@ class LoadgenReport:
             "p50_seconds": round(self.p50_seconds, 4),
             "p95_seconds": round(self.p95_seconds, 4),
             "verify_errors": list(self.verify_errors),
+            "workload": self.workload,
         }
 
 
@@ -243,6 +247,7 @@ def run_loadgen(
     client_prefix: Optional[str] = None,
     warmup: int = 0,
     busy_retries: int = 2,
+    workload: Optional[str] = None,
 ) -> LoadgenReport:
     """Run ``clients`` verified sessions and aggregate the outcome.
 
@@ -268,11 +273,27 @@ def run_loadgen(
     between attempts; the total number of such retries lands in the
     report's ``retries`` counter.  Pass 0 for the old fail-fast
     behaviour (admission-control tests want the reject itself).
+
+    ``workload`` names a workload family (``"psi"``) whose circuits
+    carry application semantics beyond the bit-level contract: on top
+    of the standard ``_verify`` pass (cross-session bit-identity +
+    local simulator), each ok outcome's decoded result is checked
+    against the family's plain-python oracle
+    (:func:`repro.workloads.verify_outcomes` — intersection sizes and
+    membership flags for PSI).  Requires ``server_value``.
     """
     if arrival not in ("burst", "paced"):
         raise ValueError(f"unknown arrival pattern {arrival!r}")
     if warmup < 0:
         raise ValueError("warmup must be >= 0")
+    if workload is not None:
+        from ..workloads import WORKLOAD_FAMILIES
+
+        if workload not in WORKLOAD_FAMILIES:
+            raise ValueError(
+                f"unknown workload family {workload!r}; "
+                f"known: {list(WORKLOAD_FAMILIES)}"
+            )
     from ..net.cli import _registry
 
     entry = _registry()[circuit]
@@ -313,6 +334,12 @@ def run_loadgen(
     verify_errors: List[str] = []
     if verify and ok:
         verify_errors = _verify(entry, net, cycles, ok, server_value)
+    if workload and ok:
+        from ..workloads import verify_outcomes
+
+        verify_errors = verify_errors + verify_outcomes(
+            circuit, server_value, ok
+        )
 
     latencies = sorted(o.seconds for o in ok)
     return LoadgenReport(
@@ -329,6 +356,7 @@ def run_loadgen(
         retries=sum(o.retries for o in outcomes),
         outcomes=outcomes,
         verify_errors=verify_errors,
+        workload=workload,
     )
 
 

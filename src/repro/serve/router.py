@@ -64,6 +64,7 @@ ROUTER_COUNTERS = (
     "stats_probes",
     "fleet_probes",
     "drains",
+    "shard_reloads",
     "poll_errors",
     "moved_pins",
 )
@@ -280,6 +281,9 @@ class _ClientConn(asyncio.Protocol):
             if op == "drain":
                 router.bump("drains")
                 self._answer(await router.start_drain(hello))
+                return
+            if op == "reload-shards":
+                self._answer(await router.reload_shards(hello))
                 return
             sid = hello.get("session")
             if not isinstance(sid, str) or not sid:
@@ -623,3 +627,60 @@ class SessionRouter:
                     "reason": f"shard {shard.id} did not answer the "
                               "drain"}
         return welcome
+
+    async def reload_shards(self, hello: dict) -> dict:
+        """``op: "reload-shards"``: swap shard membership live.
+
+        The hello's ``shards`` list is the complete new membership.
+        Disruption is minimal by construction: surviving shards keep
+        their :class:`_ShardState` (health, digest map, snapshot) and
+        their pins, so sessions routed to them stay put; HRW hashing
+        guarantees a key only ever *moves to a joiner*, never between
+        survivors.  Pins to departed shards are dropped — those
+        sessions re-route on their next dial (the departed shard is
+        expected to be drained first; see ``op: "drain"``).  Joiners
+        are polled before the reply so the digest map covers them
+        immediately.
+        """
+        raw = hello.get("shards")
+        try:
+            addrs = [(str(h), int(p)) for h, p in raw]
+        except (TypeError, ValueError):
+            self.bump("rejected_error")
+            return {"status": "error",
+                    "reason": "reload-shards needs shards: "
+                              "[[host, port], ...]"}
+        seen: set = set()
+        addrs = [a for a in addrs
+                 if not (a in seen or seen.add(a))]
+        if not addrs:
+            self.bump("rejected_error")
+            return {"status": "error",
+                    "reason": "reload-shards needs at least one shard"}
+        current = {s.addr for s in self.shards}
+        added = [a for a in addrs if a not in current]
+        removed = sorted(current - set(addrs))
+        states = [self._by_addr.get(a) or _ShardState(a) for a in addrs]
+        self.shards = states
+        self._by_addr = {s.addr: s for s in states}
+        gone = set(removed)
+        dropped = [sid for sid, addr in self._pins.items()
+                   if addr in gone]
+        for sid in dropped:
+            self._pins.pop(sid, None)
+        # Keep the config echo (stats_snapshot) truthful about the
+        # membership now in force.
+        self.config = self.config.replace(shards=tuple(addrs))
+        joiners = [s for s in states if s.polled_at == 0.0]
+        if joiners:
+            await asyncio.gather(
+                *(self._poll_shard(s) for s in joiners)
+            )
+        self.bump("shard_reloads")
+        return {
+            "status": "ok",
+            "shards": [list(a) for a in addrs],
+            "added": len(added),
+            "removed": len(removed),
+            "dropped_pins": len(dropped),
+        }

@@ -1,0 +1,308 @@
+"""Privacy workloads served on the garbled engine.
+
+The serve substrate (compiled cycle plans, offline material, the async
+edge, the sharded fleet) is workload-agnostic; this package is where
+*workloads* — privacy computations people actually deploy, beyond the
+paper's Table 5 benchmarks — plug into it.  The first family is batch
+private set intersection (:mod:`repro.workloads.psi`).
+
+A workload is described by a :class:`WorkloadProgram`: the circuit
+builder plus the seeded input encoders and the plain-python oracle
+that lets every layer of the stack verify a served result end-to-end.
+Registered workloads are merged into the bench-circuit registry
+(:func:`repro.net.cli._registry`), so every existing entry point —
+``python -m repro serve --circuit psi-hash8x16``, ``loadgen``,
+``ServeClient.run``, ``registry_keyed_program`` — serves and verifies
+them with zero special cases.  Batched shapes are registered beside
+their base under ``<name>@b<N>`` (one garbling pass, ``N`` evaluator
+query slots); :func:`repro.workloads.batch.run_batch` and
+``ServeClient.run_batch`` are the client surface over them.
+
+``garbler_key`` composes naturally: :func:`workload_keyed_program`
+builds a PSI program whose garbler *set* is selected per session from
+a keyed table (one long-lived server holding many tenants' sets),
+exactly like ``registry_keyed_program`` selects scalar operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from . import psi as _psi
+from .psi import (
+    PSISpec,
+    PsiAliceSource,
+    PsiBobSource,
+    build_psi,
+    parse_psi_name,
+    psi_name,
+    psi_spec,
+    set_from_seed,
+)
+
+__all__ = [
+    "PSISpec",
+    "WorkloadProgram",
+    "batched_name",
+    "build_psi",
+    "get_workload",
+    "parse_psi_name",
+    "psi_name",
+    "psi_spec",
+    "set_from_seed",
+    "workload_circuits",
+    "workload_keyed_program",
+    "workload_names",
+    "workload_program",
+    "workload_registry",
+]
+
+#: Batch sizes registered beside every base PSI entry.  A server can
+#: always serve other sizes by building the program itself
+#: (``workload_program(psi_name(psi_spec(..., batch=N)))``), but the
+#: registry keeps a fixed, documented menu so ``--circuit`` names and
+#: ``run_batch`` sizes resolve everywhere without dynamic lookup.
+REGISTERED_BATCHES = (4, 8)
+
+#: The circuit a bare ``--workload <family>`` means.
+DEFAULT_CIRCUIT = {"psi": "psi-hash8x16"}
+
+#: What ``repro serve --workload <family>`` serves: the default
+#: circuit, its batch shapes, and the other variant's base shape.
+SERVE_SETS = {
+    "psi": (
+        "psi-hash8x16", "psi-hash8x16@b4", "psi-hash8x16@b8",
+        "psi-sort8x16", "psi-sort8x16@b4", "psi-sort8x16@b8",
+    ),
+}
+
+WORKLOAD_FAMILIES = tuple(sorted(DEFAULT_CIRCUIT))
+
+
+@dataclass(frozen=True)
+class WorkloadProgram:
+    """One registered workload shape, registry-compatible.
+
+    ``build``/``alice_source``/``bob_source`` mirror
+    :class:`~repro.net.cli.BenchCircuit` exactly (scalar operands are
+    set seeds; the sources are picklable classes), plus the workload
+    extras the generic registry has no slot for: the family name, the
+    batch factor, the per-query output decoder and the seeded oracle.
+    """
+
+    name: str
+    describe: str
+    family: str
+    spec: PSISpec
+    build: Callable[[], Tuple[Netlist, int]]
+    alice_source: Callable[[int, int], Sequence[int]]
+    bob_source: Callable[[int, int], Sequence[int]]
+
+    @property
+    def batch(self) -> int:
+        return self.spec.batch
+
+    @property
+    def base_name(self) -> str:
+        """The batch-1 program this shape amortizes over."""
+        return psi_name(self.spec.base)
+
+    def split_outputs(self, outputs: Sequence[int]) -> List[List[int]]:
+        """Per-query output groups of a (batched) result vector."""
+        return _psi.split_outputs(self.spec, outputs)
+
+    def decode_query(self, bits: Sequence[int]) -> Dict[str, object]:
+        """One query group -> ``{"size", "flags"}``."""
+        return _psi.decode_query(self.spec, bits)
+
+    def oracle(self, server_value: int, value: int) -> List[int]:
+        """Expected output bits when both operands are set seeds
+        (Bob's batch slots derive from ``value`` via
+        :func:`~repro.workloads.psi.query_seed`)."""
+        spec = self.spec
+        return _psi.expected_outputs(
+            spec,
+            set_from_seed(spec, server_value),
+            [
+                set_from_seed(spec, _psi.query_seed(value, slot))
+                for slot in range(spec.batch)
+            ],
+        )
+
+
+def _psi_program(spec: PSISpec) -> WorkloadProgram:
+    per_query = (
+        "intersection size only"
+        if spec.variant == "sort"
+        else "per-slot membership flags + size"
+    )
+    batched = (
+        f", {spec.batch} queries per garbling" if spec.batch > 1 else ""
+    )
+    return WorkloadProgram(
+        name=psi_name(spec),
+        describe=(
+            f"batch PSI ({spec.variant}): {spec.set_size} x "
+            f"{spec.width}-bit elements, {per_query}, 1 cycle{batched}"
+        ),
+        family="psi",
+        spec=spec,
+        build=partial(build_psi, spec),
+        alice_source=PsiAliceSource(spec),
+        bob_source=PsiBobSource(spec),
+    )
+
+
+def _base_specs() -> List[PSISpec]:
+    return [
+        psi_spec("sort", 8, 16),
+        psi_spec("hash", 8, 16),
+        # The bigger shape of each family, registered batch-1 as the
+        # parameterization witness (build one yourself for other
+        # sizes: psi_spec/build_psi are the public generator surface).
+        psi_spec("sort", 16, 32),
+        psi_spec("hash", 16, 32),
+    ]
+
+
+def workload_registry() -> Dict[str, WorkloadProgram]:
+    """All registered workload shapes by canonical name."""
+    out: Dict[str, WorkloadProgram] = {}
+    for base in _base_specs():
+        out[psi_name(base)] = _psi_program(base)
+    for base in _base_specs()[:2]:
+        for batch in REGISTERED_BATCHES:
+            spec = psi_spec(
+                base.variant, base.set_size, base.width, batch=batch
+            )
+            out[psi_name(spec)] = _psi_program(spec)
+    return out
+
+
+def workload_names() -> List[str]:
+    return sorted(workload_registry())
+
+
+def get_workload(name: str) -> WorkloadProgram:
+    """Resolve a workload by registry name *or* any parseable PSI name
+    (``psi-<variant><n>x<w>[@b<N>]``), so programmatic callers are not
+    limited to the registered menu."""
+    reg = workload_registry()
+    if name in reg:
+        return reg[name]
+    spec = parse_psi_name(name)
+    if spec is not None:
+        return _psi_program(spec)
+    raise KeyError(
+        f"unknown workload {name!r}; registered: {workload_names()}"
+    )
+
+
+def batched_name(name: str, batch: int) -> str:
+    """The ``@b<N>`` sibling of a base workload name."""
+    if batch == 1:
+        return name
+    wl = get_workload(name)
+    if wl.batch != 1:
+        raise ValueError(
+            f"{name!r} is already a batch-{wl.batch} shape"
+        )
+    return f"{name}@b{batch}"
+
+
+def workload_circuits() -> Dict[str, object]:
+    """Registered workloads as bench-registry entries.
+
+    Imported by :func:`repro.net.cli._registry` and merged into the
+    registry dict — this is the single splice point that makes
+    workloads first-class circuits for serve, loadgen, the party CLI
+    and ``registry_program``/``registry_keyed_program``.
+    """
+    from ..net.cli import BenchCircuit
+
+    return {
+        name: BenchCircuit(
+            build=wl.build,
+            describe=wl.describe,
+            alice_source=wl.alice_source,
+            bob_source=wl.bob_source,
+        )
+        for name, wl in workload_registry().items()
+    }
+
+
+def workload_program(name: str, value: int = 0):
+    """A :class:`~repro.serve.server.ServeProgram` for a workload, with
+    ``value`` seeding the garbler's set."""
+    wl = get_workload(name)
+    from ..serve.server import ServeProgram
+
+    net, cycles = wl.build()
+    return ServeProgram(
+        net=net, cycles=cycles, alice=wl.alice_source(value, cycles)
+    )
+
+
+def workload_keyed_program(
+    name: str, values: Dict[str, int], value: int = 0
+):
+    """A keyed workload program: a hello with ``garbler_key: k``
+    computes against the garbler set seeded by ``values[k]`` — one
+    long-lived server holding many garbler sets (multi-tenant PSI)."""
+    wl = get_workload(name)
+    from ..serve.server import ServeProgram
+
+    net, cycles = wl.build()
+    return ServeProgram(
+        net=net,
+        cycles=cycles,
+        alice=wl.alice_source(value, cycles),
+        alice_by_key={
+            k: wl.alice_source(v, cycles) for k, v in values.items()
+        },
+    )
+
+
+def verify_outcomes(
+    circuit: str,
+    server_value: Optional[int],
+    outcomes,
+) -> List[str]:
+    """Loadgen's workload-semantics pass: beyond bit-identity with the
+    local simulator, check each decoded result against the seeded
+    python oracle (intersection sizes and, for the hash variant,
+    membership flags).  Returns error strings, empty when clean."""
+    try:
+        wl = get_workload(circuit)
+    except KeyError:
+        return [f"--workload verification: {circuit!r} is not a "
+                f"registered workload circuit"]
+    if server_value is None:
+        return ["--workload verification needs the server operand "
+                "(--server-value) to recompute the garbler set"]
+    errors: List[str] = []
+    for o in outcomes:
+        if not o.ok or o.outputs is None:
+            continue
+        expect = wl.oracle(server_value, o.value)
+        if list(o.outputs) != expect:
+            errors.append(
+                f"{o.session}: decoded {circuit} outputs diverge from "
+                f"the python PSI oracle"
+            )
+            continue
+        for q, bits in enumerate(wl.split_outputs(o.outputs)):
+            got = wl.decode_query(bits)["size"]
+            a = set(set_from_seed(wl.spec, server_value))
+            qset = set(set_from_seed(
+                wl.spec, _psi.query_seed(o.value, q)
+            ))
+            if got != len(a & qset):
+                errors.append(
+                    f"{o.session}[q{q}]: intersection size {got} != "
+                    f"oracle {len(a & qset)}"
+                )
+    return errors

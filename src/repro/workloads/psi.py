@@ -1,0 +1,501 @@
+"""Private set intersection as garbled circuits.
+
+PSI is the canonical served-GC workload: the garbler (the server,
+Alice) holds a long-lived set; each evaluator (a client, Bob) brings a
+query set and learns the intersection — nothing else crosses the wire
+beyond the garbled-circuit transcript.  Two classic circuit shapes are
+generated here, both parameterized by per-party set size and element
+width, both plain combinational netlists (one cycle) that the existing
+``CyclePlan`` engine compiles like any bench circuit:
+
+* **sort-compare-shuffle** (``variant="sort"``): each party sorts its
+  set locally (free), the circuit reverses Bob's list and bitonically
+  merges the two sorted halves (``m/2 * log2(m)`` compare-exchange
+  stages at ``2w`` tables each, ``m = 2n``), then counts adjacent
+  equal pairs.  Since each party's set has distinct elements, an
+  adjacent duplicate in the merged order can only pair one element
+  from each party, so the count *is* the intersection size — the only
+  output, because adjacent-flag positions would leak the merged order.
+
+* **hash-bucket equality** (``variant="hash"``): both parties place
+  their elements into ``buckets`` buckets by a public hash of the
+  element (here: its low address bits), pad each bucket to a fixed
+  ``capacity`` with invalid slots, and the circuit compares only
+  within buckets — ``O(n * capacity)`` equality tests instead of the
+  naive ``O(n^2)``.  Each slot carries a validity bit, so padding can
+  never collide with a real element.  Outputs are the per-slot
+  membership flags of Bob's layout (Bob knows his own layout, so the
+  flags tell him exactly *which* of his elements matched) followed by
+  the popcount intersection size.
+
+**Batched queries.**  Both shapes take ``batch=B``: Alice's input
+wires appear once and ``B`` independent Bob query slots share the one
+garbling pass — the amortization surface of ``api.run_batch`` /
+``ServeClient.run_batch``.  Outputs are the per-query output groups
+concatenated in slot order; :func:`split_outputs` slices them apart
+and :func:`decode_query` recovers flags/size per query.
+
+Everything needed to *verify* a served PSI result is also here: the
+seeded set sampler both ends of a loadgen run share
+(:func:`set_from_seed`, drawing from a small universe so random query
+sets actually intersect the server's), the plain-python oracle
+(:func:`expected_outputs`), and the picklable ``(value, cycles)`` bit
+sources (:class:`PsiAliceSource` / :class:`PsiBobSource`) that make a
+PSI circuit a first-class member of the bench-circuit registry.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.bits import bits_to_int, int_to_bits
+from ..circuit.builder import CircuitBuilder
+from ..circuit.modules import (
+    conditional_swap,
+    equals,
+    less_than,
+    or_tree,
+    popcount,
+)
+from ..circuit.netlist import Netlist
+
+__all__ = [
+    "PSISpec",
+    "PsiAliceSource",
+    "PsiBobSource",
+    "build_psi",
+    "decode_query",
+    "encode_bob_batch",
+    "encode_set",
+    "expected_outputs",
+    "parse_psi_name",
+    "psi_name",
+    "psi_spec",
+    "query_output_bits",
+    "query_seed",
+    "set_from_seed",
+    "split_outputs",
+    "universe",
+]
+
+_NAME_RE = re.compile(r"^psi-(sort|hash)(\d+)x(\d+)(?:@b(\d+))?$")
+
+#: Seeded sets draw from ``[1, UNIVERSE_FACTOR * set_size]`` (capped at
+#: the width's range) so two independently seeded sets overlap in
+#: expectation by ``set_size / UNIVERSE_FACTOR`` elements — loadgen
+#: verification then checks *non-trivial* intersections.
+UNIVERSE_FACTOR = 4
+
+#: Per-slot seed derivation for batched Bob sources driven by one
+#: scalar operand (slot 0 keeps the scalar itself, so a batch-1 source
+#: equals the plain source).
+_SLOT_STRIDE = 1000003
+
+
+@dataclass(frozen=True)
+class PSISpec:
+    """One PSI circuit shape.
+
+    ``set_size`` elements of ``width`` bits per party per query;
+    ``batch`` Bob query slots share one garbling of Alice's set.  The
+    hash variant buckets into ``buckets`` buckets of ``capacity``
+    slots each (both 0 for the sort variant).
+    """
+
+    variant: str
+    set_size: int
+    width: int
+    buckets: int = 0
+    capacity: int = 0
+    batch: int = 1
+
+    @property
+    def base(self) -> "PSISpec":
+        """The batch-1 shape this spec amortizes over."""
+        return self if self.batch == 1 else replace(self, batch=1)
+
+
+def psi_spec(
+    variant: str,
+    set_size: int,
+    width: int,
+    buckets: Optional[int] = None,
+    capacity: Optional[int] = None,
+    batch: int = 1,
+) -> PSISpec:
+    """Validated :class:`PSISpec` with derived hash-layout defaults.
+
+    The sort variant needs a power-of-two ``set_size`` (the bitonic
+    merger's shape); the hash variant defaults to ``set_size // 4``
+    buckets of ``3 * set_size / buckets`` slots — generous enough that
+    a random set virtually never overflows a bucket (the encoder
+    raises when one does; pick a larger ``capacity`` then).
+    """
+    if variant not in ("sort", "hash"):
+        raise ValueError(f"unknown PSI variant {variant!r}")
+    if set_size < 2:
+        raise ValueError("set_size must be >= 2")
+    if width < 2 or width > 64:
+        raise ValueError("width must be in [2, 64]")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if variant == "sort":
+        if set_size & (set_size - 1):
+            raise ValueError(
+                "sort variant needs a power-of-two set_size "
+                f"(got {set_size})"
+            )
+        return PSISpec("sort", set_size, width, 0, 0, batch)
+    b = buckets if buckets is not None else max(1, set_size // 4)
+    if b < 1:
+        raise ValueError("buckets must be >= 1")
+    if b & (b - 1):
+        raise ValueError(f"buckets must be a power of two (got {b})")
+    c = capacity if capacity is not None else min(
+        set_size, -(-3 * set_size // b)
+    )
+    if c < 1:
+        raise ValueError("capacity must be >= 1")
+    if b.bit_length() - 1 > width:
+        raise ValueError("more bucket-address bits than element bits")
+    return PSISpec("hash", set_size, width, b, c, batch)
+
+
+def psi_name(spec: PSISpec) -> str:
+    """Canonical registry name, e.g. ``psi-hash8x16@b4``."""
+    name = f"psi-{spec.variant}{spec.set_size}x{spec.width}"
+    return name if spec.batch == 1 else f"{name}@b{spec.batch}"
+
+
+def parse_psi_name(name: str) -> Optional[PSISpec]:
+    """Inverse of :func:`psi_name` (None for non-PSI names)."""
+    m = _NAME_RE.match(name)
+    if m is None:
+        return None
+    variant, n, w, b = m.groups()
+    try:
+        return psi_spec(variant, int(n), int(w), batch=int(b or 1))
+    except ValueError:
+        return None
+
+
+# -- set sampling and encoding ------------------------------------------
+
+
+def universe(spec: PSISpec) -> int:
+    """Largest element seeded sets draw (elements are ``1..universe``)."""
+    return min(2 ** spec.width - 1, UNIVERSE_FACTOR * spec.set_size)
+
+
+def set_from_seed(spec: PSISpec, seed: int) -> Tuple[int, ...]:
+    """Deterministic set of ``set_size`` distinct elements for ``seed``.
+
+    Both the server (garbler operand ``--value``) and each loadgen
+    client (Bob operand) derive their sets this way, so verification
+    can recompute either side's set from its scalar seed alone.
+    """
+    rng = random.Random(f"psi|{spec.variant}|{spec.width}|{int(seed)}")
+    top = universe(spec)
+    if spec.set_size > top:
+        raise ValueError(
+            f"set_size {spec.set_size} exceeds the {top}-element universe"
+        )
+    return tuple(sorted(rng.sample(range(1, top + 1), spec.set_size)))
+
+
+def query_seed(value: int, slot: int) -> int:
+    """Bob slot ``slot``'s seed when one scalar drives a whole batch."""
+    return value + _SLOT_STRIDE * slot
+
+
+def _bucket_of(spec: PSISpec, element: int) -> int:
+    """Public per-element bucket (the low address bits)."""
+    return element & (spec.buckets - 1)
+
+
+def _bucket_layout(
+    spec: PSISpec, elements: Sequence[int]
+) -> List[List[int]]:
+    """Elements placed into their buckets, sorted within each."""
+    rows: List[List[int]] = [[] for _ in range(spec.buckets)]
+    for e in elements:
+        rows[_bucket_of(spec, e)].append(e)
+    for i, row in enumerate(rows):
+        if len(row) > spec.capacity:
+            raise ValueError(
+                f"bucket {i} holds {len(row)} elements, capacity is "
+                f"{spec.capacity} — rebuild with a larger capacity"
+            )
+        row.sort()
+    return rows
+
+
+def _check_set(spec: PSISpec, elements: Sequence[int]) -> List[int]:
+    elems = [int(e) for e in elements]
+    if len(elems) != spec.set_size:
+        raise ValueError(
+            f"expected {spec.set_size} elements, got {len(elems)}"
+        )
+    if len(set(elems)) != len(elems):
+        raise ValueError("PSI inputs are sets: elements must be distinct")
+    top = 2 ** spec.width
+    if any(e < 0 or e >= top for e in elems):
+        raise ValueError(f"elements must fit in {spec.width} bits")
+    return elems
+
+
+def encode_set(spec: PSISpec, elements: Sequence[int]) -> List[int]:
+    """One party's input bits for one query slot (either role — the
+    two sides use the same layout).
+
+    Sort variant: the elements sorted ascending, each as ``width``
+    LSB-first bits.  Hash variant: ``buckets * capacity`` slots of
+    ``width + 1`` bits (value then validity), buckets in address
+    order, filled slots first within each bucket.
+    """
+    elems = _check_set(spec, elements)
+    bits: List[int] = []
+    if spec.variant == "sort":
+        for e in sorted(elems):
+            bits += int_to_bits(e, spec.width)
+        return bits
+    for row in _bucket_layout(spec, elems):
+        for slot in range(spec.capacity):
+            if slot < len(row):
+                bits += int_to_bits(row[slot], spec.width) + [1]
+            else:
+                bits += [0] * spec.width + [0]
+    return bits
+
+
+def encode_bob_batch(
+    spec: PSISpec, query_sets: Sequence[Sequence[int]]
+) -> List[int]:
+    """Bob's input bits: one encoded set per batch slot, concatenated."""
+    if len(query_sets) != spec.batch:
+        raise ValueError(
+            f"expected {spec.batch} query sets, got {len(query_sets)}"
+        )
+    bits: List[int] = []
+    for q in query_sets:
+        bits += encode_set(spec.base, q)
+    return bits
+
+
+# -- circuit construction -----------------------------------------------
+
+
+def _read_buses(wires: List[int], width: int) -> List[List[int]]:
+    return [wires[i: i + width] for i in range(0, len(wires), width)]
+
+
+def _bitonic_merge(
+    b: CircuitBuilder, rows: List[List[int]]
+) -> List[List[int]]:
+    """Ascending bitonic merger over a bitonic sequence of buses.
+
+    ``m/2 * log2(m)`` compare-exchanges; each costs ``2w`` tables
+    (a :func:`less_than` plus a :func:`conditional_swap`).
+    """
+    m = len(rows)
+    if m == 1:
+        return rows
+    half = m // 2
+    rows = list(rows)
+    for i in range(half):
+        swap = less_than(b, rows[i + half], rows[i])
+        rows[i], rows[i + half] = conditional_swap(
+            b, swap, rows[i], rows[i + half]
+        )
+    return (_bitonic_merge(b, rows[:half])
+            + _bitonic_merge(b, rows[half:]))
+
+
+def _sort_query(
+    b: CircuitBuilder, alice_rows: List[List[int]], bob_bits: List[int],
+    spec: PSISpec,
+) -> List[int]:
+    """One sort-variant query slot: size bits only (see module doc)."""
+    bob_rows = _read_buses(bob_bits, spec.width)
+    # Alice ascending + Bob descending = one bitonic sequence.
+    merged = _bitonic_merge(b, alice_rows + bob_rows[::-1])
+    dups = [
+        equals(b, merged[i], merged[i + 1])
+        for i in range(len(merged) - 1)
+    ]
+    return popcount(b, dups)
+
+
+def _hash_query(
+    b: CircuitBuilder, alice_slots, bob_bits: List[int], spec: PSISpec
+) -> List[int]:
+    """One hash-variant query slot: Bob's per-slot flags, then size."""
+    per_slot = spec.width + 1
+    bob_slots = [
+        (row[: spec.width], row[spec.width])
+        for row in _read_buses(bob_bits, per_slot)
+    ]
+    flags: List[int] = []
+    for bucket in range(spec.buckets):
+        lo = bucket * spec.capacity
+        a_bucket = alice_slots[lo: lo + spec.capacity]
+        for b_val, b_ok in bob_slots[lo: lo + spec.capacity]:
+            hits = [
+                b.and_(b.and_(a_ok, b_ok), equals(b, a_val, b_val))
+                for a_val, a_ok in a_bucket
+            ]
+            flags.append(or_tree(b, hits))
+    return flags + popcount(b, flags)
+
+
+def query_output_bits(spec: PSISpec) -> int:
+    """Output bits per query slot (flags + size, variant-dependent)."""
+    if spec.variant == "sort":
+        return (2 * spec.set_size - 1).bit_length()
+    slots = spec.buckets * spec.capacity
+    return slots + slots.bit_length()
+
+
+def build_psi(spec: PSISpec) -> Tuple[Netlist, int]:
+    """Build the PSI netlist for ``spec``; returns ``(net, cycles=1)``.
+
+    Alice's set wires appear once; ``spec.batch`` Bob query groups
+    reuse them, so one garbling pass answers the whole batch.
+    """
+    b = CircuitBuilder(psi_name(spec))
+    base = spec.base
+    if spec.variant == "sort":
+        alice_rows = _read_buses(
+            b.alice_input(spec.set_size * spec.width), spec.width
+        )
+        per_query = len(alice_rows) * spec.width
+        run = lambda bob_bits: _sort_query(b, alice_rows, bob_bits, base)
+    else:
+        per_slot = spec.width + 1
+        alice_slots = [
+            (row[: spec.width], row[spec.width])
+            for row in _read_buses(
+                b.alice_input(spec.buckets * spec.capacity * per_slot),
+                per_slot,
+            )
+        ]
+        per_query = spec.buckets * spec.capacity * per_slot
+        run = lambda bob_bits: _hash_query(b, alice_slots, bob_bits, base)
+    outputs: List[int] = []
+    for _slot in range(spec.batch):
+        outputs += run(b.bob_input(per_query))
+    b.set_outputs(outputs)
+    return b.build(), 1
+
+
+# -- oracle and result decoding -----------------------------------------
+
+
+def expected_outputs(
+    spec: PSISpec,
+    alice_elements: Sequence[int],
+    query_sets: Sequence[Sequence[int]],
+) -> List[int]:
+    """Plain-python reference of the full output bit vector."""
+    if len(query_sets) != spec.batch:
+        raise ValueError(
+            f"expected {spec.batch} query sets, got {len(query_sets)}"
+        )
+    a = set(_check_set(spec.base, alice_elements))
+    bits: List[int] = []
+    for q in query_sets:
+        elems = _check_set(spec.base, q)
+        size = len(a & set(elems))
+        if spec.variant == "sort":
+            bits += int_to_bits(
+                size, (2 * spec.set_size - 1).bit_length()
+            )
+            continue
+        flags: List[int] = []
+        for row in _bucket_layout(spec.base, elems):
+            padded = row + [None] * (spec.capacity - len(row))
+            flags += [int(e is not None and e in a) for e in padded]
+        bits += flags + int_to_bits(size, len(flags).bit_length())
+    return bits
+
+
+def split_outputs(
+    spec: PSISpec, outputs: Sequence[int]
+) -> List[List[int]]:
+    """Slice a (possibly batched) output vector into per-query groups."""
+    per = query_output_bits(spec.base)
+    expect = per * spec.batch
+    if len(outputs) != expect:
+        raise ValueError(
+            f"expected {expect} output bits "
+            f"({spec.batch} x {per}), got {len(outputs)}"
+        )
+    return [list(outputs[i: i + per]) for i in range(0, expect, per)]
+
+
+def decode_query(spec: PSISpec, bits: Sequence[int]) -> Dict[str, object]:
+    """Decode one query's output group into ``{"size", "flags"}``.
+
+    ``flags`` follows Bob's slot layout for the hash variant (he knows
+    which element sits in which slot) and is ``None`` for the sort
+    variant, which reveals only the size.
+    """
+    base = spec.base
+    if len(bits) != query_output_bits(base):
+        raise ValueError(
+            f"expected {query_output_bits(base)} bits, got {len(bits)}"
+        )
+    if base.variant == "sort":
+        return {"size": bits_to_int(list(bits)), "flags": None}
+    slots = base.buckets * base.capacity
+    return {
+        "size": bits_to_int(list(bits[slots:])),
+        "flags": [int(x) for x in bits[:slots]],
+    }
+
+
+# -- registry bit sources -----------------------------------------------
+
+
+class PsiAliceSource:
+    """``(value, cycles) -> bits`` for the garbler: one seeded set.
+
+    A class, not a closure, so serve programs built from it pickle
+    across the forkserver worker-pool boundary (an unpicklable source
+    silently demotes the server to the thread pool).
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: PSISpec) -> None:
+        self.spec = spec
+
+    def __call__(self, value: int, _cycles: int) -> Sequence[int]:
+        return encode_set(
+            self.spec.base, set_from_seed(self.spec, value)
+        )
+
+
+class PsiBobSource:
+    """``(value, cycles) -> bits`` for the evaluator.
+
+    One scalar drives every batch slot: slot ``j`` queries the set
+    seeded by :func:`query_seed` ``(value, j)``, so the scalar-operand
+    plumbing (loadgen ``--value-base``, ``client.run``) works on
+    batched programs unchanged.
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: PSISpec) -> None:
+        self.spec = spec
+
+    def __call__(self, value: int, _cycles: int) -> Sequence[int]:
+        spec = self.spec
+        return encode_bob_batch(spec, [
+            set_from_seed(spec, query_seed(value, slot))
+            for slot in range(spec.batch)
+        ])

@@ -42,6 +42,7 @@ def build_machine(prog):
 @pytest.mark.parametrize("name", FAST)
 def test_registry_program(name):
     prog = REGISTRY[name]
+    assert prog.gen_inputs is not None and prog.oracle is not None
     machine = build_machine(prog)
     rng = random.Random(hash(name) & 0xFFFF)
     for _ in range(2):
@@ -61,6 +62,26 @@ def test_every_registry_program_compiles_and_fits():
             else assemble(prog.source)
         )
         assert 0 < len(words) <= prog.imem_words, name
+        # Every shipped registry program is self-verifying (the
+        # Optional[...] on these fields exists for ad-hoc programs).
+        assert prog.gen_inputs is not None, name
+        assert prog.oracle is not None, name
+
+
+def test_bench_runner_rejects_unverifiable_program():
+    from repro.programs import BenchProgram, REGISTRY as REG
+    from repro.reporting.runner import run_processor_benchmark
+
+    bare = BenchProgram(
+        name="bare-nogen", kind="asm", source="MOV r0, r0",
+        alice_words=1, bob_words=1, output_words=1,
+    )
+    REG["bare-nogen"] = bare
+    try:
+        with pytest.raises(ValueError, match="sampler/oracle"):
+            run_processor_benchmark("bare-nogen")
+    finally:
+        REG.pop("bare-nogen", None)
 
 
 class TestExactPaperNumbers:

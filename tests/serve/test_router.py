@@ -248,3 +248,110 @@ class TestDrainHandoff:
             assert agg["adopted"] == 1
             assert agg["completed"] == 1
             assert agg["failed"] == 0
+
+
+class TestShardReload:
+    """``op: "reload-shards"``: live membership swap with minimal
+    disruption (ROADMAP item 2's config-reload deferral)."""
+
+    def test_join_and_leave_with_minimal_disruption(self):
+        from repro.serve import request_reload
+        from repro.serve.config import ServeConfig
+        from repro.serve.server import GarbleServer
+
+        programs = {"sum32": registry_program("sum32", SERVER_VALUE)}
+        with LocalFleet(programs, shards=2) as fleet:
+            client = ServeClient(fleet.host, fleet.port)
+            for i in range(2):
+                res = run_registry_session(
+                    fleet.host, fleet.port, "sum32", 10 + i,
+                    max_attempts=1,
+                )
+                assert res.value == (SERVER_VALUE + 10 + i) & 0xFFFFFFFF
+            owners = [a for a in fleet.shard_addrs
+                      if fetch_stats(*a)["accepted"] > 0]
+            assert len(owners) == 1
+            owner = owners[0]
+            other = next(a for a in fleet.shard_addrs if a != owner)
+            pins_before = dict(fleet.router._pins)
+            assert pins_before
+
+            joiner = GarbleServer(
+                programs,
+                config=ServeConfig(pool="thread").replace(
+                    host="127.0.0.1", port=0, fleet=True
+                ),
+            ).start()
+            try:
+                grown = list(fleet.shard_addrs) + [
+                    ("127.0.0.1", joiner.port)
+                ]
+                ack = client.reload_shards(grown)
+                assert ack["status"] == "ok"
+                assert ack["added"] == 1 and ack["removed"] == 0
+                assert ack["dropped_pins"] == 0
+                assert [tuple(a) for a in ack["shards"]] == grown
+
+                st = client.stats()
+                assert st["shard_reloads"] == 1
+                assert len(st["shards"]) == 3
+                assert [tuple(a) for a in st["config"]["shards"]] \
+                    == grown
+                # Survivors kept their pins: redials stay sticky.
+                for sid, addr in pins_before.items():
+                    assert fleet.router._pins.get(sid) == addr
+
+                # Minimal disruption: new sum32 sessions may stay on
+                # the incumbent owner or move to the joiner, but never
+                # shuffle onto the other incumbent.
+                other_before = fetch_stats(*other)["accepted"]
+                for i in range(2):
+                    run_registry_session(
+                        fleet.host, fleet.port, "sum32", 30 + i,
+                        max_attempts=1,
+                    )
+                assert fetch_stats(*other)["accepted"] == other_before
+
+                # Shrink: drop the original owner.  Its pins go, and
+                # traffic re-routes to the survivors correctly.
+                survivors = [a for a in grown if a != owner]
+                ack2 = client.reload_shards(survivors)
+                assert ack2["removed"] == 1
+                assert ack2["dropped_pins"] >= 1
+                assert all(addr != owner
+                           for addr in fleet.router._pins.values())
+                res = run_registry_session(
+                    fleet.host, fleet.port, "sum32", 77, max_attempts=1
+                )
+                assert res.value == (SERVER_VALUE + 77) & 0xFFFFFFFF
+                assert client.stats()["shard_reloads"] == 2
+            finally:
+                joiner.shutdown()
+
+    def test_reload_rejects_bad_membership(self):
+        from repro.serve import request_reload
+        from repro.serve.client import _hello_exchange
+        from repro.serve.handshake import ServeError
+
+        programs = {"sum32": registry_program("sum32", SERVER_VALUE)}
+        with LocalFleet(programs, shards=1) as fleet:
+            with pytest.raises(ValueError):
+                request_reload(fleet.host, fleet.port, [])
+            # Malformed membership is a structured error reply
+            # (surfaced client-side as ServeError), and the router
+            # keeps routing afterwards.
+            with pytest.raises(ServeError, match="reload-shards needs"):
+                _hello_exchange(
+                    fleet.host, fleet.port,
+                    {"op": "reload-shards", "shards": "nonsense"},
+                    timeout=10.0,
+                )
+            res = run_registry_session(
+                fleet.host, fleet.port, "sum32", 5, max_attempts=1
+            )
+            assert res.value == (SERVER_VALUE + 5) & 0xFFFFFFFF
+            assert client_stats_shards(fleet) == 1
+
+
+def client_stats_shards(fleet) -> int:
+    return len(ServeClient(fleet.host, fleet.port).stats()["shards"])
